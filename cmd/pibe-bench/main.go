@@ -1,0 +1,54 @@
+// Command pibe-bench regenerates the tables of the paper's evaluation
+// against the synthetic kernel.
+//
+// Usage:
+//
+//	pibe-bench [-seed N] [-table 1|2|...|12|robustness|all]
+//
+// Output is a sequence of aligned text tables; each carries the paper's
+// reference values in its notes so results can be compared at a glance.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "kernel generation seed")
+	table := flag.String("table", "all", "table to regenerate (1-12, robustness, ablations, all)")
+	flag.Parse()
+
+	start := time.Now()
+	suite, err := bench.NewSuite(*seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "kernel generated and profiled in %v\n", time.Since(start).Round(time.Millisecond))
+
+	if *table == "all" {
+		tables, err := suite.AllTables()
+		if err != nil {
+			fatal(err)
+		}
+		for _, t := range tables {
+			fmt.Println(t.Render())
+		}
+	} else {
+		t, err := suite.TableByID(*table)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(t.Render())
+	}
+	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pibe-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,183 @@
+// Command pibe drives the PIBE pipeline step by step, mirroring the
+// paper's artifact workflow: generate a kernel, collect a profile, build
+// an optimized + hardened image, measure it, and report its security
+// census.
+//
+// Usage:
+//
+//	pibe profile  [-seed N] [-workload lmbench|apache] [-o profile.txt]
+//	pibe build    [-seed N] [-profile profile.txt] [-defenses all|retpolines|ret-retpolines|lvi|none]
+//	              [-icp 0.99999] [-inline 0.999999] [-lax 0.99] [-llvm-inliner] [-jumpswitches]
+//	              [-measure] [-security]
+//	pibe measure  [-seed N] [-profile profile.txt] ... (build + LMBench latencies)
+//	pibe top      [-seed N] [-workload lmbench|apache] [-n 30]   (hottest call sites)
+//	pibe dump     [-seed N] -func NAME [...build flags]          (one function's IR)
+//
+// The kernel is regenerated deterministically from the seed on every
+// invocation, so a profile collected by one run maps onto the kernel
+// built by the next.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	pibe "repro"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "kernel generation seed")
+	workloadName := fs.String("workload", "lmbench", "profiling workload: lmbench or apache")
+	out := fs.String("o", "", "output file (default stdout)")
+	profilePath := fs.String("profile", "", "profile file from 'pibe profile'")
+	defenses := fs.String("defenses", "all", "defenses: all, retpolines, ret-retpolines, lvi, none")
+	icpBudget := fs.Float64("icp", 0.99999, "indirect call promotion budget (0 disables)")
+	inlineBudget := fs.Float64("inline", 0.999999, "inlining budget (0 disables)")
+	lax := fs.Float64("lax", 0.99, "lax-heuristics budget (0 disables)")
+	llvmInliner := fs.Bool("llvm-inliner", false, "use the default-LLVM baseline inliner")
+	jumpswitches := fs.Bool("jumpswitches", false, "use the JumpSwitches runtime baseline")
+	measure := fs.Bool("measure", false, "measure LMBench latencies after build")
+	security := fs.Bool("security", false, "print the security census after build")
+	topN := fs.Int("n", 30, "rows for 'pibe top'")
+	funcName := fs.String("func", "", "function name for 'pibe dump'")
+	fs.Parse(os.Args[2:])
+
+	sys, err := pibe.NewSyntheticKernel(pibe.KernelConfig{Seed: *seed})
+	check(err)
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		check(err)
+		defer f.Close()
+		w = f
+	}
+
+	switch cmd {
+	case "top":
+		flavor := pibe.LMBench
+		if *workloadName == "apache" {
+			flavor = pibe.Apache
+		}
+		p, err := sys.Profile(flavor, 5)
+		check(err)
+		fmt.Fprint(w, p.TopReport(*topN))
+
+	case "dump":
+		if *funcName == "" {
+			fmt.Fprintln(os.Stderr, "pibe dump: -func is required")
+			os.Exit(2)
+		}
+		img, err := sys.Build(pibe.BuildConfig{})
+		check(err)
+		out := img.DumpFunction(*funcName)
+		if out == "" {
+			fmt.Fprintf(os.Stderr, "pibe dump: no function %q\n", *funcName)
+			os.Exit(1)
+		}
+		fmt.Fprint(w, out)
+
+	case "profile":
+		flavor := pibe.LMBench
+		if *workloadName == "apache" {
+			flavor = pibe.Apache
+		}
+		p, err := sys.Profile(flavor, 5)
+		check(err)
+		_, err = p.WriteTo(w)
+		check(err)
+
+	case "build", "measure":
+		var profile *pibe.Profile
+		if *profilePath != "" {
+			f, err := os.Open(*profilePath)
+			check(err)
+			profile, err = pibe.ReadProfile(f)
+			f.Close()
+			check(err)
+		} else if *icpBudget > 0 || *inlineBudget > 0 {
+			// No profile supplied: collect one in-process.
+			p, err := sys.Profile(pibe.LMBench, 5)
+			check(err)
+			profile = p
+		}
+		cfg := pibe.BuildConfig{
+			Profile:      profile,
+			Defenses:     parseDefenses(*defenses),
+			JumpSwitches: *jumpswitches,
+			Optimize: pibe.OptimizeConfig{
+				ICPBudget:      *icpBudget,
+				InlineBudget:   *inlineBudget,
+				LaxBudget:      *lax,
+				UseLLVMInliner: *llvmInliner,
+			},
+		}
+		img, err := sys.Build(cfg)
+		check(err)
+		st := img.Stats()
+		fmt.Fprintf(w, "image built: %d functions, %d bytes, %d indirect calls (%d defended, %d vulnerable)\n",
+			st.Funcs, st.Bytes, st.IndirectCalls, img.Census.DefendedICalls, img.Census.VulnICalls)
+		if icp := img.Opt.ICP; icp != nil {
+			fmt.Fprintf(w, "icp: %d targets promoted at %d sites (%.2f%% of candidate weight)\n",
+				icp.PromotedTargets, icp.PromotedSites, 100*float64(icp.PromotedWeight)/float64(icp.TotalWeight+1))
+		}
+		if inl := img.Opt.Inline; inl != nil {
+			fmt.Fprintf(w, "inlining: %d of %d candidate sites elided (%.1f%% of return weight)\n",
+				inl.Inlined, inl.Candidates, 100*inl.ElidedReturnFraction())
+		}
+		if *security {
+			rep := img.SecurityReport()
+			fmt.Fprintf(w, "security: icalls spectre-v2 %d/%d, lvi %d/%d; returns ret2spec %d/%d; ijumps %d/%d\n",
+				rep.ICallsSpectreV2, rep.TotalICalls, rep.ICallsLVI, rep.TotalICalls,
+				rep.ReturnsRet2spec, rep.TotalReturns, rep.IJumpsSpectreV2, rep.TotalIJumps)
+		}
+		if cmd == "measure" || *measure {
+			lat, err := img.MeasureLMBench(pibe.LMBench)
+			check(err)
+			fmt.Fprintf(w, "%-14s %10s\n", "test", "latency µs")
+			for _, l := range lat {
+				fmt.Fprintf(w, "%-14s %10.2f\n", l.Bench, l.Micros)
+			}
+		}
+
+	default:
+		usage()
+	}
+}
+
+func parseDefenses(s string) pibe.Defenses {
+	switch s {
+	case "all":
+		return pibe.AllDefenses
+	case "retpolines":
+		return pibe.Defenses{Retpolines: true}
+	case "ret-retpolines":
+		return pibe.Defenses{RetRetpolines: true}
+	case "lvi":
+		return pibe.Defenses{LVICFI: true}
+	case "none":
+		return pibe.Defenses{}
+	default:
+		fmt.Fprintf(os.Stderr, "pibe: unknown defense set %q\n", s)
+		os.Exit(2)
+	}
+	return pibe.Defenses{}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: pibe <profile|build|measure|top|dump> [flags]")
+	os.Exit(2)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pibe:", err)
+		os.Exit(1)
+	}
+}

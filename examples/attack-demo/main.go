@@ -1,0 +1,67 @@
+// Attack-demo example: simulate the three transient control-flow attacks
+// of the paper's threat model against one indirect call site and one
+// return, under each hardening configuration.
+//
+//	go run ./examples/attack-demo
+//
+// The microarchitectural model exposes the attacker's primitives —
+// poisoning the branch target buffer (Spectre V2), poisoning the return
+// stack buffer (Ret2spec), and injecting a value into a faulting target
+// load (LVI) — and reports whether speculation reaches the attacker's
+// gadget.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/attack"
+	"repro/internal/cpu"
+	"repro/internal/ir"
+)
+
+func main() {
+	forward := []ir.Defense{
+		ir.DefNone, ir.DefRetpoline, ir.DefLVI, ir.DefFencedRetpoline,
+	}
+	backward := []ir.Defense{
+		ir.DefNone, ir.DefRetRetpoline, ir.DefLVIRet, ir.DefFencedRetRet,
+	}
+
+	fmt.Println("forward edge (indirect call at 0x401000):")
+	fmt.Printf("  %-22s %-12s %-12s\n", "defense", "Spectre V2", "LVI")
+	for _, d := range forward {
+		m := cpu.New(cpu.DefaultParams())
+		v2 := attack.SpectreV2(m, 0x401000, d)
+		lvi := attack.LVI(d)
+		fmt.Printf("  %-22s %-12s %-12s\n", d, verdict(v2), verdict(lvi))
+	}
+
+	fmt.Println("\nbackward edge (return):")
+	fmt.Printf("  %-22s %-12s %-12s\n", "defense", "Ret2spec", "LVI")
+	for _, d := range backward {
+		m := cpu.New(cpu.DefaultParams())
+		m.DirectCall(0x402000, 0) // the call whose return the attacker hijacks
+		r2s := attack.Ret2spec(m, d, 4)
+		lvi := attack.LVI(d)
+		fmt.Printf("  %-22s %-12s %-12s\n", d, verdict(r2s), verdict(lvi))
+	}
+
+	fmt.Println("\nwhy each verdict holds:")
+	m := cpu.New(cpu.DefaultParams())
+	fmt.Printf("  - %s\n", attack.SpectreV2(m, 0x401000, ir.DefNone).Reason)
+	fmt.Printf("  - %s\n", attack.SpectreV2(m, 0x401000, ir.DefRetpoline).Reason)
+	m.DirectCall(0x402000, 0)
+	fmt.Printf("  - %s\n", attack.Ret2spec(m, ir.DefRetRetpoline, 4).Reason)
+	fmt.Printf("  - %s\n", attack.LVI(ir.DefRetpoline).Reason)
+	fmt.Printf("  - %s\n", attack.LVI(ir.DefFencedRetpoline).Reason)
+	fmt.Println("\nonly the combined fenced sequences stop every attack — which is")
+	fmt.Println("why comprehensive protection needs all defenses at once (§6.3),")
+	fmt.Println("and why eliding the branch entirely is so much cheaper.")
+}
+
+func verdict(o attack.Outcome) string {
+	if o.Vulnerable {
+		return "HIJACKED"
+	}
+	return "safe"
+}

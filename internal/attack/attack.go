@@ -1,0 +1,194 @@
+// Package attack simulates the transient control-flow hijacking attacks
+// of the paper's threat model against a (possibly hardened) module, using
+// the CPU model's predictor state as the attack surface:
+//
+//   - Spectre V2: poison the BTB slot a victim indirect branch indexes
+//     (any attacker branch aliasing to the same slot suffices) and check
+//     whether the CPU's speculative dispatch for the victim lands on the
+//     attacker's gadget.
+//   - Ret2spec: poison the RSB and check whether a victim return
+//     speculates to the gadget.
+//   - LVI: inject a value into the faulting load that feeds an indirect
+//     branch (or a return address pop) and check whether the transient
+//     target is attacker-controlled.
+//
+// A site defends successfully when its thunk either avoids the poisoned
+// predictor entirely (retpolines pin speculation into the thunk's capture
+// loop) or fences the injected load before the control transfer.
+package attack
+
+import (
+	"repro/internal/cpu"
+	"repro/internal/ir"
+)
+
+// GadgetAddr is the attacker-chosen speculative target used by the
+// simulations.
+const GadgetAddr = 0x66660000
+
+// Outcome reports one attack attempt.
+type Outcome struct {
+	Vulnerable bool
+	// Reason explains the verdict ("speculates to gadget via poisoned
+	// BTB", "retpoline captures speculation", ...).
+	Reason string
+}
+
+// SpectreV2 attacks an indirect call/jump at siteAddr hardened with def.
+func SpectreV2(m *cpu.Model, siteAddr int64, def ir.Defense) Outcome {
+	m.PoisonBTB(siteAddr, GadgetAddr)
+	switch def {
+	case ir.DefNone, ir.DefLVI:
+		// LVI-CFI keeps the BTB-predicted indirect jump (Listing 5), so
+		// it does not stop BTB poisoning by itself.
+		if m.PredictIndirect(siteAddr) == GadgetAddr {
+			return Outcome{Vulnerable: true, Reason: "speculates to gadget via poisoned BTB"}
+		}
+		return Outcome{Vulnerable: false, Reason: "BTB slot not attacker-controlled"}
+	case ir.DefRetpoline, ir.DefFencedRetpoline:
+		// The retpoline replaces the indirect branch with a ret whose
+		// RSB entry the thunk itself just planted; the poisoned BTB slot
+		// is never consulted.
+		return Outcome{Vulnerable: false, Reason: "retpoline captures speculation in thunk loop"}
+	default:
+		return Outcome{Vulnerable: false, Reason: "backward-edge thunk: no BTB dispatch"}
+	}
+}
+
+// Ret2spec attacks a return hardened with def. depth is how many RSB
+// entries the attacker can pollute before the victim return executes.
+func Ret2spec(m *cpu.Model, def ir.Defense, depth int) Outcome {
+	m.PoisonRSB(GadgetAddr, depth)
+	switch def {
+	case ir.DefNone, ir.DefLVIRet:
+		// The LVI return sequence (Listing 6) fences the load of the
+		// return address but still returns through the RSB-predicted
+		// path, so RSB poisoning still redirects speculation.
+		if tgt, ok := m.PredictReturn(); ok && tgt == GadgetAddr {
+			return Outcome{Vulnerable: true, Reason: "speculates to gadget via poisoned RSB"}
+		}
+		return Outcome{Vulnerable: false, Reason: "RSB top not attacker-controlled"}
+	case ir.DefRetRetpoline, ir.DefFencedRetRet:
+		// The return retpoline places the top of the RSB in a known
+		// state before returning, so any poisoning is overwritten.
+		return Outcome{Vulnerable: false, Reason: "return retpoline re-pins the RSB top"}
+	default:
+		return Outcome{Vulnerable: false, Reason: "forward-edge thunk on a return is over-defended"}
+	}
+}
+
+// LVI attacks the target load of an indirect branch hardened with def:
+// the attacker injects GadgetAddr into the faulting load's result.
+func LVI(def ir.Defense) Outcome {
+	switch def {
+	case ir.DefNone, ir.DefRetpoline, ir.DefRetRetpoline:
+		// Plain retpolines move the target into the thunk via an
+		// unfenced load/store; LVI can still inject into it.
+		return Outcome{Vulnerable: true, Reason: "unfenced target load accepts injected value"}
+	case ir.DefLVI, ir.DefLVIRet, ir.DefFencedRetpoline, ir.DefFencedRetRet:
+		return Outcome{Vulnerable: false, Reason: "lfence retires the load before the transfer"}
+	default:
+		return Outcome{Vulnerable: true, Reason: "unknown defense treated as unprotected"}
+	}
+}
+
+// RSBScenario distinguishes how an attacker pollutes the RSB for a
+// Ret2spec attack against the kernel (§6.4's analysis of RSB refilling).
+type RSBScenario int
+
+// The pollution scenarios of §2.2/§6.4.
+const (
+	// PoisonFromUserspace: the attacker fills the RSB in user mode and
+	// relies on the kernel reusing the entries after the transition.
+	PoisonFromUserspace RSBScenario = iota
+	// PoisonSpeculatively: RSB entries pushed by speculatively executed
+	// calls inside the kernel are not reverted on a pipeline flush, so
+	// pollution happens after any entry-time refill.
+	PoisonSpeculatively
+)
+
+func (s RSBScenario) String() string {
+	if s == PoisonFromUserspace {
+		return "user-mode pollution"
+	}
+	return "speculative in-kernel pollution"
+}
+
+// Ret2specUnderRefill evaluates a Ret2spec attempt against a kernel that
+// refills the RSB on privilege transitions instead of hardening returns.
+// Refilling defeats user-mode pollution, but — as the paper argues when
+// recommending return retpolines — not pollution that happens after the
+// refill.
+func Ret2specUnderRefill(m *cpu.Model, sc RSBScenario) Outcome {
+	// The attacker poisons, then the kernel entry path runs.
+	m.PoisonRSB(GadgetAddr, 4)
+	if sc == PoisonFromUserspace {
+		m.RefillRSB()
+	}
+	// Victim return executes with no matching frame of its own.
+	if tgt, ok := m.PredictReturn(); ok && tgt == GadgetAddr {
+		return Outcome{Vulnerable: true, Reason: "poisoned entry survives past the refill point"}
+	}
+	return Outcome{Vulnerable: false, Reason: "refill replaced the poisoned entries"}
+}
+
+// Report tallies, for every indirect branch in a module, which attack
+// classes remain viable. It is the per-module security evaluation behind
+// Table 11.
+type Report struct {
+	ICallsSpectreV2 int // indirect calls hijackable via BTB poisoning
+	ICallsLVI       int // indirect calls hijackable via LVI
+	ReturnsRet2spec int // returns hijackable via RSB poisoning
+	ReturnsLVI      int
+	IJumpsSpectreV2 int // jump-table dispatches hijackable via BTB
+	TotalICalls     int
+	TotalReturns    int
+	TotalIJumps     int
+}
+
+// Evaluate lays the module out and attacks every indirect branch once.
+// Boot-only code is skipped, matching the paper's observation that
+// boot-time returns are not subject to transient attacks after boot.
+func Evaluate(mod *ir.Module) Report {
+	mod.Layout(0x1000000, 16)
+	m := cpu.New(cpu.DefaultParams())
+	var r Report
+	for _, f := range mod.Funcs {
+		if f.Attrs.Has(ir.AttrBoot) {
+			continue
+		}
+		addr := f.Addr
+		f.ForEachInstr(func(b *ir.Block, i int, in *ir.Instr) {
+			iaddr := addr
+			addr += int64(in.ByteSize())
+			switch in.Op {
+			case ir.OpICall:
+				r.TotalICalls++
+				if SpectreV2(m, iaddr, in.Defense).Vulnerable {
+					r.ICallsSpectreV2++
+				}
+				if LVI(in.Defense).Vulnerable {
+					r.ICallsLVI++
+				}
+			case ir.OpRet:
+				r.TotalReturns++
+				m.DirectCall(iaddr, 0) // give the RSB a frame to poison over
+				if Ret2spec(m, in.Defense, 4).Vulnerable {
+					r.ReturnsRet2spec++
+				}
+				if in.Defense == ir.DefNone || in.Defense == ir.DefRetpoline || in.Defense == ir.DefRetRetpoline {
+					r.ReturnsLVI++
+				}
+			case ir.OpSwitch:
+				if in.JumpTable {
+					r.TotalIJumps++
+					def := in.Defense
+					if SpectreV2(m, iaddr, def).Vulnerable {
+						r.IJumpsSpectreV2++
+					}
+				}
+			}
+		})
+	}
+	return r
+}

@@ -1,0 +1,181 @@
+// Package bench is the experiment harness: it rebuilds every table of the
+// paper's evaluation (§6 Table 1, §8 Tables 2–12 and the §8.4 robustness
+// experiment) against the synthetic kernel, and renders them as aligned
+// text tables alongside the paper's reference values where useful.
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	pibe "repro"
+)
+
+// Suite owns the kernel, the profiles and a cache of built images so
+// experiments that share a configuration do not rebuild it.
+type Suite struct {
+	Seed int64
+	Sys  *pibe.System
+
+	ProfLM     *pibe.Profile
+	ProfApache *pibe.Profile
+
+	images  map[string]*pibe.Image
+	lats    map[string][]pibe.Latency
+	baseLat []pibe.Latency
+}
+
+// NewSuite generates the kernel and collects the LMBench and Apache
+// profiles (the two profiling workloads of the evaluation).
+func NewSuite(seed int64) (*Suite, error) {
+	sys, err := pibe.NewSyntheticKernel(pibe.KernelConfig{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	profLM, err := sys.Profile(pibe.LMBench, 5)
+	if err != nil {
+		return nil, err
+	}
+	profAp, err := sys.Profile(pibe.Apache, 4)
+	if err != nil {
+		return nil, err
+	}
+	return &Suite{
+		Seed:       seed,
+		Sys:        sys,
+		ProfLM:     profLM,
+		ProfApache: profAp,
+		images:     make(map[string]*pibe.Image),
+		lats:       make(map[string][]pibe.Latency),
+	}, nil
+}
+
+// Standard optimization budgets used across the tables.
+const (
+	BudgetICP = 0.99999 // the 99.999% promotion budget of Tables 3 and 5
+)
+
+// Image builds (or returns the cached) image for a named configuration.
+func (s *Suite) Image(name string, cfg pibe.BuildConfig) (*pibe.Image, error) {
+	if img, ok := s.images[name]; ok {
+		return img, nil
+	}
+	img, err := s.Sys.Build(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("bench: build %s: %v", name, err)
+	}
+	s.images[name] = img
+	return img, nil
+}
+
+// Latencies measures (or returns cached) LMBench latencies for a named
+// configuration.
+func (s *Suite) Latencies(name string, cfg pibe.BuildConfig) ([]pibe.Latency, error) {
+	if l, ok := s.lats[name]; ok {
+		return l, nil
+	}
+	img, err := s.Image(name, cfg)
+	if err != nil {
+		return nil, err
+	}
+	l, err := img.MeasureLMBench(pibe.LMBench)
+	if err != nil {
+		return nil, fmt.Errorf("bench: measure %s: %v", name, err)
+	}
+	s.lats[name] = l
+	return l, nil
+}
+
+// Baseline returns the LTO-baseline latencies (no PGO, no defenses),
+// the reference everything else is relative to.
+func (s *Suite) Baseline() ([]pibe.Latency, error) {
+	if s.baseLat != nil {
+		return s.baseLat, nil
+	}
+	l, err := s.Latencies("lto-baseline", pibe.BuildConfig{})
+	if err != nil {
+		return nil, err
+	}
+	s.baseLat = l
+	return l, nil
+}
+
+// overheads computes per-benchmark relative overheads against the LTO
+// baseline plus their geometric mean (appended last).
+func overheads(base, cfg []pibe.Latency) []float64 {
+	out := make([]float64, 0, len(cfg)+1)
+	for i := range cfg {
+		out = append(out, pibe.Overhead(base[i].Micros, cfg[i].Micros))
+	}
+	out = append(out, pibe.Geomean(out))
+	return out
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID     string // "1", "2", ..., "robustness"
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Render draws the table with aligned columns.
+func (t *Table) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table %s: %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			pad := widths[i] - len(c)
+			if i == 0 {
+				sb.WriteString(c)
+				sb.WriteString(strings.Repeat(" ", pad))
+			} else {
+				sb.WriteString(strings.Repeat(" ", pad))
+				sb.WriteString(c)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+func pct(x float64) string { return fmt.Sprintf("%+.1f%%", 100*x) }
+func us(x float64) string  { return fmt.Sprintf("%.2f", x) }
+func n(x int) string       { return fmt.Sprintf("%d", x) }
+func n64(x int64) string   { return fmt.Sprintf("%d", x) }
+func u64(x uint64) string  { return fmt.Sprintf("%d", x) }
+func f1(x float64) string  { return fmt.Sprintf("%.1f", x) }
+func frac(a, b uint64) string {
+	if b == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(a)/float64(b))
+}

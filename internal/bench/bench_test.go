@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	pibe "repro"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		ID:     "x",
+		Title:  "demo",
+		Header: []string{"name", "value"},
+		Rows:   [][]string{{"alpha", "1"}, {"beta-long", "22"}},
+		Notes:  []string{"a note"},
+	}
+	out := tab.Render()
+	for _, want := range []string{"Table x: demo", "alpha", "beta-long", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+	// Columns aligned: both data rows end at the same width.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines[2]) == 0 {
+		t.Fatal("missing separator")
+	}
+}
+
+func TestBudgetLabel(t *testing.T) {
+	cases := map[float64]string{
+		0.99:     "99%",
+		0.999:    "99.9%",
+		0.99999:  "99.999%",
+		0.999999: "99.9999%",
+	}
+	for in, want := range cases {
+		if got := budgetLabel(in); got != want {
+			t.Errorf("budgetLabel(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func newTestSuite(t *testing.T) *Suite {
+	t.Helper()
+	s, err := NewSuite(2)
+	if err != nil {
+		t.Fatalf("NewSuite: %v", err)
+	}
+	return s
+}
+
+func TestSuiteStaticTables(t *testing.T) {
+	s := newTestSuite(t)
+
+	t4, err := s.Table4()
+	if err != nil {
+		t.Fatalf("Table4: %v", err)
+	}
+	if len(t4.Rows) != 1 || len(t4.Rows[0]) != 8 {
+		t.Fatalf("Table4 shape: %+v", t4.Rows)
+	}
+	// Most sites are single-target (Table 4's dominant bucket).
+	if t4.Rows[0][1] == "0" {
+		t.Error("no single-target sites in profile")
+	}
+
+	t8, err := s.Table8()
+	if err != nil {
+		t.Fatalf("Table8: %v", err)
+	}
+	if len(t8.Rows) != 3 {
+		t.Fatalf("Table8 rows = %d, want 3 budgets", len(t8.Rows))
+	}
+
+	t9, err := s.Table9()
+	if err != nil {
+		t.Fatalf("Table9: %v", err)
+	}
+	if len(t9.Rows) != 3 {
+		t.Fatalf("Table9 rows = %d", len(t9.Rows))
+	}
+
+	t10, err := s.Table10()
+	if err != nil {
+		t.Fatalf("Table10: %v", err)
+	}
+	if len(t10.Rows) != 3 {
+		t.Fatalf("Table10 rows = %d", len(t10.Rows))
+	}
+
+	t11, err := s.Table11()
+	if err != nil {
+		t.Fatalf("Table11: %v", err)
+	}
+	if got := t11.Rows[2][1]; got != "5" {
+		t.Errorf("Table11 vulnerable ijumps = %s, want 5", got)
+	}
+
+	t12, err := s.Table12()
+	if err != nil {
+		t.Fatalf("Table12: %v", err)
+	}
+	if len(t12.Rows) < 6 {
+		t.Fatalf("Table12 rows = %d", len(t12.Rows))
+	}
+}
+
+func TestTable1MatchesCostModel(t *testing.T) {
+	s := newTestSuite(t)
+	t1, err := s.Table1()
+	if err != nil {
+		t.Fatalf("Table1: %v", err)
+	}
+	// The final row is "all defenses": icall delta must be ≈ fenced
+	// retpoline (42-2) + fenced return (32-1) ≈ 71 ticks.
+	all := t1.Rows[len(t1.Rows)-1]
+	if all[0] != "all defenses" {
+		t.Fatalf("row order changed: %v", all)
+	}
+	if !strings.HasPrefix(all[2], "7") {
+		t.Errorf("all-defenses icall ticks = %s, want ≈71", all[2])
+	}
+}
+
+func TestCandidateOverlapBounds(t *testing.T) {
+	s := newTestSuite(t)
+	for _, indirect := range []bool{true, false} {
+		ov := CandidateOverlap(s.ProfLM, s.ProfApache, 0.99, indirect)
+		if ov < 0 || ov > 1 {
+			t.Errorf("overlap(indirect=%v) = %v out of range", indirect, ov)
+		}
+		// A profile always fully overlaps itself.
+		if self := CandidateOverlap(s.ProfLM, s.ProfLM, 0.99, indirect); self < 0.999 {
+			t.Errorf("self-overlap = %v, want 1", self)
+		}
+	}
+}
+
+func TestTableByIDUnknown(t *testing.T) {
+	s := newTestSuite(t)
+	if _, err := s.TableByID("42"); err == nil {
+		t.Fatal("unknown table id accepted")
+	}
+}
+
+func TestImageCaching(t *testing.T) {
+	s := newTestSuite(t)
+	a, err := s.Image("x", pibe.BuildConfig{Defenses: pibe.AllDefenses})
+	if err != nil {
+		t.Fatalf("Image: %v", err)
+	}
+	b, err := s.Image("x", pibe.BuildConfig{})
+	if err != nil {
+		t.Fatalf("Image: %v", err)
+	}
+	if a != b {
+		t.Error("cache miss for identical name")
+	}
+}

@@ -1,0 +1,152 @@
+package bench
+
+import (
+	"fmt"
+
+	pibe "repro"
+	"repro/internal/workload"
+)
+
+// Table7 reproduces Table 7: application-benchmark throughput degradation
+// (Nginx, Apache, DBench) per defense configuration, unoptimized vs PIBE.
+//
+// Throughput is modelled as requests/second: each request spends a fixed
+// amount of userspace cycles (constant across kernel configurations,
+// derived from the app's kernel share on the LTO baseline) plus the
+// measured kernel cycles for its syscall script. PIBE images are
+// optimized with an LMBench training workload, as in the paper.
+func (s *Suite) Table7() (*Table, error) {
+	t := &Table{
+		ID:     "7",
+		Title:  "Throughput degradation vs LTO baseline (optimized with LMBench profile)",
+		Header: []string{"benchmark", "configuration", "vanilla", "no-opt", "PIBE"},
+		Notes: []string{
+			"paper nginx all-defenses: -51.7% / -6.0%; apache: -39.3% / -7.9%; dbench: -45.6% / -6.7%",
+		},
+	}
+	apps := []pibe.Workload{pibe.Nginx, pibe.Apache, pibe.DBench}
+	defCfgs := []struct {
+		label string
+		d     pibe.Defenses
+	}{
+		{"w/retpolines", pibe.Defenses{Retpolines: true}},
+		{"w/ret-retpolines", pibe.Defenses{RetRetpolines: true}},
+		{"w/LVI-CFI", pibe.Defenses{LVICFI: true}},
+		{"w/all-defenses", pibe.AllDefenses},
+	}
+	baseImg, err := s.Image("lto-baseline", pibe.BuildConfig{})
+	if err != nil {
+		return nil, err
+	}
+	for _, app := range apps {
+		baseKern, err := baseImg.MeasureRequestCycles(app)
+		if err != nil {
+			return nil, err
+		}
+		share := workload.UserShare(app)
+		userCycles := baseKern * share / (1 - share)
+		ghz := pibe.CPUFrequencyGHz()
+		throughput := func(kern float64) float64 {
+			return ghz * 1e9 / (kern + userCycles)
+		}
+		baseTp := throughput(baseKern)
+		unit := "req/sec"
+		if app == pibe.DBench {
+			unit = "MB/sec"
+		}
+		for i, dc := range defCfgs {
+			noopt, err := s.Image("t7-noopt-"+dc.d.String(), pibe.BuildConfig{Defenses: dc.d})
+			if err != nil {
+				return nil, err
+			}
+			optCfg := s.cfgOptimal(dc.d)
+			if dc.label == "w/retpolines" {
+				optCfg.Optimize = pibe.OptimizeConfig{ICPBudget: BudgetICP}
+			}
+			opt, err := s.Image("t7-opt-"+dc.d.String(), optCfg)
+			if err != nil {
+				return nil, err
+			}
+			kernNoopt, err := noopt.MeasureRequestCycles(app)
+			if err != nil {
+				return nil, err
+			}
+			kernOpt, err := opt.MeasureRequestCycles(app)
+			if err != nil {
+				return nil, err
+			}
+			vanilla := ""
+			if i == 0 {
+				vanilla = fmt.Sprintf("%.0f %s", baseTp, unit)
+			}
+			t.Rows = append(t.Rows, []string{
+				app.String(), dc.label, vanilla,
+				pct(throughput(kernNoopt)/baseTp - 1),
+				pct(throughput(kernOpt)/baseTp - 1),
+			})
+		}
+	}
+	return t, nil
+}
+
+// AllTables runs every experiment in paper order.
+func (s *Suite) AllTables() ([]*Table, error) {
+	type gen struct {
+		name string
+		fn   func() (*Table, error)
+	}
+	gens := []gen{
+		{"1", s.Table1}, {"2", s.Table2}, {"3", s.Table3}, {"4", s.Table4},
+		{"5", s.Table5}, {"6", s.Table6}, {"7", s.Table7},
+		{"robustness", s.Robustness},
+		{"8", s.Table8}, {"9", s.Table9}, {"10", s.Table10},
+		{"11", s.Table11}, {"12", s.Table12},
+		{"ablations", s.Ablations},
+	}
+	var out []*Table
+	for _, g := range gens {
+		t, err := g.fn()
+		if err != nil {
+			return nil, fmt.Errorf("table %s: %v", g.name, err)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// TableByID runs one experiment by its paper table number (or
+// "robustness").
+func (s *Suite) TableByID(id string) (*Table, error) {
+	switch id {
+	case "1":
+		return s.Table1()
+	case "2":
+		return s.Table2()
+	case "3":
+		return s.Table3()
+	case "4":
+		return s.Table4()
+	case "5":
+		return s.Table5()
+	case "6":
+		return s.Table6()
+	case "7":
+		return s.Table7()
+	case "8":
+		return s.Table8()
+	case "9":
+		return s.Table9()
+	case "10":
+		return s.Table10()
+	case "11":
+		return s.Table11()
+	case "12":
+		return s.Table12()
+	case "robustness":
+		return s.Robustness()
+	case "ablations":
+		return s.Ablations()
+	default:
+		return nil, fmt.Errorf("bench: unknown table %q (1-12, robustness, ablations)", id)
+	}
+}

@@ -1,0 +1,244 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/harden"
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// Table 1 measures the per-branch cost of each mitigation with the
+// paper's microbenchmark methodology: an empty callee, everything hot in
+// cache, measured as the delta in ticks per call against the
+// uninstrumented binary; plus the slowdown on a SPEC-CPU2006-like
+// userspace application.
+
+const microIters = 2048
+
+// buildMicro returns a module with three benchmark entries that each
+// perform microIters calls of one kind per run: direct, indirect
+// (register), and virtual (indirect through a table load).
+func buildMicro() (*ir.Module, ir.SiteID, ir.SiteID) {
+	m := ir.NewModule()
+	callee := ir.NewFunction(m, "callee", 0)
+	callee.Ret()
+
+	d := ir.NewFunction(m, "bench_dcall", 0)
+	d.Jmp("loop")
+	d.NewBlock("loop")
+	d.Call("callee", 0)
+	d.BrLoop(microIters, "loop", "out")
+	d.NewBlock("out")
+	d.Ret()
+
+	ic := ir.NewFunction(m, "bench_icall", 0)
+	ic.Jmp("loop")
+	ic.NewBlock("loop")
+	icSite, reg := ic.Resolve()
+	ic.ICall(icSite, reg, 0)
+	ic.BrLoop(microIters, "loop", "out")
+	ic.NewBlock("out")
+	ic.Ret()
+
+	// A virtual call loads the function pointer from an object's vtable
+	// (one extra dependent load) before the indirect call.
+	vc := ir.NewFunction(m, "bench_vcall", 0)
+	vc.Jmp("loop")
+	vc.NewBlock("loop")
+	vc.Load(2)
+	vcSite, vreg := vc.Resolve()
+	vc.ICall(vcSite, vreg, 0)
+	vc.BrLoop(microIters, "loop", "out")
+	vc.NewBlock("out")
+	vc.Ret()
+
+	return m, icSite, vcSite
+}
+
+// measureMicro returns cycles per call for the three branch kinds under
+// one hardening configuration.
+func measureMicro(cfg harden.Config) (dcall, icall, vcall float64, err error) {
+	mod, icSite, vcSite := buildMicro()
+	if _, err := harden.Apply(mod, cfg); err != nil {
+		return 0, 0, 0, err
+	}
+	prog, err := interp.Compile(mod)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	res := interp.NewResolver()
+	d, err := interp.NewDist([]int{prog.FuncIndex("callee")}, []uint64{1})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	res.Set(icSite, d)
+	res.Set(vcSite, d)
+
+	measure := func(entry string) (float64, error) {
+		mc := interp.NewMachine(prog, 7)
+		mc.Res = res
+		mc.CPU = cpu.New(cpu.DefaultParams())
+		// Warm caches and predictors, then measure.
+		if err := mc.Run(entry); err != nil {
+			return 0, err
+		}
+		mc.CPU.Reset()
+		if err := mc.Run(entry); err != nil {
+			return 0, err
+		}
+		return float64(mc.CPU.Cycles) / microIters, nil
+	}
+	if dcall, err = measure("bench_dcall"); err != nil {
+		return
+	}
+	if icall, err = measure("bench_icall"); err != nil {
+		return
+	}
+	vcall, err = measure("bench_vcall")
+	return
+}
+
+// buildSpecApp generates a SPEC-CPU2006-like userspace program: phases of
+// compute loops with moderate call density (≈1 return per ~55 cycles)
+// and occasional virtual dispatch.
+func buildSpecApp() (*ir.Module, []ir.SiteID) {
+	m := ir.NewModule()
+	var sites []ir.SiteID
+
+	leaf := ir.NewFunction(m, "leaf_compute", 1)
+	leaf.ALUCycles(4)
+	leaf.ALU(3)
+	leaf.Ret()
+
+	for v := 0; v < 3; v++ {
+		f := ir.NewFunction(m, fmt.Sprintf("virt_%d", v), 1)
+		f.ALUCycles(3)
+		f.ALU(2)
+		f.Ret()
+	}
+
+	const phases = 8
+	for p := 0; p < phases; p++ {
+		f := ir.NewFunction(m, fmt.Sprintf("phase_%d", p), 0)
+		f.ALU(6)
+		f.Jmp("loop")
+		f.NewBlock("loop")
+		// ~40 cycles of work, one helper call, and a virtual dispatch
+		// every 4th iteration (modelled as a site with p=0.25 use).
+		for i := 0; i < 12; i++ {
+			f.ALUCycles(3)
+		}
+		f.Call("leaf_compute", 1)
+		f.BrProb(0.25, "virt", "cont")
+		f.NewBlock("virt")
+		site, reg := f.Resolve()
+		f.ICall(site, reg, 1)
+		sites = append(sites, site)
+		f.Jmp("cont")
+		f.NewBlock("cont")
+		f.BrLoop(64, "loop", "out")
+		f.NewBlock("out")
+		f.Ret()
+	}
+
+	main := ir.NewFunction(m, "spec_main", 0)
+	main.Jmp("loop")
+	main.NewBlock("loop")
+	for p := 0; p < phases; p++ {
+		main.Call(fmt.Sprintf("phase_%d", p), 0)
+	}
+	main.BrLoop(16, "loop", "out")
+	main.NewBlock("out")
+	main.Ret()
+	return m, sites
+}
+
+// measureSpec returns total cycles for one run of the SPEC-like app under
+// a hardening configuration.
+func measureSpec(cfg harden.Config) (int64, error) {
+	mod, sites := buildSpecApp()
+	if _, err := harden.Apply(mod, cfg); err != nil {
+		return 0, err
+	}
+	prog, err := interp.Compile(mod)
+	if err != nil {
+		return 0, err
+	}
+	res := interp.NewResolver()
+	idx := []int{prog.FuncIndex("virt_0"), prog.FuncIndex("virt_1"), prog.FuncIndex("virt_2")}
+	for _, s := range sites {
+		d, err := interp.NewDist(idx, []uint64{6, 3, 1})
+		if err != nil {
+			return 0, err
+		}
+		res.Set(s, d)
+	}
+	mc := interp.NewMachine(prog, 11)
+	mc.Res = res
+	mc.CPU = cpu.New(cpu.DefaultParams())
+	if err := mc.Run("spec_main"); err != nil {
+		return 0, err
+	}
+	mc.CPU.Reset()
+	if err := mc.Run("spec_main"); err != nil {
+		return 0, err
+	}
+	return mc.CPU.Cycles, nil
+}
+
+// Table1 reproduces Table 1: per-branch overhead in ticks per defense
+// plus the SPEC-like slowdown.
+func (s *Suite) Table1() (*Table, error) {
+	type row struct {
+		name  string
+		cfg   harden.Config
+		paper string // paper's (dcall, icall, vcall, spec) for reference
+	}
+	rows := []row{
+		{"uninstrumented", harden.Config{}, "0/0/0/0.0%"},
+		{"LLVM-CFI", harden.Config{LLVMCFI: true}, "2/3/1/-0.4%"},
+		{"stackprotector", harden.Config{StackProtector: true}, "4/4/4/1.0%"},
+		{"safestack", harden.Config{SafeStack: true}, "2/1/1/0.6%"},
+		{"LVI-CFI", harden.Config{LVICFI: true}, "11/20/23/29.4%"},
+		{"retpolines", harden.Config{Retpolines: true}, "1/21/21/16.1%"},
+		{"retpolines+LVI-CFI", harden.Config{Retpolines: true, LVICFI: true}, "14/53/54/44.3%"},
+		{"return retpolines", harden.Config{RetRetpolines: true}, "16/16/16/23.2%"},
+		{"all defenses", harden.Config{Retpolines: true, RetRetpolines: true, LVICFI: true}, "32/73/71/62.0%"},
+	}
+	t := &Table{
+		ID:     "1",
+		Title:  "Overhead of mitigations in ticks per call kind and SPEC-like slowdown",
+		Header: []string{"defense", "dcall", "icall", "vcall", "spec-like", "paper(d/i/v/spec)"},
+		Notes: []string{
+			"ticks are deltas vs the uninstrumented binary, like the paper's Table 1",
+			"spec-like: synthetic CPU2006-shaped userspace app (see DESIGN.md)",
+		},
+	}
+	baseD, baseI, baseV, err := measureMicro(harden.Config{})
+	if err != nil {
+		return nil, err
+	}
+	baseSpec, err := measureSpec(harden.Config{})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		d, i, v, err := measureMicro(r.cfg)
+		if err != nil {
+			return nil, err
+		}
+		spec, err := measureSpec(r.cfg)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			r.name,
+			f1(d - baseD), f1(i - baseI), f1(v - baseV),
+			pct(float64(spec-baseSpec) / float64(baseSpec)),
+			r.paper,
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,200 @@
+// Package callgraph builds the weighted dynamic call graph of a module
+// from its static call sites and a profile — the structure PIBE's
+// optimization passes navigate and the bottom-up order LLVM's default
+// inliner visits.
+package callgraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ir"
+	"repro/internal/prof"
+)
+
+// Edge is one call-graph edge: a static call site connecting caller and
+// callee with a profile weight. Indirect sites contribute one edge per
+// profiled target.
+type Edge struct {
+	Caller   string
+	Callee   string
+	Site     ir.SiteID
+	Weight   uint64
+	Indirect bool
+}
+
+// Graph is a weighted call graph.
+type Graph struct {
+	// Nodes is the set of function names, in module order.
+	Nodes []string
+	// Out maps a caller to its outgoing edges, ordered by weight
+	// descending then site ID.
+	Out map[string][]Edge
+	// In maps a callee to its incoming edges.
+	In map[string][]Edge
+	// Invocations is each function's entry count from the profile.
+	Invocations map[string]uint64
+}
+
+// Build constructs the graph. Profile data is optional (nil gives an
+// unweighted static graph; indirect sites then contribute no edges since
+// their targets are unknown statically).
+func Build(mod *ir.Module, p *prof.Profile) *Graph {
+	g := &Graph{
+		Out:         make(map[string][]Edge),
+		In:          make(map[string][]Edge),
+		Invocations: make(map[string]uint64),
+	}
+	for _, f := range mod.Funcs {
+		g.Nodes = append(g.Nodes, f.Name)
+	}
+	add := func(e Edge) {
+		g.Out[e.Caller] = append(g.Out[e.Caller], e)
+		g.In[e.Callee] = append(g.In[e.Callee], e)
+	}
+	for _, f := range mod.Funcs {
+		f.ForEachInstr(func(b *ir.Block, i int, in *ir.Instr) {
+			switch in.Op {
+			case ir.OpCall:
+				var w uint64
+				if p != nil {
+					if s := p.Sites[in.Orig]; s != nil && !s.Indirect() {
+						w = s.Count
+					}
+				}
+				add(Edge{Caller: f.Name, Callee: in.Callee, Site: in.Site, Weight: w})
+			case ir.OpICall:
+				if p == nil {
+					return
+				}
+				s := p.Sites[in.Orig]
+				if s == nil || !s.Indirect() {
+					return
+				}
+				for _, t := range s.SortedTargets() {
+					add(Edge{Caller: f.Name, Callee: t.Name, Site: in.Site, Weight: t.Count, Indirect: true})
+				}
+			}
+		})
+	}
+	for caller := range g.Out {
+		es := g.Out[caller]
+		sort.Slice(es, func(i, j int) bool {
+			if es[i].Weight != es[j].Weight {
+				return es[i].Weight > es[j].Weight
+			}
+			if es[i].Site != es[j].Site {
+				return es[i].Site < es[j].Site
+			}
+			return es[i].Callee < es[j].Callee
+		})
+	}
+	if p != nil {
+		for fn, n := range p.Invocations {
+			g.Invocations[fn] = n
+		}
+	}
+	return g
+}
+
+// PostOrder returns the functions in bottom-up order: callees before
+// callers, with cycles broken at the first back edge encountered.
+// Functions unreachable from any other function come last, in module
+// order. This is the visit order of LLVM's default inliner.
+func (g *Graph) PostOrder() []string {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	state := make(map[string]int, len(g.Nodes))
+	var order []string
+	var visit func(string)
+	visit = func(fn string) {
+		if state[fn] != white {
+			return
+		}
+		state[fn] = gray
+		for _, e := range g.Out[fn] {
+			if state[e.Callee] == white {
+				visit(e.Callee)
+			}
+		}
+		state[fn] = black
+		order = append(order, fn)
+	}
+	for _, fn := range g.Nodes {
+		visit(fn)
+	}
+	return order
+}
+
+// DOT renders the subgraph reachable from root (or the whole graph if
+// root is "") in Graphviz format, with edge weights as labels and
+// indirect edges dashed. maxNodes bounds the output for big kernels.
+func (g *Graph) DOT(root string, maxNodes int) string {
+	if maxNodes <= 0 {
+		maxNodes = 100
+	}
+	include := make(map[string]bool)
+	if root == "" {
+		for _, n := range g.Nodes {
+			if len(include) >= maxNodes {
+				break
+			}
+			include[n] = true
+		}
+	} else {
+		queue := []string{root}
+		for len(queue) > 0 && len(include) < maxNodes {
+			n := queue[0]
+			queue = queue[1:]
+			if include[n] {
+				continue
+			}
+			include[n] = true
+			for _, e := range g.Out[n] {
+				queue = append(queue, e.Callee)
+			}
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString("digraph callgraph {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n")
+	names := make([]string, 0, len(include))
+	for n := range include {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&sb, "  %q;\n", n)
+	}
+	for _, n := range names {
+		for _, e := range g.Out[n] {
+			if !include[e.Callee] {
+				continue
+			}
+			style := ""
+			if e.Indirect {
+				style = ", style=dashed"
+			}
+			fmt.Fprintf(&sb, "  %q -> %q [label=%q%s];\n", e.Caller, e.Callee, fmt.Sprint(e.Weight), style)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// TotalWeight sums edge weights over the whole graph, split by edge kind.
+func (g *Graph) TotalWeight() (direct, indirect uint64) {
+	for _, es := range g.Out {
+		for _, e := range es {
+			if e.Indirect {
+				indirect += e.Weight
+			} else {
+				direct += e.Weight
+			}
+		}
+	}
+	return direct, indirect
+}

@@ -1,0 +1,158 @@
+package callgraph
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/prof"
+)
+
+// buildDiamond: main -> {a, b}, a -> leaf, b -> leaf, plus an indirect
+// call in main profiled to hit a and b.
+func buildDiamond(t *testing.T) (*ir.Module, *prof.Profile) {
+	t.Helper()
+	m := ir.NewModule()
+	leaf := ir.NewFunction(m, "leaf", 0)
+	leaf.ALU(1).Ret()
+	a := ir.NewFunction(m, "a", 0)
+	sa := a.Call("leaf", 0)
+	a.Ret()
+	b := ir.NewFunction(m, "b", 0)
+	sb := b.Call("leaf", 0)
+	b.Ret()
+	main := ir.NewFunction(m, "main", 0)
+	s1 := main.Call("a", 0)
+	s2 := main.Call("b", 0)
+	si := main.IndirectCall(0)
+	main.Ret()
+	if err := ir.Verify(m, ir.VerifyOptions{}); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	p := prof.New()
+	p.AddDirect(s1, "main", "a", 100)
+	p.AddDirect(s2, "main", "b", 50)
+	p.AddDirect(sa, "a", "leaf", 100)
+	p.AddDirect(sb, "b", "leaf", 50)
+	p.AddIndirect(si, "main", "a", 30)
+	p.AddIndirect(si, "main", "b", 10)
+	p.AddInvocation("main", 1)
+	p.AddInvocation("a", 130)
+	p.AddInvocation("b", 60)
+	p.AddInvocation("leaf", 150)
+	return m, p
+}
+
+func TestBuildEdges(t *testing.T) {
+	m, p := buildDiamond(t)
+	g := Build(m, p)
+	if len(g.Nodes) != 4 {
+		t.Fatalf("nodes = %d, want 4", len(g.Nodes))
+	}
+	// main has 2 direct + 2 indirect edges, hottest first.
+	out := g.Out["main"]
+	if len(out) != 4 {
+		t.Fatalf("main out-edges = %d, want 4", len(out))
+	}
+	if out[0].Callee != "a" || out[0].Weight != 100 {
+		t.Errorf("hottest edge = %+v, want a/100", out[0])
+	}
+	var indir int
+	for _, e := range out {
+		if e.Indirect {
+			indir++
+		}
+	}
+	if indir != 2 {
+		t.Errorf("indirect edges = %d, want 2", indir)
+	}
+	// leaf's incoming edges come from both a and b.
+	if len(g.In["leaf"]) != 2 {
+		t.Errorf("leaf in-edges = %d, want 2", len(g.In["leaf"]))
+	}
+	if g.Invocations["leaf"] != 150 {
+		t.Errorf("leaf invocations = %d, want 150", g.Invocations["leaf"])
+	}
+}
+
+func TestBuildWithoutProfile(t *testing.T) {
+	m, _ := buildDiamond(t)
+	g := Build(m, nil)
+	out := g.Out["main"]
+	// Only static direct edges; indirect sites contribute nothing.
+	if len(out) != 2 {
+		t.Fatalf("main out-edges = %d, want 2 (static only)", len(out))
+	}
+	for _, e := range out {
+		if e.Weight != 0 {
+			t.Errorf("unprofiled edge has weight %d", e.Weight)
+		}
+	}
+}
+
+func TestPostOrderBottomUp(t *testing.T) {
+	m, p := buildDiamond(t)
+	g := Build(m, p)
+	order := g.PostOrder()
+	pos := make(map[string]int)
+	for i, f := range order {
+		pos[f] = i
+	}
+	if len(order) != 4 {
+		t.Fatalf("order = %v, want 4 entries", order)
+	}
+	if pos["leaf"] > pos["a"] || pos["leaf"] > pos["b"] {
+		t.Errorf("leaf must precede its callers: %v", order)
+	}
+	if pos["a"] > pos["main"] || pos["b"] > pos["main"] {
+		t.Errorf("callees must precede main: %v", order)
+	}
+}
+
+func TestPostOrderHandlesCycles(t *testing.T) {
+	m := ir.NewModule()
+	a := ir.NewFunction(m, "a", 0)
+	a.Call("b", 0)
+	a.Ret()
+	b := ir.NewFunction(m, "b", 0)
+	b.Call("a", 0)
+	b.Ret()
+	g := Build(m, nil)
+	order := g.PostOrder()
+	if len(order) != 2 {
+		t.Fatalf("cycle: order = %v", order)
+	}
+}
+
+func TestTotalWeight(t *testing.T) {
+	m, p := buildDiamond(t)
+	g := Build(m, p)
+	d, i := g.TotalWeight()
+	if d != 300 {
+		t.Errorf("direct weight = %d, want 300", d)
+	}
+	if i != 40 {
+		t.Errorf("indirect weight = %d, want 40", i)
+	}
+}
+
+func TestDOTExport(t *testing.T) {
+	m, p := buildDiamond(t)
+	g := Build(m, p)
+	dot := g.DOT("main", 50)
+	for _, want := range []string{"digraph callgraph", `"main" -> "a"`, "style=dashed", `label="100"`} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	// Bounded output: with maxNodes 1 only the root appears and no edges
+	// to excluded nodes.
+	small := g.DOT("main", 1)
+	if strings.Contains(small, `-> "a"`) {
+		t.Error("maxNodes bound not respected")
+	}
+	// Whole-graph mode.
+	if whole := g.DOT("", 0); !strings.Contains(whole, `"leaf"`) {
+		t.Error("whole-graph export missing nodes")
+	}
+}

@@ -1,0 +1,496 @@
+// Package cpu models the microarchitectural state that transient
+// control-flow attacks abuse and that PIBE's cost/benefit game is played
+// against: the branch target buffer (BTB), the return stack buffer (RSB),
+// the pattern history table (PHT) and the instruction cache.
+//
+// The model is a timing simulator, not a pipeline simulator: every
+// control-flow event is charged a cycle cost derived from predictor state,
+// and hardened sites are charged the thunk costs measured in Table 1 of
+// the paper. It is deliberately deterministic — same instruction stream,
+// same cycle count — so experiments are reproducible.
+package cpu
+
+import "repro/internal/ir"
+
+// Params configures the model. The zero value is not usable; call
+// DefaultParams.
+type Params struct {
+	// BTBEntries is the number of direct-mapped BTB slots (power of two).
+	// Indirect branches index the BTB with the low bits of their
+	// address, so distinct branches can alias — the property Spectre V2
+	// exploits.
+	BTBEntries int
+	// RSBDepth is the return stack buffer depth (typically 16).
+	RSBDepth int
+	// PHTEntries is the number of 2-bit pattern history counters.
+	PHTEntries int
+	// ICacheSets, ICacheWays and ICacheLine describe the instruction
+	// cache geometry. Defaults model 32 KB / 8-way / 64-byte lines.
+	ICacheSets, ICacheWays int
+	ICacheLine             int64
+
+	// MispredictPenalty is charged when a branch target or direction is
+	// mispredicted (pipeline flush).
+	MispredictPenalty int64
+	// ICacheMissPenalty is charged per instruction line fetched from L2.
+	ICacheMissPenalty int64
+	// DirectCallCost is the base cost of a predicted direct call.
+	DirectCallCost int64
+	// CallArgCost is charged per call argument (argument set-up moves).
+	CallArgCost int64
+	// ReturnCost is the base cost of a correctly predicted return.
+	ReturnCost int64
+	// IndirectCallCost is the base cost of a BTB-hit indirect call.
+	IndirectCallCost int64
+	// CondBranchCost is the base cost of a correctly predicted
+	// conditional branch.
+	CondBranchCost int64
+
+	// Defense thunk costs, in cycles, matching Table 1 and §6.3 of the
+	// paper. These replace prediction entirely: a retpoline always costs
+	// RetpolineCost regardless of BTB state.
+	RetpolineCost       int64 // Spectre V2 retpoline (forward edge), ~21
+	LVIForwardCost      int64 // LVI-CFI lfence on an indirect call, ~9
+	FencedRetpolineCost int64 // combined retpoline + LVI (Listing 7), ~42
+	RetRetpolineCost    int64 // return retpoline, ~16
+	LVIReturnCost       int64 // LVI-CFI return hardening (Listing 6), ~11
+	FencedRetRetCost    int64 // combined backward-edge defense, ~32
+
+	// Non-transient defense costs (Table 1's cheap rows). These add to
+	// the predicted dispatch instead of replacing it.
+	CFICheckCost       int64 // LLVM-CFI target-set check, ~3
+	StackProtectorCost int64 // canary store+check per return, ~4
+	SafeStackCost      int64 // separate return stack bookkeeping, ~1
+
+	// RSBRefillCost is the cost of stuffing the RSB with benign entries
+	// on a privilege transition — the ad-hoc kernel mitigation §6.4
+	// compares return retpolines against.
+	RSBRefillCost int64
+
+	// FreqGHz converts cycles to wall-clock time in reports.
+	FreqGHz float64
+}
+
+// DefaultParams returns parameters loosely calibrated to the paper's
+// Skylake testbed (i7-8700K) and its Table 1 thunk measurements.
+func DefaultParams() Params {
+	return Params{
+		BTBEntries:          4096,
+		RSBDepth:            16,
+		PHTEntries:          16384,
+		ICacheSets:          64,
+		ICacheWays:          8,
+		ICacheLine:          64,
+		MispredictPenalty:   18,
+		ICacheMissPenalty:   14,
+		DirectCallCost:      2,
+		CallArgCost:         1,
+		ReturnCost:          1,
+		IndirectCallCost:    2,
+		CondBranchCost:      1,
+		RetpolineCost:       21,
+		LVIForwardCost:      9,
+		FencedRetpolineCost: 42,
+		RetRetpolineCost:    16,
+		LVIReturnCost:       11,
+		FencedRetRetCost:    32,
+		CFICheckCost:        3,
+		StackProtectorCost:  4,
+		SafeStackCost:       1,
+		RSBRefillCost:       34,
+		FreqGHz:             3.7,
+	}
+}
+
+// Counters tallies predictor behaviour for diagnostics and tests.
+type Counters struct {
+	Instructions  int64
+	BTBHits       int64
+	BTBMisses     int64
+	RSBHits       int64
+	RSBMisses     int64
+	PHTHits       int64
+	PHTMisses     int64
+	ICacheHits    int64
+	ICacheMisses  int64
+	DirectCalls   int64
+	IndirectCalls int64
+	Returns       int64
+	ThunkedCalls  int64 // indirect calls through a defense thunk
+	ThunkedRets   int64 // returns through a defense thunk
+}
+
+// Model is one logical core's worth of microarchitectural state.
+// It is not safe for concurrent use.
+type Model struct {
+	P      Params
+	Cycles int64
+	Stats  Counters
+
+	btb     []int64 // predicted target per slot; 0 = empty
+	btbMask int64
+
+	rsb    []int64 // circular return stack
+	rsbTop int     // index of most recent entry
+	rsbLen int     // valid entries (0..RSBDepth)
+
+	pht     []uint8 // 2-bit saturating counters
+	phtMask int64
+
+	icTags [][]int64 // [set][way] line tag; -1 = invalid
+	icLRU  [][]int8  // LRU rank per way (0 = most recent)
+	icMask int64
+	icSets int64
+}
+
+// New returns a Model with cold predictors and caches.
+func New(p Params) *Model {
+	m := &Model{P: p}
+	m.btb = make([]int64, p.BTBEntries)
+	m.btbMask = int64(p.BTBEntries - 1)
+	m.rsb = make([]int64, p.RSBDepth)
+	m.pht = make([]uint8, p.PHTEntries)
+	m.phtMask = int64(p.PHTEntries - 1)
+	m.icTags = make([][]int64, p.ICacheSets)
+	m.icLRU = make([][]int8, p.ICacheSets)
+	for s := range m.icTags {
+		m.icTags[s] = make([]int64, p.ICacheWays)
+		m.icLRU[s] = make([]int8, p.ICacheWays)
+		for w := range m.icTags[s] {
+			m.icTags[s][w] = -1
+			m.icLRU[s][w] = int8(w)
+		}
+	}
+	m.icMask = int64(p.ICacheSets - 1)
+	m.icSets = int64(p.ICacheSets)
+	return m
+}
+
+// Reset clears cycle count and statistics but keeps predictor state, so a
+// warmed-up model can be measured.
+func (m *Model) Reset() {
+	m.Cycles = 0
+	m.Stats = Counters{}
+}
+
+// ResetAll additionally flushes all predictors and caches.
+func (m *Model) ResetAll() {
+	m.Reset()
+	for i := range m.btb {
+		m.btb[i] = 0
+	}
+	for i := range m.pht {
+		m.pht[i] = 0
+	}
+	m.rsbLen, m.rsbTop = 0, 0
+	for s := range m.icTags {
+		for w := range m.icTags[s] {
+			m.icTags[s][w] = -1
+			m.icLRU[s][w] = int8(w)
+		}
+	}
+}
+
+// Micros converts the accumulated cycle count to microseconds.
+func (m *Model) Micros() float64 {
+	return float64(m.Cycles) / (m.P.FreqGHz * 1e3)
+}
+
+// Straightline charges the pre-aggregated cost of a basic block's
+// non-control instructions and touches its instruction-cache lines.
+// lineBase is the address of the block's first line; nLines the number of
+// consecutive lines the block spans.
+func (m *Model) Straightline(cost int64, nInstr int64, lineBase int64, nLines int) {
+	m.Cycles += cost
+	m.Stats.Instructions += nInstr
+	line := lineBase &^ (m.P.ICacheLine - 1)
+	for i := 0; i < nLines; i++ {
+		m.touchLine(line)
+		line += m.P.ICacheLine
+	}
+}
+
+// AddStraightline charges pre-aggregated instruction cost without
+// touching the cache; the interpreter pairs it with TouchLines at block
+// entry.
+func (m *Model) AddStraightline(cost, nInstr int64) {
+	m.Cycles += cost
+	m.Stats.Instructions += nInstr
+}
+
+// TouchLines touches n consecutive instruction-cache lines starting at
+// base (rounded down to a line boundary).
+func (m *Model) TouchLines(base int64, n int) {
+	line := base &^ (m.P.ICacheLine - 1)
+	for i := 0; i < n; i++ {
+		m.touchLine(line)
+		line += m.P.ICacheLine
+	}
+}
+
+func (m *Model) touchLine(line int64) {
+	set := (line / m.P.ICacheLine) & m.icMask
+	tags := m.icTags[set]
+	lru := m.icLRU[set]
+	for w := range tags {
+		if tags[w] == line {
+			m.Stats.ICacheHits++
+			rank := lru[w]
+			for x := range lru {
+				if lru[x] < rank {
+					lru[x]++
+				}
+			}
+			lru[w] = 0
+			return
+		}
+	}
+	m.Stats.ICacheMisses++
+	m.Cycles += m.P.ICacheMissPenalty
+	// Evict the LRU way.
+	victim := 0
+	for w := range lru {
+		if lru[w] == int8(len(lru)-1) {
+			victim = w
+		}
+		lru[w]++
+	}
+	tags[victim] = line
+	m.icLRU[set][victim] = 0
+}
+
+// DirectCall charges a direct call at siteAddr returning to retAddr and
+// pushes the return address onto the RSB.
+func (m *Model) DirectCall(retAddr int64, args int32) {
+	m.Stats.DirectCalls++
+	m.Cycles += m.P.DirectCallCost + int64(args)*m.P.CallArgCost
+	m.pushRSB(retAddr)
+}
+
+// IndirectCall charges an indirect call at siteAddr to targetAddr under
+// the given defense, pushes retAddr, and trains the BTB when the call is
+// executed natively (no thunk).
+func (m *Model) IndirectCall(siteAddr, targetAddr, retAddr int64, args int32, def ir.Defense) {
+	m.Stats.IndirectCalls++
+	m.Cycles += int64(args) * m.P.CallArgCost
+	switch def {
+	case ir.DefNone:
+		slot := siteAddr & m.btbMask
+		if m.btb[slot] == targetAddr {
+			m.Stats.BTBHits++
+			m.Cycles += m.P.IndirectCallCost
+		} else {
+			m.Stats.BTBMisses++
+			m.Cycles += m.P.IndirectCallCost + m.P.MispredictPenalty
+			m.btb[slot] = targetAddr
+		}
+	case ir.DefRetpoline:
+		m.Stats.ThunkedCalls++
+		m.Cycles += m.P.RetpolineCost
+	case ir.DefLVI:
+		// LVI-CFI keeps the indirect jump (BTB-predicted) but fences
+		// the target load.
+		m.Stats.ThunkedCalls++
+		slot := siteAddr & m.btbMask
+		if m.btb[slot] == targetAddr {
+			m.Stats.BTBHits++
+			m.Cycles += m.P.IndirectCallCost + m.P.LVIForwardCost
+		} else {
+			m.Stats.BTBMisses++
+			m.Cycles += m.P.IndirectCallCost + m.P.LVIForwardCost + m.P.MispredictPenalty
+			m.btb[slot] = targetAddr
+		}
+	case ir.DefFencedRetpoline:
+		m.Stats.ThunkedCalls++
+		m.Cycles += m.P.FencedRetpolineCost
+	case ir.DefLLVMCFI:
+		// A type-set check before a normally predicted dispatch.
+		slot := siteAddr & m.btbMask
+		if m.btb[slot] == targetAddr {
+			m.Stats.BTBHits++
+			m.Cycles += m.P.IndirectCallCost + m.P.CFICheckCost
+		} else {
+			m.Stats.BTBMisses++
+			m.Cycles += m.P.IndirectCallCost + m.P.CFICheckCost + m.P.MispredictPenalty
+			m.btb[slot] = targetAddr
+		}
+	default:
+		// A backward-edge defense on a forward edge is a hardening-pass
+		// bug; charge the worst case rather than silently undercount.
+		m.Stats.ThunkedCalls++
+		m.Cycles += m.P.FencedRetpolineCost
+	}
+	m.pushRSB(retAddr)
+}
+
+// Return charges a return to retAddr under the given defense and pops the
+// RSB.
+func (m *Model) Return(retAddr int64, def ir.Defense) {
+	m.Stats.Returns++
+	predicted, ok := m.popRSB()
+	switch def {
+	case ir.DefNone:
+		if ok && predicted == retAddr {
+			m.Stats.RSBHits++
+			m.Cycles += m.P.ReturnCost
+		} else {
+			m.Stats.RSBMisses++
+			m.Cycles += m.P.ReturnCost + m.P.MispredictPenalty
+		}
+	case ir.DefRetRetpoline:
+		m.Stats.ThunkedRets++
+		m.Cycles += m.P.RetRetpolineCost
+	case ir.DefLVIRet:
+		m.Stats.ThunkedRets++
+		if ok && predicted == retAddr {
+			m.Stats.RSBHits++
+			m.Cycles += m.P.ReturnCost + m.P.LVIReturnCost
+		} else {
+			m.Stats.RSBMisses++
+			m.Cycles += m.P.ReturnCost + m.P.LVIReturnCost + m.P.MispredictPenalty
+		}
+	case ir.DefFencedRetRet:
+		m.Stats.ThunkedRets++
+		m.Cycles += m.P.FencedRetRetCost
+	case ir.DefStackProtector, ir.DefSafeStack:
+		extra := m.P.StackProtectorCost
+		if def == ir.DefSafeStack {
+			extra = m.P.SafeStackCost
+		}
+		if ok && predicted == retAddr {
+			m.Stats.RSBHits++
+			m.Cycles += m.P.ReturnCost + extra
+		} else {
+			m.Stats.RSBMisses++
+			m.Cycles += m.P.ReturnCost + extra + m.P.MispredictPenalty
+		}
+	default:
+		m.Stats.ThunkedRets++
+		m.Cycles += m.P.FencedRetRetCost
+	}
+}
+
+// RefillRSB overwrites every RSB entry with a benign trampoline address
+// and charges the stuffing cost — the kernel's ad-hoc mitigation against
+// userspace RSB poisoning on privilege transitions (§6.4).
+func (m *Model) RefillRSB() {
+	const benign = 0x7fffff00
+	for i := 0; i < m.P.RSBDepth; i++ {
+		m.pushRSB(benign)
+	}
+	// Refilling leaves the RSB without the caller's real frames, so the
+	// next returns mispredict (benign, not attacker-controlled).
+	m.rsbLen = m.P.RSBDepth
+	m.Cycles += m.P.RSBRefillCost
+}
+
+// CondBranch charges a conditional branch at addr that resolves to taken,
+// updating the PHT.
+func (m *Model) CondBranch(addr int64, taken bool) {
+	slot := addr & m.phtMask
+	ctr := m.pht[slot]
+	predictTaken := ctr >= 2
+	if predictTaken == taken {
+		m.Stats.PHTHits++
+		m.Cycles += m.P.CondBranchCost
+	} else {
+		m.Stats.PHTMisses++
+		m.Cycles += m.P.CondBranchCost + m.P.MispredictPenalty
+	}
+	if taken && ctr < 3 {
+		m.pht[slot] = ctr + 1
+	} else if !taken && ctr > 0 {
+		m.pht[slot] = ctr - 1
+	}
+}
+
+// IndirectJump charges a jump-table dispatch (or other indirect jump) at
+// siteAddr to targetAddr. Indirect jumps use the BTB like indirect calls
+// but push nothing.
+func (m *Model) IndirectJump(siteAddr, targetAddr int64, def ir.Defense) {
+	switch def {
+	case ir.DefNone:
+		slot := siteAddr & m.btbMask
+		if m.btb[slot] == targetAddr {
+			m.Stats.BTBHits++
+			m.Cycles += m.P.IndirectCallCost
+		} else {
+			m.Stats.BTBMisses++
+			m.Cycles += m.P.IndirectCallCost + m.P.MispredictPenalty
+			m.btb[slot] = targetAddr
+		}
+	case ir.DefRetpoline:
+		m.Cycles += m.P.RetpolineCost
+	default:
+		m.Cycles += m.P.FencedRetpolineCost
+	}
+}
+
+func (m *Model) pushRSB(ret int64) {
+	m.rsbTop = (m.rsbTop + 1) % m.P.RSBDepth
+	m.rsb[m.rsbTop] = ret
+	if m.rsbLen < m.P.RSBDepth {
+		m.rsbLen++
+	}
+}
+
+func (m *Model) popRSB() (int64, bool) {
+	if m.rsbLen == 0 {
+		return 0, false
+	}
+	v := m.rsb[m.rsbTop]
+	m.rsbTop = (m.rsbTop - 1 + m.P.RSBDepth) % m.P.RSBDepth
+	m.rsbLen--
+	return v, true
+}
+
+// --- Speculation introspection and poisoning (attack-simulator API) ---
+
+// PredictIndirect returns the BTB's current prediction for an indirect
+// branch at addr (0 if the slot is empty).
+func (m *Model) PredictIndirect(addr int64) int64 {
+	return m.btb[addr&m.btbMask]
+}
+
+// PoisonBTB writes target into the BTB slot that branches at victimAddr
+// index — the Spectre V2 training primitive. The attacker only needs an
+// address that aliases to the same slot.
+func (m *Model) PoisonBTB(victimAddr, target int64) {
+	m.btb[victimAddr&m.btbMask] = target
+}
+
+// PredictReturn returns the RSB's current top-of-stack prediction.
+func (m *Model) PredictReturn() (int64, bool) {
+	if m.rsbLen == 0 {
+		return 0, false
+	}
+	return m.rsb[m.rsbTop], true
+}
+
+// PoisonRSB overwrites the top n RSB entries with target — the Ret2spec
+// training primitive.
+func (m *Model) PoisonRSB(target int64, n int) {
+	for i := 0; i < n; i++ {
+		m.pushRSB(target)
+	}
+}
+
+// DefenseCost returns the flat per-execution cost of a hardening thunk,
+// used by reporting code; ok is false for DefNone (whose cost is dynamic).
+func (m *Model) DefenseCost(def ir.Defense) (cost int64, ok bool) {
+	switch def {
+	case ir.DefRetpoline:
+		return m.P.RetpolineCost, true
+	case ir.DefLVI:
+		return m.P.LVIForwardCost, true
+	case ir.DefFencedRetpoline:
+		return m.P.FencedRetpolineCost, true
+	case ir.DefRetRetpoline:
+		return m.P.RetRetpolineCost, true
+	case ir.DefLVIRet:
+		return m.P.LVIReturnCost, true
+	case ir.DefFencedRetRet:
+		return m.P.FencedRetRetCost, true
+	}
+	return 0, false
+}

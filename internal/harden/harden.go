@@ -1,0 +1,268 @@
+// Package harden applies transient control-flow defenses to the indirect
+// branches of a module, mirroring §6 of the paper:
+//
+//   - retpolines for indirect calls (Spectre V2),
+//   - return retpolines for returns (Ret2spec / RSB poisoning),
+//   - LVI-CFI fences for both edges (Load Value Injection),
+//   - a combined "fenced retpoline" when retpolines and LVI-CFI are both
+//     requested (the two defenses instrument the same code sequence and
+//     are otherwise incompatible — Listing 7), and
+//   - jump-table disabling, lowering switch dispatch to compare chains
+//     (the default LLVM behaviour when retpolines or LVI are enabled).
+//
+// Sites that originate from inline assembly cannot be rewritten by the
+// compiler and remain vulnerable; the pass counts them (Table 11).
+package harden
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// Config selects which defenses to enforce. The zero value applies
+// nothing.
+type Config struct {
+	// Retpolines hardens indirect calls and jumps against Spectre V2.
+	Retpolines bool
+	// RetRetpolines hardens returns against RSB poisoning (Ret2spec).
+	RetRetpolines bool
+	// LVICFI fences the target loads of indirect calls and returns
+	// against Load Value Injection.
+	LVICFI bool
+
+	// Non-transient defenses (Table 1's cheap rows). They are measured
+	// for completeness and compose with nothing here: the pass applies
+	// them only where no transient defense claims the same edge.
+	LLVMCFI        bool // forward-edge type-set checks
+	StackProtector bool // stack canaries on returns
+	SafeStack      bool // separate return stack
+
+	// RSBRefill enables the kernel's ad-hoc RSB-stuffing mitigation on
+	// privilege transitions instead of hardening each return (§6.4).
+	// It rewrites no instructions; the execution engine charges the
+	// refill at syscall entry.
+	RSBRefill bool
+}
+
+// Any reports whether at least one instruction-rewriting defense is
+// enabled.
+func (c Config) Any() bool {
+	return c.Retpolines || c.RetRetpolines || c.LVICFI ||
+		c.LLVMCFI || c.StackProtector || c.SafeStack
+}
+
+// String names the configuration the way the paper's tables do.
+func (c Config) String() string {
+	switch {
+	case c.Retpolines && c.RetRetpolines && c.LVICFI:
+		return "all-defenses"
+	case c.Retpolines && c.LVICFI:
+		return "retpolines+lvi-cfi"
+	case c.Retpolines && c.RetRetpolines:
+		return "retpolines+ret-retpolines"
+	case c.Retpolines:
+		return "retpolines"
+	case c.RetRetpolines:
+		return "ret-retpolines"
+	case c.LVICFI:
+		return "lvi-cfi"
+	case c.LLVMCFI:
+		return "llvm-cfi"
+	case c.StackProtector:
+		return "stackprotector"
+	case c.SafeStack:
+		return "safestack"
+	case c.RSBRefill:
+		return "rsb-refill"
+	default:
+		return "none"
+	}
+}
+
+// ForwardDefense returns the thunk applied to a rewriteable indirect call
+// under this configuration.
+func (c Config) ForwardDefense() ir.Defense {
+	switch {
+	case c.Retpolines && c.LVICFI:
+		return ir.DefFencedRetpoline
+	case c.Retpolines:
+		return ir.DefRetpoline
+	case c.LVICFI:
+		return ir.DefLVI
+	case c.LLVMCFI:
+		return ir.DefLLVMCFI
+	default:
+		return ir.DefNone
+	}
+}
+
+// BackwardDefense returns the thunk applied to a return.
+func (c Config) BackwardDefense() ir.Defense {
+	switch {
+	case c.RetRetpolines && c.LVICFI:
+		return ir.DefFencedRetRet
+	case c.RetRetpolines:
+		return ir.DefRetRetpoline
+	case c.LVICFI:
+		return ir.DefLVIRet
+	case c.StackProtector:
+		return ir.DefStackProtector
+	case c.SafeStack:
+		return ir.DefSafeStack
+	default:
+		return ir.DefNone
+	}
+}
+
+// Census summarizes the protection state of a module's forward and
+// backward edges (Table 11's statistics).
+type Census struct {
+	// DefendedICalls is the number of indirect calls rewritten to a
+	// defense thunk.
+	DefendedICalls int
+	// VulnICalls is the number of indirect calls left unprotected
+	// (inline-assembly sites the compiler cannot rewrite).
+	VulnICalls int
+	// VulnIJumps is the number of indirect jumps still emitted (jump
+	// tables that could not be lowered plus assembly jumps).
+	VulnIJumps int
+	// DefendedReturns / VulnReturns tally backward edges; boot-only
+	// returns are counted as BootReturns and excluded from VulnReturns
+	// since they never execute after boot.
+	DefendedReturns int
+	VulnReturns     int
+	BootReturns     int
+	// LoweredJumpTables counts switches converted to compare chains.
+	LoweredJumpTables int
+}
+
+// Apply instruments the module in place and returns the census. The
+// hardening also grows each thunked site: a retpoline call sequence is
+// larger than a bare indirect call, which the size accounting of
+// Table 12 must see.
+func Apply(mod *ir.Module, cfg Config) (*Census, error) {
+	if mod == nil {
+		return nil, fmt.Errorf("harden: nil module")
+	}
+	fwd, bwd := cfg.ForwardDefense(), cfg.BackwardDefense()
+	c := &Census{}
+	for _, f := range mod.Funcs {
+		boot := f.Attrs.Has(ir.AttrBoot)
+		f.ForEachInstr(func(b *ir.Block, i int, in *ir.Instr) {
+			switch in.Op {
+			case ir.OpICall:
+				if in.Asm {
+					c.VulnICalls++
+					return
+				}
+				in.Defense = fwd
+				if fwd != ir.DefNone {
+					c.DefendedICalls++
+					in.Size = thunkSize(fwd)
+				} else {
+					c.VulnICalls++
+				}
+			case ir.OpRet:
+				if in.Asm {
+					c.VulnReturns++
+					return
+				}
+				if boot {
+					c.BootReturns++
+					return
+				}
+				in.Defense = bwd
+				if bwd != ir.DefNone {
+					c.DefendedReturns++
+					in.Size = thunkSize(bwd)
+				} else {
+					c.VulnReturns++
+				}
+			case ir.OpSwitch:
+				if !in.JumpTable {
+					return
+				}
+				if in.Asm {
+					c.VulnIJumps++
+					return
+				}
+				if cfg.Retpolines || cfg.LVICFI {
+					in.JumpTable = false
+					c.LoweredJumpTables++
+					// A compare chain is larger than a table dispatch.
+					in.Size = int32(ir.DefaultInstrSize * (1 + len(in.Targets)))
+				} else {
+					c.VulnIJumps++
+				}
+			}
+		})
+	}
+	return c, nil
+}
+
+// thunkSize returns the encoded size of a hardened branch sequence.
+// Values approximate the listings in the paper: a retpoline thunk call
+// plus its out-of-line body amortized per site.
+// Retpoline thunk bodies are shared (one per register), so a hardened
+// call site grows only by the register move and thunk call; return-edge
+// sequences are inlined and a little larger.
+func thunkSize(d ir.Defense) int32 {
+	switch d {
+	case ir.DefRetpoline:
+		return 8
+	case ir.DefLVI:
+		return 8
+	case ir.DefFencedRetpoline:
+		return 10
+	case ir.DefRetRetpoline:
+		return 12
+	case ir.DefLVIRet:
+		return 9
+	case ir.DefFencedRetRet:
+		return 15
+	case ir.DefLLVMCFI:
+		return 9
+	case ir.DefStackProtector:
+		return 10
+	case ir.DefSafeStack:
+		return 8
+	default:
+		return ir.DefaultInstrSize
+	}
+}
+
+// CollectCensus recomputes the census of an already-hardened module
+// without modifying it, given the configuration it was hardened with.
+func CollectCensus(mod *ir.Module, cfg Config) *Census {
+	c := &Census{}
+	for _, f := range mod.Funcs {
+		boot := f.Attrs.Has(ir.AttrBoot)
+		f.ForEachInstr(func(b *ir.Block, i int, in *ir.Instr) {
+			switch in.Op {
+			case ir.OpICall:
+				if in.Defense != ir.DefNone {
+					c.DefendedICalls++
+				} else {
+					c.VulnICalls++
+				}
+			case ir.OpRet:
+				switch {
+				case in.Defense != ir.DefNone:
+					c.DefendedReturns++
+				case boot:
+					c.BootReturns++
+				default:
+					c.VulnReturns++
+				}
+			case ir.OpSwitch:
+				if in.JumpTable {
+					c.VulnIJumps++
+				} else if cfg.Retpolines || cfg.LVICFI {
+					c.LoweredJumpTables++
+				}
+			}
+		})
+	}
+	return c
+}

@@ -1,0 +1,204 @@
+package harden
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+func buildModule(t *testing.T) *ir.Module {
+	t.Helper()
+	m := ir.NewModule()
+	h := ir.NewFunction(m, "h", 0)
+	h.ALU(1).Ret()
+
+	f := ir.NewFunction(m, "f", 0)
+	f.IndirectCall(0)
+	f.Switch([]string{"a", "b"})
+	f.NewBlock("a").ALU(1).Jmp("done")
+	f.NewBlock("b").ALU(1).Jmp("done")
+	f.NewBlock("done").Ret()
+
+	boot := ir.NewFunction(m, "boot_init", 0)
+	boot.SetAttrs(ir.AttrBoot)
+	boot.ALU(1).Ret()
+
+	asmF := ir.NewFunction(m, "pv_ops", 0)
+	site, reg := asmF.Resolve()
+	asmF.ICall(site, reg, 0)
+	asmF.Func().Entry().Instrs[1].Asm = true // the hypercall macro
+	asmF.Ret()
+
+	if err := ir.Verify(m, ir.VerifyOptions{}); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	return m
+}
+
+func TestConfigDefenseMapping(t *testing.T) {
+	cases := []struct {
+		cfg      Config
+		fwd, bwd ir.Defense
+		name     string
+	}{
+		{Config{}, ir.DefNone, ir.DefNone, "none"},
+		{Config{Retpolines: true}, ir.DefRetpoline, ir.DefNone, "retpolines"},
+		{Config{RetRetpolines: true}, ir.DefNone, ir.DefRetRetpoline, "ret-retpolines"},
+		{Config{LVICFI: true}, ir.DefLVI, ir.DefLVIRet, "lvi-cfi"},
+		{Config{Retpolines: true, LVICFI: true}, ir.DefFencedRetpoline, ir.DefLVIRet, "retpolines+lvi-cfi"},
+		{Config{Retpolines: true, RetRetpolines: true, LVICFI: true}, ir.DefFencedRetpoline, ir.DefFencedRetRet, "all-defenses"},
+	}
+	for _, c := range cases {
+		if got := c.cfg.ForwardDefense(); got != c.fwd {
+			t.Errorf("%s: forward = %v, want %v", c.name, got, c.fwd)
+		}
+		if got := c.cfg.BackwardDefense(); got != c.bwd {
+			t.Errorf("%s: backward = %v, want %v", c.name, got, c.bwd)
+		}
+		if got := c.cfg.String(); got != c.name {
+			t.Errorf("String() = %q, want %q", got, c.name)
+		}
+	}
+}
+
+func TestApplyAllDefenses(t *testing.T) {
+	m := buildModule(t)
+	cfg := Config{Retpolines: true, RetRetpolines: true, LVICFI: true}
+	c, err := Apply(m, cfg)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if c.DefendedICalls != 1 {
+		t.Errorf("DefendedICalls = %d, want 1", c.DefendedICalls)
+	}
+	if c.VulnICalls != 1 {
+		t.Errorf("VulnICalls = %d, want 1 (the asm hypercall)", c.VulnICalls)
+	}
+	// Returns: h, f, pv_ops are defended; boot_init is boot-only.
+	if c.DefendedReturns != 3 {
+		t.Errorf("DefendedReturns = %d, want 3", c.DefendedReturns)
+	}
+	if c.BootReturns != 1 {
+		t.Errorf("BootReturns = %d, want 1", c.BootReturns)
+	}
+	if c.LoweredJumpTables != 1 || c.VulnIJumps != 0 {
+		t.Errorf("jump tables: lowered=%d vuln=%d, want 1/0", c.LoweredJumpTables, c.VulnIJumps)
+	}
+	// Re-collecting must agree with what Apply reported.
+	c2 := CollectCensus(m, cfg)
+	if c2.DefendedICalls != c.DefendedICalls || c2.VulnICalls != c.VulnICalls ||
+		c2.DefendedReturns != c.DefendedReturns || c2.BootReturns != c.BootReturns {
+		t.Errorf("CollectCensus disagrees: %+v vs %+v", c2, c)
+	}
+}
+
+func TestApplyGrowsImage(t *testing.T) {
+	m := buildModule(t)
+	before := m.ByteSize()
+	if _, err := Apply(m, Config{Retpolines: true, RetRetpolines: true, LVICFI: true}); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if m.ByteSize() <= before {
+		t.Errorf("image size %d -> %d: hardening must grow the image", before, m.ByteSize())
+	}
+}
+
+func TestNoDefensesLeavesEverythingVulnerable(t *testing.T) {
+	m := buildModule(t)
+	c, err := Apply(m, Config{})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if c.DefendedICalls != 0 || c.DefendedReturns != 0 {
+		t.Error("zero config defended something")
+	}
+	if c.VulnICalls != 2 {
+		t.Errorf("VulnICalls = %d, want 2", c.VulnICalls)
+	}
+	if c.VulnIJumps != 1 {
+		t.Errorf("VulnIJumps = %d, want 1 (jump table kept)", c.VulnIJumps)
+	}
+}
+
+func TestRetpolinesOnlyKeepsReturnsUnprotected(t *testing.T) {
+	m := buildModule(t)
+	c, err := Apply(m, Config{Retpolines: true})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if c.DefendedReturns != 0 {
+		t.Error("retpolines-only config must not touch returns")
+	}
+	if c.VulnReturns == 0 {
+		t.Error("returns should be counted vulnerable")
+	}
+	if c.DefendedICalls != 1 {
+		t.Errorf("DefendedICalls = %d, want 1", c.DefendedICalls)
+	}
+	if c.LoweredJumpTables != 1 {
+		t.Error("retpolines must disable jump tables")
+	}
+}
+
+func TestAsmSwitchNotLowered(t *testing.T) {
+	m := ir.NewModule()
+	f := ir.NewFunction(m, "f", 0)
+	f.Switch([]string{"a"})
+	f.NewBlock("a").Ret()
+	f.Func().Entry().Instrs[0].Asm = true
+	c, err := Apply(m, Config{Retpolines: true})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if c.VulnIJumps != 1 || c.LoweredJumpTables != 0 {
+		t.Errorf("asm jump table: vuln=%d lowered=%d, want 1/0", c.VulnIJumps, c.LoweredJumpTables)
+	}
+}
+
+func TestHardenedModuleStillVerifies(t *testing.T) {
+	m := buildModule(t)
+	if _, err := Apply(m, Config{Retpolines: true, RetRetpolines: true, LVICFI: true}); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if err := ir.Verify(m, ir.VerifyOptions{}); err != nil {
+		t.Fatalf("Verify after harden: %v", err)
+	}
+}
+
+func TestNonTransientDefenseMapping(t *testing.T) {
+	cases := []struct {
+		cfg      Config
+		fwd, bwd ir.Defense
+	}{
+		{Config{LLVMCFI: true}, ir.DefLLVMCFI, ir.DefNone},
+		{Config{StackProtector: true}, ir.DefNone, ir.DefStackProtector},
+		{Config{SafeStack: true}, ir.DefNone, ir.DefSafeStack},
+		// Transient defenses take precedence on a shared edge.
+		{Config{Retpolines: true, LLVMCFI: true}, ir.DefRetpoline, ir.DefNone},
+		{Config{RetRetpolines: true, StackProtector: true}, ir.DefNone, ir.DefRetRetpoline},
+	}
+	for _, c := range cases {
+		if got := c.cfg.ForwardDefense(); got != c.fwd {
+			t.Errorf("%+v forward = %v, want %v", c.cfg, got, c.fwd)
+		}
+		if got := c.cfg.BackwardDefense(); got != c.bwd {
+			t.Errorf("%+v backward = %v, want %v", c.cfg, got, c.bwd)
+		}
+	}
+}
+
+func TestNonTransientDefensesKeepJumpTables(t *testing.T) {
+	// Only retpolines/LVI disable jump tables (the transient threat);
+	// LLVM-CFI does not.
+	m := buildModule(t)
+	c, err := Apply(m, Config{LLVMCFI: true, StackProtector: true})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if c.LoweredJumpTables != 0 {
+		t.Error("non-transient config lowered jump tables")
+	}
+	if c.VulnIJumps != 1 {
+		t.Errorf("VulnIJumps = %d, want 1", c.VulnIJumps)
+	}
+}

@@ -1,0 +1,244 @@
+package icp
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/prof"
+)
+
+// buildModule returns a module with one indirect call site whose profile
+// has targets h1:700, h2:250, h3:50.
+func buildModule(t *testing.T) (*ir.Module, ir.SiteID, *prof.Profile) {
+	t.Helper()
+	m := ir.NewModule()
+	for _, n := range []string{"h1", "h2", "h3"} {
+		b := ir.NewFunction(m, n, 1)
+		b.ALU(2).Ret()
+	}
+	e := ir.NewFunction(m, "entry", 0)
+	e.ALU(1)
+	site := e.IndirectCall(1)
+	e.Ret()
+	if err := ir.Verify(m, ir.VerifyOptions{}); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	p := prof.New()
+	p.AddIndirect(site, "entry", "h1", 700)
+	p.AddIndirect(site, "entry", "h2", 250)
+	p.AddIndirect(site, "entry", "h3", 50)
+	return m, site, p
+}
+
+func countOps(m *ir.Module, op ir.Opcode) int {
+	n := 0
+	for _, f := range m.Funcs {
+		f.ForEachInstr(func(b *ir.Block, i int, in *ir.Instr) {
+			if in.Op == op {
+				n++
+			}
+		})
+	}
+	return n
+}
+
+func TestPromotionCreatesChainWithFallback(t *testing.T) {
+	m, site, p := buildModule(t)
+	res, err := Run(m, p, Options{Budget: 1.0})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.PromotedSites != 1 || res.PromotedTargets != 3 {
+		t.Fatalf("promoted %d sites / %d targets, want 1/3", res.PromotedSites, res.PromotedTargets)
+	}
+	if res.PromotedWeight != 1000 {
+		t.Errorf("PromotedWeight = %d, want 1000", res.PromotedWeight)
+	}
+	if err := ir.Verify(m, ir.VerifyOptions{}); err != nil {
+		t.Fatalf("post Verify: %v", err)
+	}
+	// The fallback icall must survive with the original site ID.
+	found := false
+	m.Func("entry").ForEachInstr(func(b *ir.Block, i int, in *ir.Instr) {
+		if in.Op == ir.OpICall && in.Site == site {
+			found = true
+		}
+	})
+	if !found {
+		t.Error("fallback icall with original site ID missing")
+	}
+	// Three promoted direct calls with recorded weights.
+	if got := countOps(m, ir.OpCall); got != 3 {
+		t.Errorf("direct calls = %d, want 3", got)
+	}
+	var weights []uint64
+	for _, w := range res.NewSiteWeights {
+		weights = append(weights, w)
+	}
+	if len(weights) != 3 {
+		t.Fatalf("NewSiteWeights has %d entries, want 3", len(weights))
+	}
+	var sum uint64
+	for _, w := range weights {
+		sum += w
+	}
+	if sum != 1000 {
+		t.Errorf("promoted weights sum = %d, want 1000", sum)
+	}
+}
+
+func TestBudgetLimitsPromotedTargets(t *testing.T) {
+	m, _, p := buildModule(t)
+	// 70% budget: h1 (700/1000) alone reaches it.
+	res, err := Run(m, p, Options{Budget: 0.70})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.PromotedTargets != 1 {
+		t.Errorf("PromotedTargets = %d, want 1 at a 70%% budget", res.PromotedTargets)
+	}
+	if got := countOps(m, ir.OpCall); got != 1 {
+		t.Errorf("direct calls = %d, want 1", got)
+	}
+}
+
+func TestMaxTargetsPerSiteCap(t *testing.T) {
+	m, _, p := buildModule(t)
+	res, err := Run(m, p, Options{Budget: 1.0, MaxTargetsPerSite: 1})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.PromotedTargets != 1 {
+		t.Errorf("PromotedTargets = %d, want 1 under cap", res.PromotedTargets)
+	}
+}
+
+func TestPromotionExecutionEquivalence(t *testing.T) {
+	// Invocation counts per handler must be identical before and after
+	// promotion under the same seed: the chain dispatches to exactly
+	// the function the resolver picked.
+	m, site, p := buildModule(t)
+	counts := func(mod *ir.Module) map[string]uint64 {
+		prog, err := interp.Compile(mod)
+		if err != nil {
+			t.Fatalf("Compile: %v", err)
+		}
+		mc := interp.NewMachine(prog, 777)
+		res := interp.NewResolver()
+		d, err := interp.NewDist(
+			[]int{prog.FuncIndex("h1"), prog.FuncIndex("h2"), prog.FuncIndex("h3")},
+			[]uint64{700, 250, 50})
+		if err != nil {
+			t.Fatalf("NewDist: %v", err)
+		}
+		res.Set(site, d)
+		mc.Res = res
+		mc.Rec = interp.NewRecorder(prog)
+		for i := 0; i < 1000; i++ {
+			if err := mc.Run("entry"); err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+		}
+		pr, err := mc.Rec.Profile()
+		if err != nil {
+			t.Fatalf("Profile: %v", err)
+		}
+		out := map[string]uint64{}
+		for _, h := range []string{"h1", "h2", "h3"} {
+			out[h] = pr.Invocations[h]
+		}
+		return out
+	}
+	before := counts(m.Clone())
+	if _, err := Run(m, p, Options{Budget: 1.0}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	after := counts(m)
+	for h, n := range before {
+		if after[h] != n {
+			t.Errorf("%s: invocations %d -> %d after promotion", h, n, after[h])
+		}
+	}
+}
+
+func TestPromotionSkipsUnprofiledSites(t *testing.T) {
+	m := ir.NewModule()
+	h := ir.NewFunction(m, "h", 0)
+	h.ALU(1).Ret()
+	e := ir.NewFunction(m, "entry", 0)
+	e.IndirectCall(0)
+	e.Ret()
+	p := prof.New() // empty: no value profile for the site
+	res, err := Run(m, p, Options{Budget: 1.0})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.CandidateSites != 0 || res.PromotedTargets != 0 {
+		t.Errorf("unprofiled site considered: %+v", res)
+	}
+}
+
+func TestPromotionRejectsUnknownTarget(t *testing.T) {
+	m, site, _ := buildModule(t)
+	p := prof.New()
+	p.AddIndirect(site, "entry", "ghost", 10)
+	if _, err := Run(m, p, Options{Budget: 1.0}); err == nil {
+		t.Fatal("profile target absent from module was accepted")
+	}
+}
+
+func TestMultipleSitesPromotedDeterministically(t *testing.T) {
+	m := ir.NewModule()
+	for _, n := range []string{"a", "b"} {
+		f := ir.NewFunction(m, n, 0)
+		f.ALU(1).Ret()
+	}
+	e := ir.NewFunction(m, "entry", 0)
+	s1 := e.IndirectCall(0)
+	s2 := e.IndirectCall(0)
+	e.Ret()
+	p := prof.New()
+	p.AddIndirect(s1, "entry", "a", 500)
+	p.AddIndirect(s2, "entry", "b", 500)
+
+	r1, err := Run(m.Clone(), p, Options{Budget: 1.0})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	r2, err := Run(m.Clone(), p, Options{Budget: 1.0})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if r1.PromotedSites != 2 || r2.PromotedSites != 2 {
+		t.Errorf("promoted sites = %d/%d, want 2/2", r1.PromotedSites, r2.PromotedSites)
+	}
+}
+
+func BenchmarkRunPromotion(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m := ir.NewModule()
+		p := prof.New()
+		var names []string
+		for j := 0; j < 12; j++ {
+			n := fmt.Sprintf("impl_%d", j)
+			f := ir.NewFunction(m, n, 1)
+			f.ALU(3).Ret()
+			names = append(names, n)
+		}
+		e := ir.NewFunction(m, "entry", 0)
+		for j := 0; j < 50; j++ {
+			site := e.IndirectCall(1)
+			for k, n := range names {
+				p.AddIndirect(site, "entry", n, uint64(5000/(k+1)))
+			}
+		}
+		e.Ret()
+		b.StartTimer()
+		if _, err := Run(m, p, Options{Budget: 0.99999}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,257 @@
+package inline
+
+// Differential testing of the whole transformation pipeline: generate
+// random (but verifiable) modules, collect a profile by execution, run
+// ICP + PIBE inlining + hardening in every budget combination, and check
+// two properties the paper's correctness depends on:
+//
+//  1. the transformed module still verifies, and
+//  2. execution is semantically equivalent — every leaf function is
+//     invoked exactly as often as before under the same seed (transforms
+//     consume no randomness and must preserve dispatch decisions).
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/harden"
+	"repro/internal/icp"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/prof"
+)
+
+// randomModule builds a layered random call graph:
+// entry -> mids -> leaves, with direct calls, indirect calls through
+// per-site target sets, counted loops and cold branches.
+func randomModule(rng *rand.Rand) (*ir.Module, map[ir.SiteID][]string) {
+	m := ir.NewModule()
+	mkPool := func(prefix string, n int) []string {
+		names := make([]string, n)
+		for i := range names {
+			names[i] = fmt.Sprintf("%s%d", prefix, i)
+			b := ir.NewFunction(m, names[i], rng.Intn(3))
+			b.ALU(1 + rng.Intn(6))
+			if rng.Intn(4) == 0 {
+				b.BrProb(0.1, "cold", "hot")
+				b.NewBlock("cold")
+				b.ALU(5 + rng.Intn(700)) // occasionally Rule-3 sized
+				b.Jmp("out")
+				b.NewBlock("hot")
+				b.Jmp("out")
+				b.NewBlock("out")
+			}
+			b.Ret()
+		}
+		return names
+	}
+	// Direct callees and indirect-dispatch handlers are disjoint pools
+	// so the differential invariant (handler invocation counts are
+	// preserved exactly) is not confused by legitimate inlining of
+	// direct calls.
+	nLeaves := 2 + rng.Intn(5)
+	leaves := mkPool("leaf", nLeaves)
+	nHandlers := 2 + rng.Intn(5)
+	handlers := mkPool("handler", nHandlers)
+	sites := make(map[ir.SiteID][]string)
+	nMids := 1 + rng.Intn(4)
+	mids := make([]string, nMids)
+	for i := range mids {
+		mids[i] = fmt.Sprintf("mid%d", i)
+		b := ir.NewFunction(m, mids[i], rng.Intn(2))
+		if rng.Intn(3) == 0 {
+			b.SetAttrs(ir.AttrNoInline)
+		}
+		b.ALU(1 + rng.Intn(4))
+		calls := 1 + rng.Intn(3)
+		for c := 0; c < calls; c++ {
+			if rng.Intn(3) == 0 {
+				site := b.IndirectCall(rng.Intn(2))
+				nt := 1 + rng.Intn(nHandlers)
+				perm := rng.Perm(nHandlers)[:nt]
+				var targets []string
+				for _, p := range perm {
+					targets = append(targets, handlers[p])
+				}
+				sites[site] = targets
+			} else {
+				b.Call(leaves[rng.Intn(nLeaves)], rng.Intn(3))
+			}
+		}
+		b.Ret()
+	}
+	e := ir.NewFunction(m, "entry", 0)
+	e.Jmp("loop")
+	e.NewBlock("loop")
+	e.ALU(1 + rng.Intn(4))
+	for c := 0; c < 1+rng.Intn(nMids); c++ {
+		e.Call(mids[rng.Intn(nMids)], rng.Intn(2))
+	}
+	if rng.Intn(2) == 0 {
+		site := e.IndirectCall(1)
+		sites[site] = []string{handlers[rng.Intn(nHandlers)]}
+	}
+	e.BrLoop(int32(1+rng.Intn(6)), "loop", "out")
+	e.NewBlock("out")
+	e.Ret()
+	return m, sites
+}
+
+func leafCounts(t *testing.T, m *ir.Module, sites map[ir.SiteID][]string, seed int64, runs int) map[string]uint64 {
+	t.Helper()
+	prog, err := interp.Compile(m)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	res := interp.NewResolver()
+	for site, targets := range sites {
+		idx := make([]int, len(targets))
+		w := make([]uint64, len(targets))
+		for i, tg := range targets {
+			idx[i] = prog.FuncIndex(tg)
+			w[i] = uint64(100 / (i + 1))
+		}
+		d, err := interp.NewDist(idx, w)
+		if err != nil {
+			t.Fatalf("NewDist: %v", err)
+		}
+		res.Set(site, d)
+	}
+	mc := interp.NewMachine(prog, seed)
+	mc.Res = res
+	mc.Rec = interp.NewRecorder(prog)
+	for i := 0; i < runs; i++ {
+		if err := mc.Run("entry"); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+	}
+	p, err := mc.Rec.Profile()
+	if err != nil {
+		t.Fatalf("Profile: %v", err)
+	}
+	out := make(map[string]uint64)
+	for fn, n := range p.Invocations {
+		out[fn] = n
+	}
+	return out
+}
+
+func collectProfile(t *testing.T, m *ir.Module, sites map[ir.SiteID][]string, seed int64) *prof.Profile {
+	t.Helper()
+	prog, err := interp.Compile(m.Clone())
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	res := interp.NewResolver()
+	for site, targets := range sites {
+		idx := make([]int, len(targets))
+		w := make([]uint64, len(targets))
+		for i, tg := range targets {
+			idx[i] = prog.FuncIndex(tg)
+			w[i] = uint64(100 / (i + 1))
+		}
+		d, err := interp.NewDist(idx, w)
+		if err != nil {
+			t.Fatalf("NewDist: %v", err)
+		}
+		res.Set(site, d)
+	}
+	mc := interp.NewMachine(prog, seed^0x9e3779b9)
+	mc.Res = res
+	mc.Rec = interp.NewRecorder(prog)
+	for i := 0; i < 60; i++ {
+		if err := mc.Run("entry"); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+	}
+	p, err := mc.Rec.Profile()
+	if err != nil {
+		t.Fatalf("Profile: %v", err)
+	}
+	return p
+}
+
+func TestPipelineDifferential(t *testing.T) {
+	// exact marks configurations where handler invocation counts must be
+	// preserved bit-for-bit: any configuration that cannot inline a
+	// promoted call. With ICP and inlining combined, promoted direct
+	// calls may be legitimately inlined (the paper's core synergy), so
+	// handler bodies execute inside their callers and invocation counts
+	// drop; there we only require verification and successful execution.
+	budgets := []struct {
+		icpB, inlB, lax float64
+		exact           bool
+	}{
+		{0, 0, 0, true},
+		{0.9, 0, 0, true},
+		{1.0, 0, 0, true},
+		{0, 0.99, 0, true}, // icall targets are never direct callees here
+		{0.99999, 0.999999, 0, false},
+		{0.99999, 0.999999, 0.99, false},
+	}
+	for seed := int64(1); seed <= 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		m, sites := randomModule(rng)
+		if err := ir.Verify(m, ir.VerifyOptions{}); err != nil {
+			t.Fatalf("seed %d: generated module invalid: %v", seed, err)
+		}
+		profile := collectProfile(t, m, sites, seed)
+		before := leafCounts(t, m.Clone(), sites, seed*31, 40)
+
+		for bi, b := range budgets {
+			mod := m.Clone()
+			var extra map[ir.SiteID]uint64
+			if b.icpB > 0 {
+				res, err := icp.Run(mod, profile, icp.Options{Budget: b.icpB})
+				if err != nil {
+					t.Fatalf("seed %d cfg %d: icp: %v", seed, bi, err)
+				}
+				extra = res.NewSiteWeights
+			}
+			if b.inlB > 0 {
+				if _, err := Run(mod, profile, Options{Budget: b.inlB, LaxBudget: b.lax, ExtraWeights: extra}); err != nil {
+					t.Fatalf("seed %d cfg %d: inline: %v", seed, bi, err)
+				}
+			}
+			if _, err := harden.Apply(mod, harden.Config{Retpolines: true, RetRetpolines: true, LVICFI: true}); err != nil {
+				t.Fatalf("seed %d cfg %d: harden: %v", seed, bi, err)
+			}
+			if err := ir.Verify(mod, ir.VerifyOptions{}); err != nil {
+				t.Fatalf("seed %d cfg %d: post-pipeline verify: %v", seed, bi, err)
+			}
+			after := leafCounts(t, mod, sites, seed*31, 40)
+			if !b.exact {
+				continue
+			}
+			for fn, n := range before {
+				if fn == "entry" {
+					continue
+				}
+				// Handler functions are reached only through indirect
+				// dispatch (possibly promoted to compare chains), which
+				// these configurations must preserve exactly.
+				if isLeafTarget(fn, sites) {
+					if after[fn] != n {
+						t.Fatalf("seed %d cfg %d: %s invocations %d -> %d (dispatch changed)",
+							seed, bi, fn, n, after[fn])
+					}
+				}
+			}
+		}
+	}
+}
+
+// isLeafTarget reports whether fn is a target of any indirect site —
+// those dispatches survive every transform (promotion keeps semantics,
+// and the inliner never inlines indirect callees).
+func isLeafTarget(fn string, sites map[ir.SiteID][]string) bool {
+	for _, ts := range sites {
+		for _, t := range ts {
+			if t == fn {
+				return true
+			}
+		}
+	}
+	return false
+}

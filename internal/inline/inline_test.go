@@ -1,0 +1,412 @@
+package inline
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/inlinecost"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/prof"
+)
+
+// buildCallerCallee returns a module where caller calls callee once.
+func buildCallerCallee(t *testing.T) *ir.Module {
+	t.Helper()
+	m := ir.NewModule()
+	leaf := ir.NewFunction(m, "leaf", 0)
+	leaf.ALU(2).Ret()
+	callee := ir.NewFunction(m, "callee", 2)
+	callee.ALU(5)
+	callee.Call("leaf", 0)
+	callee.Ret()
+	caller := ir.NewFunction(m, "caller", 0)
+	caller.ALU(1)
+	caller.Call("callee", 2)
+	caller.ALU(1)
+	caller.Ret()
+	if err := ir.Verify(m, ir.VerifyOptions{}); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	return m
+}
+
+func TestApplyInlinesBody(t *testing.T) {
+	m := buildCallerCallee(t)
+	caller := m.Func("caller")
+	bi, ii, ok := FindSite(caller, findCallSite(t, caller, "callee"))
+	if !ok {
+		t.Fatal("call site not found")
+	}
+	children, err := Apply(m, caller, bi, ii, "il0")
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if err := ir.Verify(m, ir.VerifyOptions{}); err != nil {
+		t.Fatalf("post-inline Verify: %v", err)
+	}
+	// The child call to leaf must be reported with a fresh site.
+	if len(children) != 1 || children[0].Callee != "leaf" || children[0].Indirect {
+		t.Fatalf("children = %+v, want one direct call to leaf", children)
+	}
+	if children[0].Site == children[0].Orig {
+		t.Error("child site was not refreshed")
+	}
+	// The caller must no longer call callee directly...
+	for _, b := range caller.Blocks {
+		for i := range b.Instrs {
+			if b.Instrs[i].Op == ir.OpCall && b.Instrs[i].Callee == "callee" {
+				t.Fatal("direct call to callee still present after inlining")
+			}
+		}
+	}
+	// ...must still contain exactly one return (its own; the callee's
+	// became a jump to the continuation)...
+	rets := 0
+	caller.ForEachInstr(func(b *ir.Block, i int, in *ir.Instr) {
+		if in.Op == ir.OpRet {
+			rets++
+		}
+	})
+	if rets != 1 {
+		t.Errorf("caller returns = %d, want 1", rets)
+	}
+	// ...and the callee function itself must be untouched.
+	if got := len(m.Func("callee").Blocks); got != 1 {
+		t.Errorf("callee blocks = %d, want 1", got)
+	}
+}
+
+func TestApplyMaterializesArguments(t *testing.T) {
+	m := buildCallerCallee(t)
+	caller := m.Func("caller")
+	before := caller.ByteSize()
+	bi, ii, _ := FindSite(caller, findCallSite(t, caller, "callee"))
+	if _, err := Apply(m, caller, bi, ii, "il0"); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	// Growth = callee body + 2 arg set-ups + jumps - the call itself;
+	// at minimum the callee body size.
+	if growth := caller.ByteSize() - before; growth < m.Func("callee").ByteSize() {
+		t.Errorf("caller grew by %d bytes, want at least callee size %d",
+			growth, m.Func("callee").ByteSize())
+	}
+}
+
+func TestApplyExecutionEquivalence(t *testing.T) {
+	// Same seed, same resolver: leaf invocation counts must be identical
+	// before and after inlining (inlining consumes no RNG draws).
+	m := buildCallerCallee(t)
+	countLeaf := func(mod *ir.Module) uint64 {
+		p, err := interp.Compile(mod)
+		if err != nil {
+			t.Fatalf("Compile: %v", err)
+		}
+		mc := interp.NewMachine(p, 1234)
+		mc.Rec = interp.NewRecorder(p)
+		for i := 0; i < 500; i++ {
+			if err := mc.Run("caller"); err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+		}
+		pr, err := mc.Rec.Profile()
+		if err != nil {
+			t.Fatalf("Profile: %v", err)
+		}
+		return pr.Invocations["leaf"]
+	}
+	before := countLeaf(m.Clone())
+
+	caller := m.Func("caller")
+	bi, ii, _ := FindSite(caller, findCallSite(t, caller, "callee"))
+	if _, err := Apply(m, caller, bi, ii, "il0"); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	after := countLeaf(m)
+	if before != after {
+		t.Fatalf("leaf invocations changed: %d -> %d", before, after)
+	}
+	if before != 500 {
+		t.Fatalf("leaf invocations = %d, want 500", before)
+	}
+}
+
+func TestApplyRejectsRecursionAndBadInput(t *testing.T) {
+	m := ir.NewModule()
+	rec := ir.NewFunction(m, "rec", 0)
+	rec.Call("rec", 0)
+	rec.Ret()
+	f := m.Func("rec")
+	if _, err := Apply(m, f, 0, 0, "x"); err == nil || !strings.Contains(err.Error(), "recursive") {
+		t.Errorf("recursive inline: err = %v", err)
+	}
+	if _, err := Apply(m, f, 9, 0, "x"); err == nil {
+		t.Error("bad block index accepted")
+	}
+	if _, err := Apply(m, f, 0, 9, "x"); err == nil {
+		t.Error("bad instr index accepted")
+	}
+	if _, err := Apply(m, f, 0, 1, "x"); err == nil {
+		t.Error("inlining a non-call accepted")
+	}
+}
+
+// figure1Module reproduces Figure 1: bar calls foo_1 (big, hot), foo_2
+// and foo_3 (small, warm). Without Rule 3, inlining foo_1 first depletes
+// bar's Rule 2 budget and blocks foo_2/foo_3.
+func figure1Module(t *testing.T) (*ir.Module, *prof.Profile) {
+	t.Helper()
+	m := ir.NewModule()
+	// foo_1: cost 12000 => 2400 unit instructions (5 each).
+	f1 := ir.NewFunction(m, "foo_1", 0)
+	f1.ALU(2399).Ret()
+	f2 := ir.NewFunction(m, "foo_2", 0)
+	f2.ALU(59).Ret() // cost 300
+	f3 := ir.NewFunction(m, "foo_3", 0)
+	f3.ALU(39).Ret() // cost 200
+	bar := ir.NewFunction(m, "bar", 0)
+	s1 := bar.Call("foo_1", 0)
+	s2 := bar.Call("foo_2", 0)
+	s3 := bar.Call("foo_3", 0)
+	bar.Ret()
+	if err := ir.Verify(m, ir.VerifyOptions{}); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if c := inlinecost.Function(m.Func("foo_1")); c != 12000 {
+		t.Fatalf("foo_1 cost = %d, want 12000", c)
+	}
+	p := prof.New()
+	p.AddDirect(s1, "bar", "foo_1", 1000)
+	p.AddDirect(s2, "bar", "foo_2", 500)
+	p.AddDirect(s3, "bar", "foo_3", 500)
+	p.AddInvocation("bar", 1000)
+	p.AddInvocation("foo_1", 1000)
+	p.AddInvocation("foo_2", 500)
+	p.AddInvocation("foo_3", 500)
+	return m, p
+}
+
+func TestRule3FigureOne(t *testing.T) {
+	// With Rule 3 active: foo_1 (cost 12000 > 3000) is blocked; foo_2
+	// and foo_3 are inlined, eliminating 1000 execution counts.
+	m, p := figure1Module(t)
+	res, err := Run(m, p, Options{Budget: 1.0})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Inlined != 2 {
+		t.Errorf("Inlined = %d, want 2 (foo_2, foo_3)", res.Inlined)
+	}
+	if res.BlockedRule3Sites != 1 || res.BlockedRule3Weight != 1000 {
+		t.Errorf("Rule3 blocked %d sites / %d weight, want 1/1000",
+			res.BlockedRule3Sites, res.BlockedRule3Weight)
+	}
+	if res.InlinedWeight != 1000 {
+		t.Errorf("InlinedWeight = %d, want 1000", res.InlinedWeight)
+	}
+	if err := ir.Verify(m, ir.VerifyOptions{}); err != nil {
+		t.Fatalf("post Verify: %v", err)
+	}
+}
+
+func TestRule2DepletionWithoutRule3(t *testing.T) {
+	// Rule 3 disabled: the greedy inliner takes foo_1 first (fits the
+	// 12000 budget exactly), then foo_2 and foo_3 are blocked by Rule 2
+	// — the failure mode Figure 1 illustrates.
+	m, p := figure1Module(t)
+	res, err := Run(m, p, Options{Budget: 1.0, Rule3Threshold: -1})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Inlined != 1 {
+		t.Errorf("Inlined = %d, want 1 (foo_1 only)", res.Inlined)
+	}
+	if res.BlockedRule2Sites != 2 || res.BlockedRule2Weight != 1000 {
+		t.Errorf("Rule2 blocked %d sites / %d weight, want 2/1000",
+			res.BlockedRule2Sites, res.BlockedRule2Weight)
+	}
+}
+
+func TestBudgetSelectsHotSitesOnly(t *testing.T) {
+	m := ir.NewModule()
+	hot := ir.NewFunction(m, "hot", 0)
+	hot.ALU(3).Ret()
+	cold := ir.NewFunction(m, "cold", 0)
+	cold.ALU(3).Ret()
+	caller := ir.NewFunction(m, "caller", 0)
+	sh := caller.Call("hot", 0)
+	sc := caller.Call("cold", 0)
+	caller.Ret()
+	p := prof.New()
+	p.AddDirect(sh, "caller", "hot", 9900)
+	p.AddDirect(sc, "caller", "cold", 100)
+	p.AddInvocation("hot", 9900)
+	p.AddInvocation("cold", 100)
+
+	res, err := Run(m, p, Options{Budget: 0.99})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Inlined != 1 {
+		t.Fatalf("Inlined = %d, want 1", res.Inlined)
+	}
+	// The cold call must survive.
+	if _, _, ok := FindSite(m.Func("caller"), sc); !ok {
+		t.Error("cold site was inlined despite the budget")
+	}
+	if _, _, ok := FindSite(m.Func("caller"), sh); ok {
+		t.Error("hot site was not inlined")
+	}
+}
+
+func TestInheritedChildSitesAreInlinedTransitively(t *testing.T) {
+	// caller -> mid -> leaf, all hot: with a full budget the inliner
+	// should first inline mid into caller, then the inherited leaf call.
+	m := ir.NewModule()
+	leaf := ir.NewFunction(m, "leaf", 0)
+	leaf.ALU(2).Ret()
+	mid := ir.NewFunction(m, "mid", 0)
+	mid.ALU(2)
+	sLeaf := mid.Call("leaf", 0)
+	mid.Ret()
+	caller := ir.NewFunction(m, "caller", 0)
+	sMid := caller.Call("mid", 0)
+	caller.Ret()
+
+	p := prof.New()
+	p.AddDirect(sMid, "caller", "mid", 1000)
+	p.AddDirect(sLeaf, "mid", "leaf", 1000)
+	p.AddInvocation("caller", 1000)
+	p.AddInvocation("mid", 1000)
+	p.AddInvocation("leaf", 1000)
+
+	res, err := Run(m, p, Options{Budget: 1.0})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Inlined != 2 {
+		t.Fatalf("Inlined = %d, want 2 (mid then inherited leaf)", res.Inlined)
+	}
+	// No calls should remain anywhere on the caller's path.
+	calls := 0
+	m.Func("caller").ForEachInstr(func(b *ir.Block, i int, in *ir.Instr) {
+		if in.Op == ir.OpCall {
+			calls++
+		}
+	})
+	if calls != 0 {
+		t.Errorf("caller still has %d direct calls", calls)
+	}
+	if err := ir.Verify(m, ir.VerifyOptions{}); err != nil {
+		t.Fatalf("post Verify: %v", err)
+	}
+}
+
+func TestNoInlineAndOptNoneRespected(t *testing.T) {
+	m := ir.NewModule()
+	ni := ir.NewFunction(m, "ni", 0)
+	ni.SetAttrs(ir.AttrNoInline)
+	ni.ALU(1).Ret()
+	on := ir.NewFunction(m, "on", 0)
+	on.SetAttrs(ir.AttrOptNone)
+	on.ALU(1).Ret()
+	caller := ir.NewFunction(m, "caller", 0)
+	s1 := caller.Call("ni", 0)
+	s2 := caller.Call("on", 0)
+	caller.Ret()
+	p := prof.New()
+	p.AddDirect(s1, "caller", "ni", 100)
+	p.AddDirect(s2, "caller", "on", 100)
+	res, err := Run(m, p, Options{Budget: 1.0})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Inlined != 0 {
+		t.Errorf("Inlined = %d, want 0", res.Inlined)
+	}
+	if res.BlockedOtherSites != 2 || res.BlockedOtherWeight != 200 {
+		t.Errorf("other-blocked = %d sites / %d weight, want 2/200",
+			res.BlockedOtherSites, res.BlockedOtherWeight)
+	}
+}
+
+func TestLaxHeuristicsOverrideRules(t *testing.T) {
+	// Figure 1 module with lax heuristics covering everything: even
+	// foo_1 (Rule 3 violation) gets inlined.
+	m, p := figure1Module(t)
+	res, err := Run(m, p, Options{Budget: 1.0, LaxBudget: 1.0})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Inlined != 3 {
+		t.Errorf("Inlined = %d, want 3 under lax heuristics", res.Inlined)
+	}
+}
+
+func TestZeroBudgetDoesNothing(t *testing.T) {
+	m, p := figure1Module(t)
+	before := m.ByteSize()
+	res, err := Run(m, p, Options{Budget: 0})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Inlined != 0 || m.ByteSize() != before {
+		t.Error("zero budget changed the module")
+	}
+}
+
+func findCallSite(t *testing.T, f *ir.Function, callee string) ir.SiteID {
+	t.Helper()
+	var site ir.SiteID
+	f.ForEachInstr(func(b *ir.Block, i int, in *ir.Instr) {
+		if in.Op == ir.OpCall && in.Callee == callee {
+			site = in.Site
+		}
+	})
+	if site == 0 {
+		t.Fatalf("no call to %s in %s", callee, f.Name)
+	}
+	return site
+}
+
+func BenchmarkApply(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m := ir.NewModule()
+		callee := ir.NewFunction(m, "callee", 2)
+		callee.ALU(40).Ret()
+		caller := ir.NewFunction(m, "caller", 0)
+		caller.ALU(2)
+		site := caller.Call("callee", 2)
+		caller.Ret()
+		f := m.Func("caller")
+		bi, ii, _ := FindSite(f, site)
+		b.StartTimer()
+		if _, err := Apply(m, f, bi, ii, "il0"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunPolicyOnFanout(b *testing.B) {
+	// A caller with 200 profiled sites; measures worklist + transform
+	// throughput.
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m := ir.NewModule()
+		p := prof.New()
+		leaf := ir.NewFunction(m, "leaf", 1)
+		leaf.ALU(6).Ret()
+		caller := ir.NewFunction(m, "caller", 0)
+		for j := 0; j < 200; j++ {
+			s := caller.Call("leaf", 1)
+			p.AddDirect(s, "caller", "leaf", uint64(1000-j))
+		}
+		caller.Ret()
+		p.AddInvocation("leaf", 200_000)
+		b.StartTimer()
+		if _, err := Run(m, p, Options{Budget: 1.0}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

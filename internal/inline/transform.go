@@ -1,0 +1,134 @@
+// Package inline implements function inlining: the mechanical IR
+// transformation and, on top of it, PIBE's security-tailored greedy
+// profile-guided inlining policy (§5.2 of the paper).
+//
+// Unlike a traditional inliner, which inlines to expose further
+// optimization and therefore prefers tiny callees, PIBE inlines to
+// *eliminate backward edges* (returns) from hot paths so they need no
+// hardening. The policy processes call sites hottest-first under an
+// optimization budget, with two complexity heuristics (Rules 2 and 3)
+// preventing code bloat from destroying the gains in the instruction
+// cache.
+package inline
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// ChildSite describes a call site that inlining copied from the callee
+// into the caller. The policy assigns such sites an inherited execution
+// count (Rule 1's constant-ratio heuristic).
+type ChildSite struct {
+	// Site is the fresh site ID the copy received.
+	Site ir.SiteID
+	// Source is the site ID the instruction had in the callee body —
+	// the key under which the policy may already track an adjusted
+	// weight for it (if the callee itself received inlined code).
+	Source ir.SiteID
+	// Orig is the original profiling-build site the chain of copies
+	// descends from.
+	Orig ir.SiteID
+	// Callee is the static target for direct sites, "" for indirect.
+	Callee string
+	// Indirect marks indirect call sites.
+	Indirect bool
+}
+
+// Apply replaces the direct call at caller.Blocks[bi].Instrs[ii] with the
+// body of its callee. tag must be unique within the caller; it prefixes
+// the names of the spliced blocks. The callee's formal parameters
+// materialize as Args set-up instructions, matching the cost model's
+// assumption that a call needs one instruction per argument.
+//
+// Apply returns the call sites copied into the caller. The callee
+// function itself is left untouched (other callers may still use it).
+func Apply(mod *ir.Module, caller *ir.Function, bi, ii int, tag string) ([]ChildSite, error) {
+	if bi < 0 || bi >= len(caller.Blocks) {
+		return nil, fmt.Errorf("inline: block index %d out of range in %s", bi, caller.Name)
+	}
+	b := caller.Blocks[bi]
+	if ii < 0 || ii >= len(b.Instrs) {
+		return nil, fmt.Errorf("inline: instr index %d out of range in %s.%s", ii, caller.Name, b.Name)
+	}
+	call := b.Instrs[ii]
+	if call.Op != ir.OpCall {
+		return nil, fmt.Errorf("inline: %s.%s[%d] is %v, not a direct call", caller.Name, b.Name, ii, call.Op)
+	}
+	callee := mod.Func(call.Callee)
+	if callee == nil {
+		return nil, fmt.Errorf("inline: unknown callee %q", call.Callee)
+	}
+	if callee == caller {
+		return nil, fmt.Errorf("inline: refusing to inline recursive call %s -> %s", caller.Name, callee.Name)
+	}
+	if len(callee.Blocks) == 0 {
+		return nil, fmt.Errorf("inline: callee %s has no body", callee.Name)
+	}
+
+	prefix := tag + "."
+	cloned := mod.CloneBlocksInto(callee, prefix, int32(caller.NumRegs))
+
+	// Collect the call sites that now live in the caller, pairing each
+	// clone with its source instruction in the callee body (the blocks
+	// are structurally identical by construction).
+	var children []ChildSite
+	for bi2, cb := range cloned {
+		src := callee.Blocks[bi2]
+		for i := range cb.Instrs {
+			in := &cb.Instrs[i]
+			switch in.Op {
+			case ir.OpCall:
+				children = append(children, ChildSite{Site: in.Site, Source: src.Instrs[i].Site, Orig: in.Orig, Callee: in.Callee})
+			case ir.OpICall:
+				children = append(children, ChildSite{Site: in.Site, Source: src.Instrs[i].Site, Orig: in.Orig, Indirect: true})
+			}
+		}
+	}
+
+	// The continuation receives the instructions after the call; the
+	// callee's returns become jumps to it. This is where the backward
+	// edge disappears.
+	contName := prefix + "cont"
+	cont := &ir.Block{Name: contName, Instrs: append([]ir.Instr(nil), b.Instrs[ii+1:]...)}
+	for _, cb := range cloned {
+		if t := cb.Terminator(); t != nil && t.Op == ir.OpRet {
+			*t = ir.Instr{Op: ir.OpJmp, Then: contName}
+		}
+	}
+
+	// Rewrite the call block: head, argument set-up, jump into the body.
+	head := b.Instrs[:ii:ii]
+	for a := int32(0); a < call.Args; a++ {
+		head = append(head, ir.Instr{Op: ir.OpALU})
+	}
+	head = append(head, ir.Instr{Op: ir.OpJmp, Then: cloned[0].Name})
+	b.Instrs = head
+
+	// Splice: call block, callee body, continuation, rest.
+	rest := caller.Blocks[bi+1:]
+	blocks := make([]*ir.Block, 0, len(caller.Blocks)+len(cloned)+1)
+	blocks = append(blocks, caller.Blocks[:bi+1]...)
+	blocks = append(blocks, cloned...)
+	blocks = append(blocks, cont)
+	blocks = append(blocks, rest...)
+	caller.Blocks = blocks
+	caller.NumRegs += callee.NumRegs
+	caller.InvalidateIndex()
+	return children, nil
+}
+
+// FindSite locates the direct call with the given site ID inside f,
+// returning block and instruction indices, or ok=false.
+func FindSite(f *ir.Function, site ir.SiteID) (bi, ii int, ok bool) {
+	for bi, b := range f.Blocks {
+		for ii := range b.Instrs {
+			in := &b.Instrs[ii]
+			if in.Op == ir.OpCall && in.Site == site {
+				return bi, ii, true
+			}
+		}
+	}
+	return 0, 0, false
+}

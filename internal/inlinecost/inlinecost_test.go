@@ -1,0 +1,67 @@
+package inlinecost
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ir"
+)
+
+func TestInstrCosts(t *testing.T) {
+	cases := []struct {
+		in   ir.Instr
+		want int64
+	}{
+		{ir.Instr{Op: ir.OpALU}, 5},
+		{ir.Instr{Op: ir.OpLoad}, 5},
+		{ir.Instr{Op: ir.OpRet}, 5},
+		{ir.Instr{Op: ir.OpBr}, 5},
+		{ir.Instr{Op: ir.OpCall, Args: 0}, 5},
+		{ir.Instr{Op: ir.OpCall, Args: 3}, 20}, // 5 + 5*3, the paper's example
+		{ir.Instr{Op: ir.OpICall, Args: 2}, 15},
+	}
+	for _, c := range cases {
+		if got := Instr(&c.in); got != c.want {
+			t.Errorf("Instr(%v args=%d) = %d, want %d", c.in.Op, c.in.Args, got, c.want)
+		}
+	}
+}
+
+func TestFunctionSumsBlocks(t *testing.T) {
+	m := ir.NewModule()
+	b := ir.NewFunction(m, "f", 0)
+	b.ALU(9)
+	b.Call("f2", 2)
+	b.Ret()
+	ir.NewFunction(m, "f2", 2).Ret()
+	// 9 ALU (45) + call (15) + ret (5) = 65.
+	if got := Function(m.Func("f")); got != 65 {
+		t.Errorf("Function = %d, want 65", got)
+	}
+}
+
+func TestThresholdConstantsMatchPaper(t *testing.T) {
+	if Rule2Threshold != 12000 {
+		t.Errorf("Rule2Threshold = %d, want 12000", Rule2Threshold)
+	}
+	if Rule3Threshold != 3000 {
+		t.Errorf("Rule3Threshold = %d, want 3000", Rule3Threshold)
+	}
+	if InstrCost != 5 {
+		t.Errorf("InstrCost = %d, want 5 (x86 standard cost)", InstrCost)
+	}
+}
+
+// Property: a function of n unit instructions plus a return costs
+// exactly (n+1)*5, and cost scales linearly with duplication.
+func TestCostLinearQuick(t *testing.T) {
+	f := func(n uint8) bool {
+		m := ir.NewModule()
+		b := ir.NewFunction(m, "f", 0)
+		b.ALU(int(n)).Ret()
+		return Function(m.Func("f")) == int64(int(n)+1)*InstrCost
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

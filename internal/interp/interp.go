@@ -1,0 +1,538 @@
+// Package interp executes IR modules. It serves three roles in the
+// pipeline, mirroring how the paper uses its profiling and production
+// kernel binaries:
+//
+//   - the profiling run: execution records per-site counts and
+//     indirect-target value profiles into a Recorder;
+//   - the measurement run: execution drives the cpu.Model, producing
+//     cycle counts for each workload operation;
+//   - functional validation: transforms must preserve behaviour, which
+//     tests check by comparing execution traces before and after.
+//
+// The interpreter works on a compiled form of the module (Program) where
+// straight-line instruction runs are pre-aggregated, so measurement cost
+// is proportional to control-flow events rather than instruction count.
+package interp
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/cpu"
+	"repro/internal/ir"
+)
+
+// ckind discriminates compiled instructions.
+type ckind uint8
+
+const (
+	cSeg     ckind = iota // aggregated straight-line segment
+	cResolve              // function-pointer load
+	cCmpFn                // compare register against function
+	cBr                   // conditional branch
+	cJmp                  // unconditional branch
+	cSwitch               // multiway branch
+	cCall                 // direct call
+	cICall                // indirect call
+	cRet                  // return
+)
+
+type cinstr struct {
+	kind    ckind
+	cost    int64 // cSeg: aggregated latency
+	count   int64 // cSeg: instruction count
+	addr    int64 // branch/call/ret instruction address
+	retAddr int64 // call: return address (addr + size)
+	callee  int32 // cCall: function index; cCmpFn: compared function index
+	site    ir.SiteID
+	orig    ir.SiteID
+	reg     int32
+	args    int32
+	def     ir.Defense
+	then    int32 // cBr/cJmp: block index
+	els     int32
+	targets []int32 // cSwitch
+	prob    float32
+	useFlag bool
+	table   bool  // cSwitch: lowered as a jump table
+	trip    int32 // cBr: counted-loop trip count (0 = not counted)
+	tripIdx int32 // cBr: index into the frame's trip-counter array
+}
+
+type cblock struct {
+	instrs   []cinstr
+	lineBase int64
+	nLines   int
+}
+
+type cfunc struct {
+	name     string
+	index    int32
+	addr     int64
+	numRegs  int
+	numTrips int
+	blocks   []cblock
+}
+
+// Program is an executable compilation of an ir.Module. The module is
+// laid out (addresses assigned) as part of compilation.
+type Program struct {
+	mod    *ir.Module
+	funcs  []cfunc
+	byName map[string]int32
+}
+
+// LayoutBase is where Compile places the image.
+const LayoutBase = 0x1000000
+
+// Compile lowers a module for execution. The module must verify; Compile
+// re-checks the invariants it depends on and returns an error otherwise.
+func Compile(mod *ir.Module) (*Program, error) {
+	mod.Layout(LayoutBase, 16)
+	p := &Program{
+		mod:    mod,
+		funcs:  make([]cfunc, len(mod.Funcs)),
+		byName: make(map[string]int32, len(mod.Funcs)),
+	}
+	for i, f := range mod.Funcs {
+		p.byName[f.Name] = int32(i)
+	}
+	for i, f := range mod.Funcs {
+		cf, err := p.compileFunc(f, int32(i))
+		if err != nil {
+			return nil, err
+		}
+		p.funcs[i] = cf
+	}
+	return p, nil
+}
+
+// Module returns the module the program was compiled from.
+func (p *Program) Module() *ir.Module { return p.mod }
+
+// FuncIndex returns the dense index of the named function, or -1.
+func (p *Program) FuncIndex(name string) int {
+	if i, ok := p.byName[name]; ok {
+		return int(i)
+	}
+	return -1
+}
+
+// FuncName returns the name of the function at the given index.
+func (p *Program) FuncName(idx int) string { return p.funcs[idx].name }
+
+// FuncAddr returns the base address of the function at the given index.
+func (p *Program) FuncAddr(idx int) int64 { return p.funcs[idx].addr }
+
+// NumFuncs returns the number of functions in the program.
+func (p *Program) NumFuncs() int { return len(p.funcs) }
+
+func (p *Program) compileFunc(f *ir.Function, index int32) (cfunc, error) {
+	cf := cfunc{name: f.Name, index: index, addr: f.Addr, numRegs: f.NumRegs}
+	blockIdx := make(map[string]int32, len(f.Blocks))
+	for i, b := range f.Blocks {
+		blockIdx[b.Name] = int32(i)
+	}
+	lookup := func(name string) (int32, error) {
+		if i, ok := blockIdx[name]; ok {
+			return i, nil
+		}
+		return 0, fmt.Errorf("interp: %s: branch to unknown block %q", f.Name, name)
+	}
+	addr := f.Addr
+	cf.blocks = make([]cblock, len(f.Blocks))
+	lineSize := int64(64)
+	for bi, b := range f.Blocks {
+		cb := cblock{lineBase: addr &^ (lineSize - 1)}
+		var seg *cinstr
+		flushSeg := func() { seg = nil }
+		appendEvent := func(ci cinstr) {
+			cb.instrs = append(cb.instrs, ci)
+			flushSeg()
+		}
+		for ii := range b.Instrs {
+			in := &b.Instrs[ii]
+			iaddr := addr
+			addr += int64(in.ByteSize())
+			switch in.Op {
+			case ir.OpALU, ir.OpLoad, ir.OpStore:
+				if seg == nil {
+					cb.instrs = append(cb.instrs, cinstr{kind: cSeg})
+					seg = &cb.instrs[len(cb.instrs)-1]
+				}
+				seg.cost += int64(in.Latency())
+				seg.count++
+			case ir.OpResolve:
+				appendEvent(cinstr{kind: cResolve, addr: iaddr, site: in.Site, orig: in.Orig, reg: in.Reg, cost: int64(in.Latency())})
+			case ir.OpCmpFn:
+				tgt, ok := p.byName[in.Callee]
+				if !ok {
+					return cf, fmt.Errorf("interp: %s: cmpfn against unknown function %q", f.Name, in.Callee)
+				}
+				appendEvent(cinstr{kind: cCmpFn, addr: iaddr, reg: in.Reg, callee: tgt})
+			case ir.OpBr:
+				then, err := lookup(in.Then)
+				if err != nil {
+					return cf, err
+				}
+				els, err := lookup(in.Else)
+				if err != nil {
+					return cf, err
+				}
+				ci := cinstr{kind: cBr, addr: iaddr, then: then, els: els, prob: in.Prob, useFlag: in.UseFlag, trip: in.Trip}
+				if in.Trip > 0 {
+					ci.tripIdx = int32(cf.numTrips)
+					cf.numTrips++
+				}
+				appendEvent(ci)
+			case ir.OpJmp:
+				then, err := lookup(in.Then)
+				if err != nil {
+					return cf, err
+				}
+				appendEvent(cinstr{kind: cJmp, then: then})
+			case ir.OpSwitch:
+				ts := make([]int32, len(in.Targets))
+				for k, t := range in.Targets {
+					ti, err := lookup(t)
+					if err != nil {
+						return cf, err
+					}
+					ts[k] = ti
+				}
+				appendEvent(cinstr{kind: cSwitch, addr: iaddr, targets: ts, table: in.JumpTable, def: in.Defense})
+			case ir.OpCall:
+				tgt, ok := p.byName[in.Callee]
+				if !ok {
+					return cf, fmt.Errorf("interp: %s: call to unknown function %q", f.Name, in.Callee)
+				}
+				appendEvent(cinstr{kind: cCall, addr: iaddr, retAddr: addr, callee: tgt, site: in.Site, orig: in.Orig, args: in.Args})
+			case ir.OpICall:
+				appendEvent(cinstr{kind: cICall, addr: iaddr, retAddr: addr, site: in.Site, orig: in.Orig, reg: in.Reg, args: in.Args, def: in.Defense})
+			case ir.OpRet:
+				appendEvent(cinstr{kind: cRet, addr: iaddr, def: in.Defense})
+			case ir.OpIJump:
+				return cf, fmt.Errorf("interp: %s: raw ijump instructions are produced only by lowering and are dispatched via switch", f.Name)
+			default:
+				return cf, fmt.Errorf("interp: %s: unknown opcode %v", f.Name, in.Op)
+			}
+		}
+		end := addr - 1
+		cb.nLines = int(end/lineSize-cb.lineBase/lineSize) + 1
+		cf.blocks[bi] = cb
+	}
+	return cf, nil
+}
+
+// Dist is a weighted distribution over function indices, used to decide
+// which target an indirect call site resolves to on a given execution.
+type Dist struct {
+	targets []int32
+	cum     []uint64
+	total   uint64
+}
+
+// NewDist builds a distribution from (function index, weight) pairs.
+// Pairs with zero weight are dropped; at least one positive weight is
+// required.
+func NewDist(targets []int, weights []uint64) (*Dist, error) {
+	if len(targets) != len(weights) {
+		return nil, fmt.Errorf("interp: NewDist: %d targets vs %d weights", len(targets), len(weights))
+	}
+	d := &Dist{}
+	var cum uint64
+	for i, t := range targets {
+		if weights[i] == 0 {
+			continue
+		}
+		if t < 0 {
+			return nil, fmt.Errorf("interp: NewDist: invalid target index %d", t)
+		}
+		cum += weights[i]
+		d.targets = append(d.targets, int32(t))
+		d.cum = append(d.cum, cum)
+	}
+	if cum == 0 {
+		return nil, fmt.Errorf("interp: NewDist: no positive weights")
+	}
+	d.total = cum
+	return d, nil
+}
+
+// Pick samples a function index.
+func (d *Dist) Pick(rng *rand.Rand) int32 {
+	if len(d.targets) == 1 {
+		return d.targets[0]
+	}
+	x := rng.Uint64() % d.total
+	i := sort.Search(len(d.cum), func(i int) bool { return d.cum[i] > x })
+	return d.targets[i]
+}
+
+// NumTargets returns the number of distinct targets with positive weight.
+func (d *Dist) NumTargets() int { return len(d.targets) }
+
+// Resolver supplies the target distribution for each original indirect
+// call site. Sites absent from the map cannot be executed indirectly.
+type Resolver struct {
+	dists map[ir.SiteID]*Dist
+}
+
+// NewResolver returns an empty resolver.
+func NewResolver() *Resolver {
+	return &Resolver{dists: make(map[ir.SiteID]*Dist)}
+}
+
+// Set installs the distribution for an original site ID.
+func (r *Resolver) Set(orig ir.SiteID, d *Dist) { r.dists[orig] = d }
+
+// Get returns the distribution for an original site ID.
+func (r *Resolver) Get(orig ir.SiteID) *Dist { return r.dists[orig] }
+
+// Sites returns the site IDs with installed distributions, sorted.
+func (r *Resolver) Sites() []ir.SiteID {
+	out := make([]ir.SiteID, 0, len(r.dists))
+	for id := range r.dists {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ICallHook lets a runtime mechanism (the JumpSwitches baseline)
+// intercept indirect calls that carry no static defense. Handle returns
+// true if it charged the timing for the dispatch itself.
+type ICallHook interface {
+	Handle(m *cpu.Model, site ir.SiteID, siteAddr, targetAddr, retAddr int64, target int32) bool
+}
+
+// Machine executes a Program. CPU, Rec and Hook are all optional; a
+// Machine with none of them just validates control flow.
+type Machine struct {
+	Prog *Program
+	CPU  *cpu.Model
+	Rec  *Recorder
+	Res  *Resolver
+	Hook ICallHook
+	RNG  *rand.Rand
+
+	// MaxDepth bounds call nesting; MaxSteps bounds total executed
+	// blocks per Run, so broken control flow fails instead of hanging.
+	MaxDepth int
+	MaxSteps int64
+
+	// RefillRSB stuffs the return stack buffer with benign entries at
+	// every Run entry, modelling the kernel's RSB refilling on
+	// privilege transitions (§6.4 of the paper).
+	RefillRSB bool
+
+	steps  int64
+	frames [][]int32 // register files reused per depth
+	trips  [][]int32 // loop trip counters reused per depth
+}
+
+// NewMachine returns a Machine with sensible limits and a deterministic
+// RNG.
+func NewMachine(p *Program, seed int64) *Machine {
+	return &Machine{
+		Prog:     p,
+		RNG:      rand.New(rand.NewSource(seed)),
+		MaxDepth: 256,
+		MaxSteps: 32 << 20,
+	}
+}
+
+// Run executes the named function to completion.
+func (mc *Machine) Run(entry string) error {
+	idx := mc.Prog.FuncIndex(entry)
+	if idx < 0 {
+		return fmt.Errorf("interp: no function %q", entry)
+	}
+	mc.steps = 0
+	// The entry is "called" from a synthetic address so its final return
+	// has a matching RSB entry after warm-up.
+	const entryRetAddr = 0x7fff0000
+	if mc.CPU != nil {
+		if mc.RefillRSB {
+			mc.CPU.RefillRSB()
+		}
+		mc.CPU.DirectCall(entryRetAddr, 0)
+	}
+	return mc.call(int32(idx), 0, entryRetAddr)
+}
+
+func (mc *Machine) regs(depth, n int) []int32 {
+	for len(mc.frames) <= depth {
+		mc.frames = append(mc.frames, nil)
+	}
+	f := mc.frames[depth]
+	if cap(f) < n {
+		f = make([]int32, n)
+		mc.frames[depth] = f
+	}
+	f = f[:n]
+	for i := range f {
+		f[i] = -1
+	}
+	return f
+}
+
+func (mc *Machine) tripCounters(depth, n int) []int32 {
+	for len(mc.trips) <= depth {
+		mc.trips = append(mc.trips, nil)
+	}
+	f := mc.trips[depth]
+	if cap(f) < n {
+		f = make([]int32, n)
+		mc.trips[depth] = f
+	}
+	f = f[:n]
+	for i := range f {
+		f[i] = 0
+	}
+	return f
+}
+
+func (mc *Machine) call(fi int32, depth int, retAddr int64) error {
+	if depth >= mc.MaxDepth {
+		return fmt.Errorf("interp: call depth exceeds %d at %s", mc.MaxDepth, mc.Prog.funcs[fi].name)
+	}
+	f := &mc.Prog.funcs[fi]
+	if mc.Rec != nil {
+		mc.Rec.invoke(fi)
+	}
+	regs := mc.regs(depth, f.numRegs)
+	var trips []int32
+	if f.numTrips > 0 {
+		trips = mc.tripCounters(depth, f.numTrips)
+	}
+	bi := int32(0)
+	flag := false
+	for {
+		mc.steps++
+		if mc.steps > mc.MaxSteps {
+			return fmt.Errorf("interp: step budget exhausted in %s", f.name)
+		}
+		b := &f.blocks[bi]
+		if mc.CPU != nil {
+			mc.CPU.TouchLines(b.lineBase, b.nLines)
+		}
+		next := int32(-1)
+		for ii := range b.instrs {
+			ci := &b.instrs[ii]
+			switch ci.kind {
+			case cSeg:
+				if mc.CPU != nil {
+					mc.CPU.AddStraightline(ci.cost, ci.count)
+				}
+			case cResolve:
+				var d *Dist
+				if mc.Res != nil {
+					d = mc.Res.Get(ci.orig)
+				}
+				if d == nil {
+					return fmt.Errorf("interp: %s: no target distribution for site %d (orig %d)", f.name, ci.site, ci.orig)
+				}
+				regs[ci.reg] = d.Pick(mc.RNG)
+				if mc.CPU != nil {
+					mc.CPU.AddStraightline(ci.cost, 1)
+				}
+			case cCmpFn:
+				flag = regs[ci.reg] == ci.callee
+				if mc.CPU != nil {
+					// The compare fuses with its branch (macro-fusion);
+					// the branch event carries the cycle.
+					mc.CPU.AddStraightline(0, 1)
+				}
+			case cBr:
+				var taken bool
+				switch {
+				case ci.trip > 0:
+					cnt := trips[ci.tripIdx]
+					if cnt < ci.trip-1 {
+						trips[ci.tripIdx] = cnt + 1
+						taken = true
+					} else {
+						trips[ci.tripIdx] = 0
+						taken = false
+					}
+				case ci.useFlag:
+					taken = flag
+				default:
+					taken = mc.RNG.Float32() < ci.prob
+				}
+				if mc.CPU != nil {
+					mc.CPU.CondBranch(ci.addr, taken)
+				}
+				if taken {
+					next = ci.then
+				} else {
+					next = ci.els
+				}
+			case cJmp:
+				next = ci.then
+			case cSwitch:
+				k := mc.RNG.Intn(len(ci.targets))
+				if mc.CPU != nil {
+					if ci.table {
+						mc.CPU.IndirectJump(ci.addr, int64(k), ci.def)
+					} else {
+						// Compare chain: one predicted compare+branch
+						// per skipped case.
+						for j := 0; j <= k && j < len(ci.targets)-1; j++ {
+							mc.CPU.CondBranch(ci.addr+int64(j), j == k)
+						}
+					}
+				}
+				next = ci.targets[k]
+			case cCall:
+				if mc.Rec != nil {
+					mc.Rec.direct(ci.orig, ci.callee)
+				}
+				if mc.CPU != nil {
+					mc.CPU.DirectCall(ci.retAddr, ci.args)
+				}
+				if err := mc.call(ci.callee, depth+1, ci.retAddr); err != nil {
+					return err
+				}
+			case cICall:
+				tgt := regs[ci.reg]
+				if tgt < 0 {
+					return fmt.Errorf("interp: %s: icall through unresolved register r%d (site %d)", f.name, ci.reg, ci.site)
+				}
+				if mc.Rec != nil {
+					mc.Rec.indirect(ci.orig, tgt)
+				}
+				if mc.CPU != nil {
+					handled := false
+					if mc.Hook != nil && ci.def == ir.DefNone {
+						handled = mc.Hook.Handle(mc.CPU, ci.orig, ci.addr, mc.Prog.funcs[tgt].addr, ci.retAddr, tgt)
+					}
+					if !handled {
+						mc.CPU.IndirectCall(ci.addr, mc.Prog.funcs[tgt].addr, ci.retAddr, ci.args, ci.def)
+					} else {
+						// The hook charged dispatch; still push the
+						// return address for backward-edge fidelity.
+						mc.CPU.DirectCall(ci.retAddr, ci.args)
+					}
+				}
+				if err := mc.call(tgt, depth+1, ci.retAddr); err != nil {
+					return err
+				}
+			case cRet:
+				if mc.CPU != nil {
+					mc.CPU.Return(retAddr, ci.def)
+				}
+				return nil
+			}
+			if next >= 0 {
+				break
+			}
+		}
+		if next < 0 {
+			return fmt.Errorf("interp: %s: block %d fell through without terminator", f.name, bi)
+		}
+		bi = next
+	}
+}

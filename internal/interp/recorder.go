@@ -1,0 +1,97 @@
+package interp
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/prof"
+)
+
+// Recorder accumulates profiling counts during execution. It is the
+// in-process stand-in for PIBE's Last-Branch-Record-based kernel profiler:
+// counts are kept per original call site and lifted to a prof.Profile
+// keyed by the site identity the optimization run will see.
+type Recorder struct {
+	prog        *Program
+	direcCounts map[ir.SiteID]uint64
+	indirCounts map[ir.SiteID]map[int32]uint64
+	invocations []uint64
+	ops         uint64
+}
+
+// NewRecorder returns a Recorder for the given program.
+func NewRecorder(p *Program) *Recorder {
+	return &Recorder{
+		prog:        p,
+		direcCounts: make(map[ir.SiteID]uint64),
+		indirCounts: make(map[ir.SiteID]map[int32]uint64),
+		invocations: make([]uint64, p.NumFuncs()),
+	}
+}
+
+func (r *Recorder) invoke(fi int32) { r.invocations[fi]++ }
+
+func (r *Recorder) direct(orig ir.SiteID, callee int32) { r.direcCounts[orig]++ }
+
+func (r *Recorder) indirect(orig ir.SiteID, target int32) {
+	m := r.indirCounts[orig]
+	if m == nil {
+		m = make(map[int32]uint64)
+		r.indirCounts[orig] = m
+	}
+	m[target]++
+}
+
+// AddOps notes that n workload operations were executed while recording.
+func (r *Recorder) AddOps(n uint64) { r.ops += n }
+
+// Profile lifts the recorded counts into a prof.Profile. The module that
+// produced the recordings supplies each site's caller and static callee;
+// a recorded site that no longer exists in the module is an internal
+// inconsistency and returns an error.
+func (r *Recorder) Profile() (*prof.Profile, error) {
+	type siteInfo struct {
+		caller string
+		callee string // direct callee, "" for indirect
+	}
+	sites := make(map[ir.SiteID]siteInfo)
+	for _, f := range r.prog.mod.Funcs {
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				switch in.Op {
+				case ir.OpCall:
+					sites[in.Orig] = siteInfo{caller: f.Name, callee: in.Callee}
+				case ir.OpICall:
+					if _, seen := sites[in.Orig]; !seen {
+						sites[in.Orig] = siteInfo{caller: f.Name}
+					}
+				}
+			}
+		}
+	}
+	p := prof.New()
+	p.Ops = r.ops
+	for id, n := range r.direcCounts {
+		info, ok := sites[id]
+		if !ok {
+			return nil, fmt.Errorf("interp: recorded direct site %d not present in module", id)
+		}
+		p.AddDirect(id, info.caller, info.callee, n)
+	}
+	for id, targets := range r.indirCounts {
+		info, ok := sites[id]
+		if !ok {
+			return nil, fmt.Errorf("interp: recorded indirect site %d not present in module", id)
+		}
+		for tgt, n := range targets {
+			p.AddIndirect(id, info.caller, r.prog.FuncName(int(tgt)), n)
+		}
+	}
+	for fi, n := range r.invocations {
+		if n > 0 {
+			p.AddInvocation(r.prog.FuncName(fi), n)
+		}
+	}
+	return p, nil
+}

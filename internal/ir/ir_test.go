@@ -1,0 +1,298 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func buildSimpleModule(t *testing.T) *Module {
+	t.Helper()
+	m := NewModule()
+
+	callee := NewFunction(m, "callee", 1)
+	callee.ALU(3).Ret()
+
+	caller := NewFunction(m, "caller", 0)
+	caller.ALU(2)
+	caller.Call("callee", 1)
+	site, reg := caller.Resolve()
+	caller.ICall(site, reg, 2)
+	caller.Ret()
+
+	if err := Verify(m, VerifyOptions{}); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	return m
+}
+
+func TestBuilderProducesVerifiableModule(t *testing.T) {
+	m := buildSimpleModule(t)
+	if got := m.NumFuncs(); got != 2 {
+		t.Fatalf("NumFuncs = %d, want 2", got)
+	}
+	if m.Func("caller") == nil || m.Func("callee") == nil {
+		t.Fatal("functions not registered")
+	}
+	if m.Func("nope") != nil {
+		t.Fatal("lookup of unknown function succeeded")
+	}
+}
+
+func TestModuleStats(t *testing.T) {
+	m := buildSimpleModule(t)
+	s := CollectStats(m)
+	if s.Funcs != 2 {
+		t.Errorf("Funcs = %d, want 2", s.Funcs)
+	}
+	if s.DirectCalls != 1 {
+		t.Errorf("DirectCalls = %d, want 1", s.DirectCalls)
+	}
+	if s.IndirectCalls != 1 {
+		t.Errorf("IndirectCalls = %d, want 1", s.IndirectCalls)
+	}
+	if s.Returns != 2 {
+		t.Errorf("Returns = %d, want 2", s.Returns)
+	}
+	wantInstrs := int64(3 + 1 + 2 + 1 + 1 + 1 + 1) // callee: 3 alu + ret; caller: 2 alu + call + resolve + icall + ret
+	if s.Instrs != wantInstrs {
+		t.Errorf("Instrs = %d, want %d", s.Instrs, wantInstrs)
+	}
+	if s.Bytes != wantInstrs*DefaultInstrSize {
+		t.Errorf("Bytes = %d, want %d", s.Bytes, wantInstrs*DefaultInstrSize)
+	}
+}
+
+func TestLayoutAssignsMonotonicAlignedAddresses(t *testing.T) {
+	m := buildSimpleModule(t)
+	size := m.Layout(0x1000, 16)
+	if size <= 0 {
+		t.Fatalf("Layout size = %d, want > 0", size)
+	}
+	var prevEnd int64 = 0x1000
+	for _, f := range m.Funcs {
+		if f.Addr%16 != 0 {
+			t.Errorf("%s: address %#x not 16-aligned", f.Name, f.Addr)
+		}
+		if f.Addr < prevEnd {
+			t.Errorf("%s: address %#x overlaps previous end %#x", f.Name, f.Addr, prevEnd)
+		}
+		prevEnd = f.Addr + f.ByteSize()
+	}
+}
+
+func TestVerifyCatchesBranchToUnknownBlock(t *testing.T) {
+	m := NewModule()
+	b := NewFunction(m, "f", 0)
+	b.BrProb(0.5, "missing", "entry")
+	err := Verify(m, VerifyOptions{})
+	if err == nil || !strings.Contains(err.Error(), "unknown block") {
+		t.Fatalf("Verify = %v, want unknown-block error", err)
+	}
+}
+
+func TestVerifyCatchesMidBlockTerminator(t *testing.T) {
+	m := NewModule()
+	b := NewFunction(m, "f", 0)
+	b.Ret()
+	b.ALU(1) // after a terminator
+	err := Verify(m, VerifyOptions{})
+	if err == nil || !strings.Contains(err.Error(), "terminator") {
+		t.Fatalf("Verify = %v, want mid-block terminator error", err)
+	}
+}
+
+func TestVerifyCatchesMissingTerminator(t *testing.T) {
+	m := NewModule()
+	NewFunction(m, "f", 0).ALU(2)
+	err := Verify(m, VerifyOptions{})
+	if err == nil || !strings.Contains(err.Error(), "does not end in a terminator") {
+		t.Fatalf("Verify = %v, want missing-terminator error", err)
+	}
+}
+
+func TestVerifyCatchesUnknownCallee(t *testing.T) {
+	m := NewModule()
+	b := NewFunction(m, "f", 0)
+	b.Call("ghost", 0)
+	b.Ret()
+	err := Verify(m, VerifyOptions{})
+	if err == nil || !strings.Contains(err.Error(), "unknown function") {
+		t.Fatalf("Verify = %v, want unknown-function error", err)
+	}
+	if err := Verify(m, VerifyOptions{AllowUnknownCallees: true}); err != nil {
+		t.Fatalf("Verify with AllowUnknownCallees: %v", err)
+	}
+}
+
+func TestVerifyCatchesRegisterOutOfRange(t *testing.T) {
+	m := NewModule()
+	b := NewFunction(m, "f", 0)
+	site := m.NewSite()
+	b.ICall(site, 7, 0) // register 7 never allocated
+	b.Ret()
+	err := Verify(m, VerifyOptions{})
+	if err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("Verify = %v, want register-range error", err)
+	}
+}
+
+func TestVerifyCatchesDuplicateSiteIDs(t *testing.T) {
+	m := NewModule()
+	b := NewFunction(m, "g", 0)
+	b.Ret()
+	f := NewFunction(m, "f", 0)
+	site := f.Call("g", 0)
+	f.Func().Entry().Instrs = append(f.Func().Entry().Instrs,
+		Instr{Op: OpCall, Callee: "g", Site: site, Orig: site})
+	f.Ret()
+	err := Verify(m, VerifyOptions{})
+	if err == nil || !strings.Contains(err.Error(), "reused") {
+		t.Fatalf("Verify = %v, want site-reuse error", err)
+	}
+}
+
+func TestAddFuncPanicsOnDuplicate(t *testing.T) {
+	m := NewModule()
+	NewFunction(m, "f", 0).Ret()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddFunc with a duplicate name did not panic")
+		}
+	}()
+	NewFunction(m, "f", 0)
+}
+
+func TestCloneBlocksIntoRemapsEverything(t *testing.T) {
+	m := buildSimpleModule(t)
+	caller := m.Func("caller")
+	before := m.NextSiteID()
+	cloned := m.CloneBlocksInto(caller, "il0.", 10)
+	if len(cloned) != len(caller.Blocks) {
+		t.Fatalf("cloned %d blocks, want %d", len(cloned), len(caller.Blocks))
+	}
+	for _, b := range cloned {
+		if !strings.HasPrefix(b.Name, "il0.") {
+			t.Errorf("block %q missing prefix", b.Name)
+		}
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			switch in.Op {
+			case OpResolve, OpICall:
+				if in.Reg < 10 {
+					t.Errorf("register r%d not shifted", in.Reg)
+				}
+				if in.Site < before {
+					t.Errorf("site %d not refreshed (allocator was at %d)", in.Site, before)
+				}
+				if in.Orig >= before {
+					t.Errorf("orig %d should preserve the original site", in.Orig)
+				}
+			case OpCall:
+				if in.Site < before {
+					t.Errorf("call site %d not refreshed", in.Site)
+				}
+			}
+		}
+	}
+	// The original must be untouched.
+	if err := Verify(m, VerifyOptions{}); err != nil {
+		t.Fatalf("original module corrupted: %v", err)
+	}
+}
+
+func TestModuleCloneIsDeep(t *testing.T) {
+	m := buildSimpleModule(t)
+	c := m.Clone()
+	c.Func("caller").Entry().Instrs[0].Cycles = 99
+	if m.Func("caller").Entry().Instrs[0].Cycles == 99 {
+		t.Fatal("Clone shares instruction storage with the original")
+	}
+	if err := Verify(c, VerifyOptions{}); err != nil {
+		t.Fatalf("clone does not verify: %v", err)
+	}
+	if c.NextSiteID() != m.NextSiteID() {
+		t.Fatalf("clone allocator = %d, want %d", c.NextSiteID(), m.NextSiteID())
+	}
+}
+
+func TestPrintRoundsTripKeyFacts(t *testing.T) {
+	m := buildSimpleModule(t)
+	out := Print(m.Func("caller"))
+	for _, want := range []string{"func caller", "entry:", "call @callee args=1", "icall r0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Print output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestInstrDefaults(t *testing.T) {
+	in := Instr{Op: OpALU}
+	if in.ByteSize() != DefaultInstrSize {
+		t.Errorf("ByteSize = %d, want %d", in.ByteSize(), DefaultInstrSize)
+	}
+	if in.Latency() != 1 {
+		t.Errorf("Latency = %d, want 1", in.Latency())
+	}
+	in.Size, in.Cycles = 12, 4
+	if in.ByteSize() != 12 || in.Latency() != 4 {
+		t.Errorf("overrides not honored: size=%d cycles=%d", in.ByteSize(), in.Latency())
+	}
+}
+
+func TestOpcodeClassification(t *testing.T) {
+	terms := map[Opcode]bool{OpBr: true, OpJmp: true, OpSwitch: true, OpRet: true, OpIJump: true}
+	for op := OpALU; op <= OpIJump; op++ {
+		if got := op.IsTerminator(); got != terms[op] {
+			t.Errorf("%s.IsTerminator() = %v, want %v", op, got, terms[op])
+		}
+	}
+	if !OpCall.IsCall() || !OpICall.IsCall() || OpRet.IsCall() {
+		t.Error("IsCall classification wrong")
+	}
+}
+
+func TestSiteAllocatorNeverRepeats(t *testing.T) {
+	m := NewModule()
+	seen := make(map[SiteID]bool)
+	for i := 0; i < 1000; i++ {
+		s := m.NewSite()
+		if seen[s] {
+			t.Fatalf("site %d repeated", s)
+		}
+		seen[s] = true
+	}
+	m.ReserveSites(5000)
+	if s := m.NewSite(); s != 5001 {
+		t.Fatalf("after ReserveSites(5000), NewSite = %d, want 5001", s)
+	}
+}
+
+// Property: layout size equals the sum of function sizes plus alignment
+// padding, and is invariant under cloning.
+func TestLayoutSizePropertyQuick(t *testing.T) {
+	f := func(nf uint8, ni uint8) bool {
+		n := int(nf%7) + 1
+		m := NewModule()
+		for i := 0; i < n; i++ {
+			b := NewFunction(m, fnName(i), 0)
+			b.ALU(int(ni%29) + 1).Ret()
+		}
+		total := m.Layout(0, 16)
+		cloneTotal := m.Clone().Layout(0, 16)
+		if total != cloneTotal {
+			return false
+		}
+		var raw int64
+		for _, fn := range m.Funcs {
+			raw += fn.ByteSize()
+		}
+		// Padding is bounded by 16 bytes per function.
+		return total >= raw && total <= raw+int64(16*n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func fnName(i int) string { return "f" + string(rune('a'+i)) }

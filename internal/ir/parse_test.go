@@ -1,0 +1,165 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParsePrintRoundTrip(t *testing.T) {
+	m := NewModule()
+	h := NewFunction(m, "handler", 1)
+	h.SetAttrs(AttrInlineHint)
+	h.ALU(2).Ret()
+
+	f := NewFunction(m, "dispatch", 2)
+	f.SetAttrs(AttrEntry)
+	f.ALUCycles(3)
+	f.Load(4)
+	f.Store()
+	f.Call("handler", 2)
+	site, reg := f.Resolve()
+	f.CmpFn(reg, "handler")
+	f.BrFlag("direct", "indirect")
+	f.NewBlock("direct")
+	f.Call("handler", 1)
+	f.Jmp("join")
+	f.NewBlock("indirect")
+	f.ICall(site, reg, 1)
+	f.Jmp("join")
+	f.NewBlock("join")
+	f.Switch([]string{"a", "b"})
+	f.NewBlock("a")
+	f.BrProb(0.25, "a", "done")
+	f.NewBlock("b")
+	f.BrLoop(7, "b", "done")
+	f.NewBlock("done")
+	f.Ret()
+	if err := Verify(m, VerifyOptions{}); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+
+	text := PrintModule(m)
+	got, err := ParseString(text)
+	if err != nil {
+		t.Fatalf("Parse: %v\ninput:\n%s", err, text)
+	}
+	if err := Verify(got, VerifyOptions{}); err != nil {
+		t.Fatalf("parsed module does not verify: %v", err)
+	}
+	round := PrintModule(got)
+	if round != text {
+		t.Fatalf("round trip not identity:\n--- printed ---\n%s\n--- reparsed ---\n%s", text, round)
+	}
+	// The site allocator must be advanced past the parsed sites.
+	if got.NextSiteID() <= site {
+		t.Errorf("allocator at %d, want past %d", got.NextSiteID(), site)
+	}
+}
+
+func TestParseDefenseAnnotations(t *testing.T) {
+	m := NewModule()
+	f := NewFunction(m, "f", 0)
+	site, reg := f.Resolve()
+	f.ICall(site, reg, 0)
+	f.Func().Entry().Instrs[1].Defense = DefFencedRetpoline
+	f.Ret()
+	f.Func().Entry().Instrs[2].Defense = DefFencedRetRet
+
+	got, err := ParseString(PrintModule(m))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	ins := got.Func("f").Entry().Instrs
+	if ins[1].Defense != DefFencedRetpoline {
+		t.Errorf("icall defense = %v", ins[1].Defense)
+	}
+	if ins[2].Defense != DefFencedRetRet {
+		t.Errorf("ret defense = %v", ins[2].Defense)
+	}
+}
+
+func TestParseHandWrittenFixture(t *testing.T) {
+	src := `func leaf (params=0, regs=0) [noinline]
+entry:
+  alu
+  ret
+
+func main (params=0, regs=1) [entry]
+entry:
+  alu cycles=7
+  call @leaf args=2 site=5
+  resolve r0 site=9
+  icall r0 args=1 site=9
+  switch a, b [chain]
+a:
+  jmp done
+b:
+  br trip=3, b, done
+done:
+  ret
+`
+	m, err := ParseString(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if err := Verify(m, VerifyOptions{}); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	main := m.Func("main")
+	if !main.Attrs.Has(AttrEntry) {
+		t.Error("entry attr lost")
+	}
+	if !m.Func("leaf").Attrs.Has(AttrNoInline) {
+		t.Error("noinline attr lost")
+	}
+	ins := main.Entry().Instrs
+	if ins[0].Cycles != 7 {
+		t.Errorf("cycles = %d", ins[0].Cycles)
+	}
+	if ins[1].Site != 5 || ins[1].Args != 2 {
+		t.Errorf("call parsed wrong: %+v", ins[1])
+	}
+	if sw := ins[4]; sw.Op != OpSwitch || sw.JumpTable {
+		t.Errorf("switch parsed wrong: %+v", sw)
+	}
+	trip := main.Block("b").Instrs[0]
+	if trip.Trip != 3 {
+		t.Errorf("trip = %d, want 3", trip.Trip)
+	}
+	if m.NextSiteID() <= 9 {
+		t.Errorf("allocator not reserved past parsed sites")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"instr outside block": "  alu\n",
+		"block outside func":  "entry:\n",
+		"bad opcode":          "func f (params=0, regs=0)\nentry:\n  frobnicate\n",
+		"bad header":          "func f params=0\nentry:\n  ret\n",
+		"bad br":              "func f (params=0, regs=0)\nentry:\n  br maybe, a, b\n",
+		"bad attr":            "func f (params=0, regs=0) [sparkly]\nentry:\n  ret\n",
+		"switch no targets":   "func f (params=0, regs=0)\nentry:\n  switch [chain]\n",
+	}
+	for name, src := range cases {
+		if _, err := ParseString(src); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestParsePrintRoundTripOnGeneratedKernelFunction(t *testing.T) {
+	// Round-trip a function with every production the builder emits.
+	m := buildSimpleModule(t)
+	text := PrintModule(m)
+	got, err := ParseString(text)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if PrintModule(got) != text {
+		t.Fatal("round trip differs")
+	}
+	if !strings.Contains(text, "icall") {
+		t.Fatal("fixture lost its icall")
+	}
+}

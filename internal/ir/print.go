@@ -1,0 +1,106 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders a function in a stable textual form, used by golden tests
+// and debugging. The format is line-oriented:
+//
+//	func read (params=2, regs=1) [entry]
+//	entry:
+//	  alu
+//	  resolve r0 site=3
+//	  icall r0 args=2 site=3 [retpoline]
+//	  ret [ret-retpoline]
+func Print(f *Function) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s (params=%d, regs=%d)", f.Name, f.Params, f.NumRegs)
+	var attrs []string
+	if f.Attrs.Has(AttrNoInline) {
+		attrs = append(attrs, "noinline")
+	}
+	if f.Attrs.Has(AttrOptNone) {
+		attrs = append(attrs, "optnone")
+	}
+	if f.Attrs.Has(AttrInlineHint) {
+		attrs = append(attrs, "inlinehint")
+	}
+	if f.Attrs.Has(AttrEntry) {
+		attrs = append(attrs, "entry")
+	}
+	if f.Attrs.Has(AttrBoot) {
+		attrs = append(attrs, "boot")
+	}
+	if len(attrs) > 0 {
+		fmt.Fprintf(&sb, " [%s]", strings.Join(attrs, ","))
+	}
+	sb.WriteByte('\n')
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, "%s:\n", b.Name)
+		for i := range b.Instrs {
+			sb.WriteString("  ")
+			sb.WriteString(formatInstr(&b.Instrs[i]))
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+// PrintModule renders every function in module order.
+func PrintModule(m *Module) string {
+	var sb strings.Builder
+	for i, f := range m.Funcs {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		sb.WriteString(Print(f))
+	}
+	return sb.String()
+}
+
+func formatInstr(in *Instr) string {
+	var sb strings.Builder
+	sb.WriteString(in.Op.String())
+	switch in.Op {
+	case OpALU, OpLoad, OpStore:
+		if in.Cycles > 1 {
+			fmt.Fprintf(&sb, " cycles=%d", in.Cycles)
+		}
+	case OpResolve:
+		fmt.Fprintf(&sb, " r%d site=%d", in.Reg, in.Site)
+	case OpCmpFn:
+		fmt.Fprintf(&sb, " r%d, @%s", in.Reg, in.Callee)
+	case OpBr:
+		switch {
+		case in.Trip > 0:
+			fmt.Fprintf(&sb, " trip=%d, %s, %s", in.Trip, in.Then, in.Else)
+		case in.UseFlag:
+			fmt.Fprintf(&sb, " flag, %s, %s", in.Then, in.Else)
+		default:
+			fmt.Fprintf(&sb, " p=%.3f, %s, %s", in.Prob, in.Then, in.Else)
+		}
+	case OpJmp:
+		fmt.Fprintf(&sb, " %s", in.Then)
+	case OpSwitch:
+		kind := "chain"
+		if in.JumpTable {
+			kind = "table"
+		}
+		fmt.Fprintf(&sb, " %s [%s]", strings.Join(in.Targets, ", "), kind)
+	case OpCall:
+		fmt.Fprintf(&sb, " @%s args=%d site=%d", in.Callee, in.Args, in.Site)
+	case OpICall:
+		fmt.Fprintf(&sb, " r%d args=%d site=%d", in.Reg, in.Args, in.Site)
+	case OpIJump:
+		fmt.Fprintf(&sb, " r%d", in.Reg)
+	}
+	if in.Orig != 0 && in.Orig != in.Site {
+		fmt.Fprintf(&sb, " orig=%d", in.Orig)
+	}
+	if in.Defense != DefNone {
+		fmt.Fprintf(&sb, " [%s]", in.Defense)
+	}
+	return sb.String()
+}

@@ -1,0 +1,190 @@
+package kernel
+
+import (
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+func TestGenerateVerifiesAndIsDeterministic(t *testing.T) {
+	k1, err := Generate(Config{Seed: 1})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	k2, err := Generate(Config{Seed: 1})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if ir.PrintModule(k1.Mod) != ir.PrintModule(k2.Mod) {
+		t.Fatal("same seed produced different kernels")
+	}
+	k3, err := Generate(Config{Seed: 2})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if ir.PrintModule(k1.Mod) == ir.PrintModule(k3.Mod) {
+		t.Fatal("different seeds produced identical kernels")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	k, err := Generate(Config{Seed: 7})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if len(k.Entries) != len(LMBenchSpecs) {
+		t.Errorf("entries = %d, want %d", len(k.Entries), len(LMBenchSpecs))
+	}
+	s := ir.CollectStats(k.Mod)
+	t.Logf("funcs=%d instrs=%d bytes=%d dcalls=%d icalls=%d rets=%d switches=%d jts=%d hotSites=%d",
+		s.Funcs, s.Instrs, s.Bytes, s.DirectCalls, s.IndirectCalls, s.Returns,
+		s.Switches, s.JumpTables, len(k.Sites))
+	if s.IndirectCalls < 2000 {
+		t.Errorf("static indirect calls = %d, want a few thousand", s.IndirectCalls)
+	}
+	if s.DirectCalls < 4*s.IndirectCalls {
+		t.Errorf("direct/indirect ratio = %d/%d, want >= 4x", s.DirectCalls, s.IndirectCalls)
+	}
+	if len(k.Sites) < 200 {
+		t.Errorf("hot sites = %d, want >= 200", len(k.Sites))
+	}
+	// Asm census: the configured number of unrewriteable sites exist.
+	asmICalls, asmTables := 0, 0
+	for _, f := range k.Mod.Funcs {
+		f.ForEachInstr(func(b *ir.Block, i int, in *ir.Instr) {
+			if in.Asm && in.Op == ir.OpICall {
+				asmICalls++
+			}
+			if in.Asm && in.Op == ir.OpSwitch {
+				asmTables++
+			}
+		})
+	}
+	if asmICalls != 12 {
+		t.Errorf("asm icalls = %d, want 12", asmICalls)
+	}
+	if asmTables > 5 {
+		t.Errorf("asm jump tables = %d, want <= 5", asmTables)
+	}
+}
+
+// TestCalibration executes each syscall path and checks that the dynamic
+// return/icall counts and baseline cycles land near the spec that was
+// derived from the paper's Tables 2 and 5.
+func TestCalibration(t *testing.T) {
+	k, err := Generate(Config{Seed: 7})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	prog, err := interp.Compile(k.Mod)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	res := buildUniformResolver(t, k, prog)
+
+	for _, spec := range LMBenchSpecs {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			mc := interp.NewMachine(prog, 42)
+			mc.Res = res
+			mc.Rec = interp.NewRecorder(prog)
+			ops := 10
+			if spec.Cycles > 100_000 {
+				ops = 3
+			}
+			for i := 0; i < ops; i++ {
+				if err := mc.Run(k.Entries[spec.Name]); err != nil {
+					t.Fatalf("Run: %v", err)
+				}
+			}
+			p, err := mc.Rec.Profile()
+			if err != nil {
+				t.Fatalf("Profile: %v", err)
+			}
+			var returns, icalls float64
+			for fn, n := range p.Invocations {
+				_ = fn
+				returns += float64(n)
+			}
+			for _, s := range p.Sites {
+				if s.Indirect() {
+					icalls += float64(s.Count)
+				}
+			}
+			returns /= float64(ops)
+			icalls /= float64(ops)
+			checkWithin(t, "returns/op", returns, float64(spec.Returns), 0.35)
+			checkWithin(t, "icalls/op", icalls, float64(spec.ICalls), 0.35)
+		})
+	}
+}
+
+func buildUniformResolver(t *testing.T, k *Kernel, prog *interp.Program) *interp.Resolver {
+	t.Helper()
+	res := interp.NewResolver()
+	for _, site := range k.Sites {
+		idx := make([]int, len(site.Targets))
+		w := make([]uint64, len(site.Targets))
+		for i, tg := range site.Targets {
+			fi := prog.FuncIndex(tg)
+			if fi < 0 {
+				t.Fatalf("site %d target %q missing", site.ID, tg)
+			}
+			idx[i] = fi
+			w[i] = uint64(100 / (i + 1))
+		}
+		d, err := interp.NewDist(idx, w)
+		if err != nil {
+			t.Fatalf("NewDist: %v", err)
+		}
+		res.Set(site.ID, d)
+	}
+	return res
+}
+
+func checkWithin(t *testing.T, what string, got, want, tol float64) {
+	t.Helper()
+	if want == 0 {
+		return
+	}
+	// Tiny paths carry a fixed structural floor (syscall entry/exit
+	// trampolines), so allow a small absolute slack besides the
+	// relative tolerance.
+	if diff := got - want; diff > -6 && diff < 6 {
+		return
+	}
+	ratio := got / want
+	if ratio < 1-tol || ratio > 1+tol {
+		t.Errorf("%s = %.1f, want %.1f (±%.0f%%)", what, got, want, tol*100)
+	}
+}
+
+func TestKernelPrintParseRoundTrip(t *testing.T) {
+	// The whole generated kernel must survive a print/parse round trip:
+	// the strongest structural test of both the generator's output and
+	// the IR text format.
+	k, err := Generate(Config{Seed: 11, ColdFuncs: 120})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	text := ir.PrintModule(k.Mod)
+	got, err := ir.ParseString(text)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if round := ir.PrintModule(got); round != text {
+		t.Fatal("kernel print/parse round trip differs")
+	}
+	if err := ir.Verify(got, ir.VerifyOptions{}); err != nil {
+		t.Fatalf("parsed kernel does not verify: %v", err)
+	}
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(Config{Seed: int64(i) + 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package llvminline
+
+import (
+	"testing"
+
+	"repro/internal/inlinecost"
+	"repro/internal/ir"
+	"repro/internal/prof"
+)
+
+// buildModule: caller calls tiny (cost < cold threshold), midsize (cost
+// between cold and hot thresholds) and huge (cost > hot threshold).
+func buildModule(t *testing.T) (*ir.Module, *prof.Profile, map[string]ir.SiteID) {
+	t.Helper()
+	m := ir.NewModule()
+	tiny := ir.NewFunction(m, "tiny", 0)
+	tiny.ALU(10).Ret() // cost 55
+	mid := ir.NewFunction(m, "mid", 0)
+	mid.ALU(199).Ret() // cost 1000
+	huge := ir.NewFunction(m, "huge", 0)
+	huge.ALU(799).Ret() // cost 4000
+
+	caller := ir.NewFunction(m, "caller", 0)
+	sites := map[string]ir.SiteID{
+		"tiny": caller.Call("tiny", 0),
+		"mid":  caller.Call("mid", 0),
+		"huge": caller.Call("huge", 0),
+	}
+	caller.Ret()
+	if err := ir.Verify(m, ir.VerifyOptions{}); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if c := inlinecost.Function(m.Func("mid")); c != 1000 {
+		t.Fatalf("mid cost = %d", c)
+	}
+	p := prof.New()
+	p.AddDirect(sites["tiny"], "caller", "tiny", 10)
+	p.AddDirect(sites["mid"], "caller", "mid", 1000)
+	p.AddDirect(sites["huge"], "caller", "huge", 1000)
+	return m, p, sites
+}
+
+func TestThresholdsRespectHotness(t *testing.T) {
+	m, p, sites := buildModule(t)
+	// Budget 0.99 makes mid and huge hot (weight 1000 each of 2010);
+	// tiny (weight 10) stays cold but is below the cold threshold.
+	res, err := Run(m, p, Options{Budget: 0.99})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// tiny inlined (cold but small), mid inlined (hot, under 3000),
+	// huge not (over the hot threshold).
+	if res.Inlined != 2 {
+		t.Errorf("Inlined = %d, want 2", res.Inlined)
+	}
+	if _, _, ok := findSite(m.Func("caller"), sites["huge"]); !ok {
+		t.Error("huge was inlined despite exceeding the hot threshold")
+	}
+	if _, _, ok := findSite(m.Func("caller"), sites["mid"]); ok {
+		t.Error("hot mid-size callee was not inlined")
+	}
+	if err := ir.Verify(m, ir.VerifyOptions{}); err != nil {
+		t.Fatalf("post Verify: %v", err)
+	}
+}
+
+func TestColdSiteUsesColdThreshold(t *testing.T) {
+	m, p, sites := buildModule(t)
+	// Zero budget: nothing is hot; only tiny (cost 55 < 225) inlines.
+	res, err := Run(m, p, Options{Budget: 0})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Inlined != 1 {
+		t.Errorf("Inlined = %d, want 1 (tiny only)", res.Inlined)
+	}
+	if _, _, ok := findSite(m.Func("caller"), sites["mid"]); !ok {
+		t.Error("cold mid-size callee was inlined")
+	}
+}
+
+func TestInlineHintRaisesThreshold(t *testing.T) {
+	m, p, sites := buildModule(t)
+	m.Func("mid").Attrs |= ir.AttrInlineHint
+	res, err := Run(m, p, Options{Budget: 0})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// tiny + hinted mid.
+	if res.Inlined != 2 {
+		t.Errorf("Inlined = %d, want 2", res.Inlined)
+	}
+	if _, _, ok := findSite(m.Func("caller"), sites["mid"]); ok {
+		t.Error("hinted mid was not inlined")
+	}
+}
+
+func TestBottomUpOrderInlinesTransitively(t *testing.T) {
+	// c -> b -> a, all tiny: bottom-up visits a's callers first, so b
+	// absorbs a, then c absorbs the combined body.
+	m := ir.NewModule()
+	a := ir.NewFunction(m, "a", 0)
+	a.ALU(2).Ret()
+	b := ir.NewFunction(m, "b", 0)
+	sa := b.Call("a", 0)
+	b.Ret()
+	c := ir.NewFunction(m, "c", 0)
+	sb := c.Call("b", 0)
+	c.Ret()
+	p := prof.New()
+	p.AddDirect(sa, "b", "a", 5)
+	p.AddDirect(sb, "c", "b", 5)
+	res, err := Run(m, p, Options{Budget: 0})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Inlined < 2 {
+		t.Errorf("Inlined = %d, want >= 2", res.Inlined)
+	}
+	calls := 0
+	m.Func("c").ForEachInstr(func(blk *ir.Block, i int, in *ir.Instr) {
+		if in.Op == ir.OpCall {
+			calls++
+		}
+	})
+	if calls != 0 {
+		t.Errorf("c still contains %d calls", calls)
+	}
+}
+
+func TestNoInlineRespected(t *testing.T) {
+	m, p, sites := buildModule(t)
+	m.Func("tiny").Attrs |= ir.AttrNoInline
+	res, err := Run(m, p, Options{Budget: 0})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Inlined != 0 {
+		t.Errorf("Inlined = %d, want 0", res.Inlined)
+	}
+	if _, _, ok := findSite(m.Func("caller"), sites["tiny"]); !ok {
+		t.Error("noinline tiny was inlined")
+	}
+}
+
+func findSite(f *ir.Function, site ir.SiteID) (int, int, bool) {
+	for bi, b := range f.Blocks {
+		for ii := range b.Instrs {
+			if b.Instrs[ii].Op == ir.OpCall && b.Instrs[ii].Site == site {
+				return bi, ii, true
+			}
+		}
+	}
+	return 0, 0, false
+}

@@ -1,0 +1,226 @@
+// Package prof holds execution profiles: per-call-site execution counts
+// and, for indirect call sites, value profiles (target histograms).
+//
+// This is the moral equivalent of PIBE's profiling pass output: the paper
+// instruments every function entry point and call site, maintains a
+// counter per dynamic call-graph edge, and lifts the binary-level counts
+// back to an LLVM-IR-friendly representation keyed by call site, with
+// value-profile metadata of (target name, execution count) tuples for
+// indirect sites. Here the interpreter records the same information
+// directly against IR site IDs.
+package prof
+
+import (
+	"sort"
+
+	"repro/internal/ir"
+)
+
+// Site is the profile record for one call site, identified by the site ID
+// it had in the profiling build (transforms preserve that identity through
+// Instr.Orig).
+type Site struct {
+	ID     ir.SiteID
+	Caller string
+	// Callee is the target of a direct site; empty for indirect sites.
+	Callee string
+	// Count is the site's total execution count.
+	Count uint64
+	// Targets is the value profile of an indirect site: executions per
+	// observed callee. Nil for direct sites.
+	Targets map[string]uint64
+}
+
+// Indirect reports whether the site is an indirect call site.
+func (s *Site) Indirect() bool { return s.Targets != nil }
+
+// SortedTargets returns the value profile as (name, count) pairs sorted by
+// count descending, ties broken by name for determinism.
+func (s *Site) SortedTargets() []Target {
+	ts := make([]Target, 0, len(s.Targets))
+	for name, n := range s.Targets {
+		ts = append(ts, Target{Name: name, Count: n})
+	}
+	sort.Slice(ts, func(i, j int) bool {
+		if ts[i].Count != ts[j].Count {
+			return ts[i].Count > ts[j].Count
+		}
+		return ts[i].Name < ts[j].Name
+	})
+	return ts
+}
+
+// Target is one entry of an indirect site's value profile.
+type Target struct {
+	Name  string
+	Count uint64
+}
+
+// Profile aggregates the statistics of one or more profiling runs.
+type Profile struct {
+	// Sites maps original site ID to its record.
+	Sites map[ir.SiteID]*Site
+	// Invocations counts how many times each function was entered.
+	Invocations map[string]uint64
+	// Ops counts the workload operations that produced the profile.
+	Ops uint64
+}
+
+// New returns an empty profile.
+func New() *Profile {
+	return &Profile{
+		Sites:       make(map[ir.SiteID]*Site),
+		Invocations: make(map[string]uint64),
+	}
+}
+
+// AddDirect records n executions of a direct call site.
+func (p *Profile) AddDirect(id ir.SiteID, caller, callee string, n uint64) {
+	s := p.Sites[id]
+	if s == nil {
+		s = &Site{ID: id, Caller: caller, Callee: callee}
+		p.Sites[id] = s
+	}
+	s.Count += n
+}
+
+// AddIndirect records n executions of an indirect call site landing on
+// target.
+func (p *Profile) AddIndirect(id ir.SiteID, caller, target string, n uint64) {
+	s := p.Sites[id]
+	if s == nil {
+		s = &Site{ID: id, Caller: caller, Targets: make(map[string]uint64)}
+		p.Sites[id] = s
+	}
+	if s.Targets == nil {
+		s.Targets = make(map[string]uint64)
+	}
+	s.Count += n
+	s.Targets[target] += n
+}
+
+// AddInvocation records n entries into fn.
+func (p *Profile) AddInvocation(fn string, n uint64) {
+	p.Invocations[fn] += n
+}
+
+// Merge folds other into p. Profiles from repeated runs of the same
+// workload are merged this way (the paper aggregates 11 LMBench
+// iterations into one profile).
+func (p *Profile) Merge(other *Profile) {
+	for id, s := range other.Sites {
+		if s.Indirect() {
+			for t, n := range s.Targets {
+				p.AddIndirect(id, s.Caller, t, n)
+			}
+		} else {
+			p.AddDirect(id, s.Caller, s.Callee, s.Count)
+		}
+	}
+	for fn, n := range other.Invocations {
+		p.AddInvocation(fn, n)
+	}
+	p.Ops += other.Ops
+}
+
+// DirectWeight returns the cumulative execution count over direct sites.
+func (p *Profile) DirectWeight() uint64 {
+	var w uint64
+	for _, s := range p.Sites {
+		if !s.Indirect() {
+			w += s.Count
+		}
+	}
+	return w
+}
+
+// IndirectWeight returns the cumulative execution count over indirect
+// sites.
+func (p *Profile) IndirectWeight() uint64 {
+	var w uint64
+	for _, s := range p.Sites {
+		if s.Indirect() {
+			w += s.Count
+		}
+	}
+	return w
+}
+
+// SitesSorted returns all site records matching the filter, hottest first
+// (ties broken by site ID for determinism). A nil filter selects all.
+func (p *Profile) SitesSorted(filter func(*Site) bool) []*Site {
+	out := make([]*Site, 0, len(p.Sites))
+	for _, s := range p.Sites {
+		if filter == nil || filter(s) {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// TargetDistribution tallies, per indirect site, the number of distinct
+// targets observed — the statistic behind Table 4 of the paper.
+// The returned map is keyed by target count; key 7 aggregates ">6".
+func (p *Profile) TargetDistribution() map[int]int {
+	dist := make(map[int]int)
+	for _, s := range p.Sites {
+		if !s.Indirect() {
+			continue
+		}
+		n := len(s.Targets)
+		if n > 6 {
+			n = 7
+		}
+		dist[n]++
+	}
+	return dist
+}
+
+// WeightedItem pairs an arbitrary index with a profile weight, for budget
+// selection.
+type WeightedItem struct {
+	Index  int
+	Weight uint64
+}
+
+// CumulativeBudget returns how many of the items, pre-sorted hottest
+// first, fit within a budget expressed as a fraction of the total weight.
+// A budget of 0.99 selects the hottest items that together make up 99% of
+// the cumulative execution count, mirroring the paper's optimization
+// budgets. The boundary item that crosses the budget line is included,
+// since the paper "greedily select[s] all targets that fit in this
+// budget" and then keeps attempting the hottest remaining sites; callers
+// that want strict exclusion can pass strict=true.
+func CumulativeBudget(items []WeightedItem, budget float64, strict bool) int {
+	if budget <= 0 || len(items) == 0 {
+		return 0
+	}
+	var total uint64
+	for _, it := range items {
+		total += it.Weight
+	}
+	if total == 0 {
+		return 0
+	}
+	if budget >= 1 {
+		return len(items)
+	}
+	limit := budget * float64(total)
+	var cum float64
+	for i, it := range items {
+		cum += float64(it.Weight)
+		if cum >= limit {
+			if strict && cum > limit {
+				return i
+			}
+			return i + 1
+		}
+	}
+	return len(items)
+}

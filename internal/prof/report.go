@@ -1,0 +1,64 @@
+package prof
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TopReport formats the n hottest call sites with cumulative weight
+// coverage — the view used to choose optimization budgets: the row where
+// the cumulative column crosses 99% is where a 99% budget stops.
+func (p *Profile) TopReport(n int) string {
+	sites := p.SitesSorted(nil)
+	if n > len(sites) {
+		n = len(sites)
+	}
+	var total uint64
+	for _, s := range sites {
+		total += s.Count
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-6s %-6s %-28s %-28s %12s %8s\n",
+		"site", "kind", "caller", "callee/top-target", "count", "cum%")
+	var cum uint64
+	for _, s := range sites[:n] {
+		cum += s.Count
+		kind, target := "direct", s.Callee
+		if s.Indirect() {
+			kind = "icall"
+			ts := s.SortedTargets()
+			target = fmt.Sprintf("%s (+%d more)", ts[0].Name, len(ts)-1)
+		}
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(cum) / float64(total)
+		}
+		fmt.Fprintf(&sb, "%-6d %-6s %-28s %-28s %12d %7.2f%%\n",
+			s.ID, kind, trunc(s.Caller, 28), trunc(target, 28), s.Count, pct)
+	}
+	fmt.Fprintf(&sb, "total sites: %d, total weight: %d, ops: %d\n", len(sites), total, p.Ops)
+	return sb.String()
+}
+
+func trunc(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+// CoverageCurve returns, for each requested budget fraction, how many of
+// the hottest sites are needed to cover it — the statistic behind the
+// paper's candidate counts in Tables 8 and 10.
+func (p *Profile) CoverageCurve(budgets []float64, indirect bool) []int {
+	sites := p.SitesSorted(func(s *Site) bool { return s.Indirect() == indirect })
+	items := make([]WeightedItem, len(sites))
+	for i, s := range sites {
+		items[i] = WeightedItem{Index: i, Weight: s.Count}
+	}
+	out := make([]int, len(budgets))
+	for i, b := range budgets {
+		out[i] = CumulativeBudget(items, b, false)
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+package prof
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTopReport(t *testing.T) {
+	p := sample()
+	out := p.TopReport(10)
+	for _, want := range []string{"vfs_read", "ext4_read", "cum%", "total sites: 2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("TopReport missing %q:\n%s", want, out)
+		}
+	}
+	// The hottest row comes first and the indirect site names its top
+	// target plus the count of others.
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[1], "1000") {
+		t.Errorf("first data row is not the hottest:\n%s", out)
+	}
+	if !strings.Contains(out, "(+2 more)") {
+		t.Errorf("indirect target summary missing:\n%s", out)
+	}
+}
+
+func TestTopReportTruncation(t *testing.T) {
+	p := New()
+	long := strings.Repeat("x", 60)
+	p.AddDirect(1, long, long, 5)
+	out := p.TopReport(1)
+	if strings.Contains(out, long) {
+		t.Error("long names not truncated")
+	}
+	if !strings.Contains(out, "…") {
+		t.Error("truncation marker missing")
+	}
+}
+
+func TestCoverageCurve(t *testing.T) {
+	p := New()
+	p.AddDirect(1, "a", "x", 900)
+	p.AddDirect(2, "b", "y", 90)
+	p.AddDirect(3, "c", "z", 10)
+	got := p.CoverageCurve([]float64{0.5, 0.9, 0.999, 1.0}, false)
+	want := []int{1, 1, 3, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("curve[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	// Indirect curve over a direct-only profile is empty.
+	if got := p.CoverageCurve([]float64{0.9}, true); got[0] != 0 {
+		t.Errorf("indirect curve = %v, want [0]", got)
+	}
+}

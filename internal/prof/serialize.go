@@ -1,0 +1,174 @@
+package prof
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// The on-disk profile format is line-oriented and human-readable, in the
+// spirit of the paper's "LLVM-IR friendly format" that maps counts back to
+// IR call sites:
+//
+//	pibe-profile v1
+//	ops 220000
+//	fn vfs_read 181000
+//	site 17 ksys_read direct vfs_read 181000
+//	site 23 vfs_read indirect 180000 ext4_read:160000 pipe_read:20000
+//
+// Lines are written in deterministic order so profiles diff cleanly.
+
+const magic = "pibe-profile v1"
+
+// WriteTo serializes the profile.
+func (p *Profile) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	write := func(format string, args ...any) error {
+		k, err := fmt.Fprintf(bw, format, args...)
+		n += int64(k)
+		return err
+	}
+	if err := write("%s\n", magic); err != nil {
+		return n, err
+	}
+	if err := write("ops %d\n", p.Ops); err != nil {
+		return n, err
+	}
+	fns := make([]string, 0, len(p.Invocations))
+	for fn := range p.Invocations {
+		fns = append(fns, fn)
+	}
+	sort.Strings(fns)
+	for _, fn := range fns {
+		if err := write("fn %s %d\n", fn, p.Invocations[fn]); err != nil {
+			return n, err
+		}
+	}
+	ids := make([]ir.SiteID, 0, len(p.Sites))
+	for id := range p.Sites {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		s := p.Sites[id]
+		if s.Indirect() {
+			var sb strings.Builder
+			for _, t := range s.SortedTargets() {
+				fmt.Fprintf(&sb, " %s:%d", t.Name, t.Count)
+			}
+			if err := write("site %d %s indirect %d%s\n", s.ID, s.Caller, s.Count, sb.String()); err != nil {
+				return n, err
+			}
+		} else {
+			if err := write("site %d %s direct %s %d\n", s.ID, s.Caller, s.Callee, s.Count); err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, bw.Flush()
+}
+
+// Read parses a profile serialized by WriteTo.
+func Read(r io.Reader) (*Profile, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("prof: empty input")
+	}
+	if got := sc.Text(); got != magic {
+		return nil, fmt.Errorf("prof: bad magic %q", got)
+	}
+	p := New()
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "ops":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("prof: line %d: malformed ops", line)
+			}
+			n, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("prof: line %d: %v", line, err)
+			}
+			p.Ops = n
+		case "fn":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("prof: line %d: malformed fn", line)
+			}
+			n, err := strconv.ParseUint(fields[2], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("prof: line %d: %v", line, err)
+			}
+			p.Invocations[fields[1]] = n
+		case "site":
+			if err := parseSite(p, fields, line); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("prof: line %d: unknown record %q", line, fields[0])
+		}
+	}
+	return p, sc.Err()
+}
+
+func parseSite(p *Profile, fields []string, line int) error {
+	if len(fields) < 4 {
+		return fmt.Errorf("prof: line %d: malformed site", line)
+	}
+	id64, err := strconv.ParseInt(fields[1], 10, 32)
+	if err != nil {
+		return fmt.Errorf("prof: line %d: %v", line, err)
+	}
+	id := ir.SiteID(id64)
+	caller := fields[2]
+	switch fields[3] {
+	case "direct":
+		if len(fields) != 6 {
+			return fmt.Errorf("prof: line %d: malformed direct site", line)
+		}
+		n, err := strconv.ParseUint(fields[5], 10, 64)
+		if err != nil {
+			return fmt.Errorf("prof: line %d: %v", line, err)
+		}
+		p.AddDirect(id, caller, fields[4], n)
+	case "indirect":
+		if len(fields) < 5 {
+			return fmt.Errorf("prof: line %d: malformed indirect site", line)
+		}
+		total, err := strconv.ParseUint(fields[4], 10, 64)
+		if err != nil {
+			return fmt.Errorf("prof: line %d: %v", line, err)
+		}
+		var sum uint64
+		for _, tok := range fields[5:] {
+			name, cnt, ok := strings.Cut(tok, ":")
+			if !ok {
+				return fmt.Errorf("prof: line %d: malformed target %q", line, tok)
+			}
+			n, err := strconv.ParseUint(cnt, 10, 64)
+			if err != nil {
+				return fmt.Errorf("prof: line %d: %v", line, err)
+			}
+			p.AddIndirect(id, caller, name, n)
+			sum += n
+		}
+		if sum != total {
+			return fmt.Errorf("prof: line %d: site %d target counts sum to %d, header says %d", line, id, sum, total)
+		}
+	default:
+		return fmt.Errorf("prof: line %d: unknown site kind %q", line, fields[3])
+	}
+	return nil
+}

@@ -1,0 +1,193 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/kernel"
+)
+
+func setup(t *testing.T) (*kernel.Kernel, *interp.Program) {
+	t.Helper()
+	k, err := kernel.Generate(kernel.Config{Seed: 3, ColdFuncs: 200})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	prog, err := interp.Compile(k.Mod)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return k, prog
+}
+
+func TestBuildResolverCoversAllSites(t *testing.T) {
+	k, prog := setup(t)
+	res, err := BuildResolver(k, prog, LMBench)
+	if err != nil {
+		t.Fatalf("BuildResolver: %v", err)
+	}
+	if got := len(res.Sites()); got != len(k.Sites) {
+		t.Errorf("resolver covers %d sites, want %d", got, len(k.Sites))
+	}
+}
+
+func TestTargetWeightsFlavorRotation(t *testing.T) {
+	site := kernel.Site{ID: 42, Targets: []string{"a", "b", "c"}}
+	lm := TargetWeights(site, LMBench)
+	ap := TargetWeights(site, Apache)
+	if len(lm) != 3 || len(ap) != 3 {
+		t.Fatal("weight vectors wrong length")
+	}
+	// LMBench ranks in natural order: first target hottest.
+	if !(lm[0] > lm[1] && lm[1] > lm[2]) {
+		t.Errorf("LMBench weights not Zipf-ordered: %v", lm)
+	}
+	// Single-target sites are identical across flavors.
+	single := kernel.Site{ID: 43, Targets: []string{"a"}}
+	if TargetWeights(single, LMBench)[0] != TargetWeights(single, Apache)[0] {
+		t.Error("single-target site weight differs across flavors")
+	}
+}
+
+func TestMixes(t *testing.T) {
+	lm := Mix(LMBench)
+	if len(lm) != len(kernel.LMBenchSpecs) {
+		t.Errorf("LMBench mix has %d entries, want %d", len(lm), len(kernel.LMBenchSpecs))
+	}
+	ap := Mix(Apache)
+	if _, hasFork := ap["fork_exit"]; hasFork {
+		t.Error("Apache mix must not fork (event-driven server)")
+	}
+	if ap["read"] == 0 || ap["tcp"] == 0 {
+		t.Error("Apache mix must read and use tcp")
+	}
+	for _, f := range []Flavor{Nginx, Apache, DBench} {
+		if len(Request(f)) == 0 {
+			t.Errorf("%v has no request script", f)
+		}
+		us := UserShare(f)
+		if us <= 0 || us >= 1 {
+			t.Errorf("%v UserShare = %v, want in (0,1)", f, us)
+		}
+	}
+	if Request(LMBench) != nil {
+		t.Error("LMBench is not an application workload")
+	}
+}
+
+func TestMeasureDeterministic(t *testing.T) {
+	k, prog := setup(t)
+	run := func() float64 {
+		r, err := NewRunner(k, prog, LMBench, 9)
+		if err != nil {
+			t.Fatalf("NewRunner: %v", err)
+		}
+		m, err := r.Measure("read")
+		if err != nil {
+			t.Fatalf("Measure: %v", err)
+		}
+		return m.Cycles
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed, different medians: %v vs %v", a, b)
+	}
+}
+
+func TestMeasureUnknownBenchmark(t *testing.T) {
+	k, prog := setup(t)
+	r, err := NewRunner(k, prog, LMBench, 9)
+	if err != nil {
+		t.Fatalf("NewRunner: %v", err)
+	}
+	if _, err := r.Measure("bogus"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestProfileEqualTimeWeighting(t *testing.T) {
+	k, prog := setup(t)
+	r, err := NewRunner(k, prog, LMBench, 9)
+	if err != nil {
+		t.Fatalf("NewRunner: %v", err)
+	}
+	p, err := r.Profile(2)
+	if err != nil {
+		t.Fatalf("Profile: %v", err)
+	}
+	// Cheap syscalls must be entered far more often than forks
+	// (equal-time weighting), but forks must still appear.
+	if p.Invocations["sys_null"] < 50*p.Invocations["sys_fork_shell"] {
+		t.Errorf("null=%d fork_shell=%d: equal-time weighting missing",
+			p.Invocations["sys_null"], p.Invocations["sys_fork_shell"])
+	}
+	if p.Invocations["sys_fork_shell"] == 0 {
+		t.Error("fork_shell never profiled")
+	}
+	if p.Ops == 0 {
+		t.Error("Ops not recorded")
+	}
+}
+
+func TestApacheProfileIsCountBased(t *testing.T) {
+	k, prog := setup(t)
+	r, err := NewRunner(k, prog, Apache, 9)
+	if err != nil {
+		t.Fatalf("NewRunner: %v", err)
+	}
+	p, err := r.Profile(2)
+	if err != nil {
+		t.Fatalf("Profile: %v", err)
+	}
+	if p.Invocations["sys_fork_exit"] != 0 {
+		t.Error("Apache profile exercised fork")
+	}
+	if p.Invocations["sys_read"] == 0 {
+		t.Error("Apache profile has no reads")
+	}
+}
+
+func TestMeasureRequest(t *testing.T) {
+	k, prog := setup(t)
+	r, err := NewRunner(k, prog, Nginx, 9)
+	if err != nil {
+		t.Fatalf("NewRunner: %v", err)
+	}
+	cycles, err := r.MeasureRequest(3)
+	if err != nil {
+		t.Fatalf("MeasureRequest: %v", err)
+	}
+	if cycles <= 0 {
+		t.Fatalf("request cycles = %v", cycles)
+	}
+	lmr, err := NewRunner(k, prog, LMBench, 9)
+	if err != nil {
+		t.Fatalf("NewRunner: %v", err)
+	}
+	if _, err := lmr.MeasureRequest(3); err == nil {
+		t.Fatal("LMBench request measurement should fail")
+	}
+}
+
+func TestMedianAndGeomean(t *testing.T) {
+	if m := median([]float64{5, 1, 3}); m != 3 {
+		t.Errorf("median odd = %v, want 3", m)
+	}
+	if m := median([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Errorf("median even = %v, want 2.5", m)
+	}
+	if m := median(nil); m != 0 {
+		t.Errorf("median empty = %v, want 0", m)
+	}
+	g := Geomean([]float64{0.10, 0.10})
+	if g < 0.0999 || g > 0.1001 {
+		t.Errorf("Geomean uniform = %v, want 0.10", g)
+	}
+	if Geomean(nil) != 0 {
+		t.Error("Geomean empty != 0")
+	}
+	// Speedups and slowdowns combine multiplicatively.
+	g = Geomean([]float64{0.21, -0.10})
+	if g < 0.043 || g > 0.045 {
+		t.Errorf("Geomean mixed = %v, want ≈0.0440", g)
+	}
+}

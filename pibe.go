@@ -1,0 +1,406 @@
+// Package pibe is a reproduction, in pure Go, of "PIBE: Practical Kernel
+// Control-Flow Hardening with Profile-Guided Indirect Branch Elimination"
+// (Duta, Giuffrida, Bos, van der Kouwe — ASPLOS 2021).
+//
+// PIBE makes comprehensive transient control-flow defenses (retpolines,
+// return retpolines, LVI-CFI) affordable by first *eliminating* the
+// hottest indirect branches — indirect calls via profile-guided indirect
+// call promotion, returns via a security-tailored greedy inliner — and
+// only then hardening whatever indirect branches remain.
+//
+// The original system is an LLVM pass pipeline applied to Linux; this
+// package reproduces it against a synthetic kernel and a
+// microarchitectural timing simulator (see DESIGN.md for the substitution
+// map). The pipeline is:
+//
+//	sys, _ := pibe.NewSyntheticKernel(pibe.KernelConfig{Seed: 1})
+//	profile, _ := sys.Profile(pibe.LMBench, 10)     // profiling binary run
+//	img, _ := sys.Build(pibe.BuildConfig{           // production binary
+//	    Profile:  profile,
+//	    Optimize: pibe.OptimizeConfig{ICPBudget: 0.99999, InlineBudget: 0.999},
+//	    Defenses: pibe.AllDefenses,
+//	})
+//	lat, _ := img.MeasureLMBench(pibe.LMBench)
+package pibe
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/attack"
+	"repro/internal/cpu"
+	"repro/internal/harden"
+	"repro/internal/icp"
+	"repro/internal/inline"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/jumpswitch"
+	"repro/internal/kernel"
+	"repro/internal/llvminline"
+	"repro/internal/prof"
+	"repro/internal/workload"
+)
+
+// Workload selects which workload drives profiling or measurement.
+type Workload = workload.Flavor
+
+// The available workloads.
+const (
+	LMBench = workload.LMBench
+	Apache  = workload.Apache
+	Nginx   = workload.Nginx
+	DBench  = workload.DBench
+)
+
+// Defenses selects the transient mitigations to enforce.
+type Defenses struct {
+	// Retpolines defends indirect calls against Spectre V2.
+	Retpolines bool
+	// RetRetpolines defends returns against Ret2spec / RSB poisoning.
+	RetRetpolines bool
+	// LVICFI defends indirect branch target loads against LVI.
+	LVICFI bool
+	// LLVMCFI, StackProtector and SafeStack are the cheap non-transient
+	// defenses of Table 1, included for completeness.
+	LLVMCFI        bool
+	StackProtector bool
+	SafeStack      bool
+	// RSBRefill stuffs the RSB on every syscall entry instead of
+	// hardening returns — the ad-hoc mitigation §6.4 argues return
+	// retpolines should replace.
+	RSBRefill bool
+}
+
+// AllDefenses enables the comprehensive configuration of Table 5.
+var AllDefenses = Defenses{Retpolines: true, RetRetpolines: true, LVICFI: true}
+
+func (d Defenses) String() string { return d.config().String() }
+
+func (d Defenses) config() harden.Config {
+	return harden.Config{
+		Retpolines: d.Retpolines, RetRetpolines: d.RetRetpolines, LVICFI: d.LVICFI,
+		LLVMCFI: d.LLVMCFI, StackProtector: d.StackProtector, SafeStack: d.SafeStack,
+		RSBRefill: d.RSBRefill,
+	}
+}
+
+// KernelConfig parameterizes the synthetic kernel (see internal/kernel).
+type KernelConfig struct {
+	// Seed makes generation deterministic; equal seeds yield identical
+	// kernels.
+	Seed int64
+	// ColdFuncs scales the never-executed driver corpus; zero means the
+	// default (2200).
+	ColdFuncs int
+}
+
+// OptimizeConfig selects PIBE's profile-guided transformations.
+// The zero value applies none (the paper's "no optimization" columns).
+type OptimizeConfig struct {
+	// ICPBudget is the indirect-call-promotion budget as a fraction of
+	// cumulative indirect-branch weight (0.99 for "99%"); zero disables
+	// promotion.
+	ICPBudget float64
+	// InlineBudget is the inlining budget over cumulative direct-call
+	// weight; zero disables inlining.
+	InlineBudget float64
+	// LaxBudget disables the size heuristics (Rules 2 and 3) for sites
+	// within this budget — the paper's "lax heuristics" configuration.
+	LaxBudget float64
+	// MaxICPTargets caps promoted targets per site (0 = unbounded,
+	// PIBE's default; set to 1 or 2 for the classic-ICP ablation).
+	MaxICPTargets int
+	// UseLLVMInliner replaces PIBE's greedy hottest-first inliner with
+	// the LLVM-default bottom-up baseline of §8.4.
+	UseLLVMInliner bool
+	// DisableRule2 / DisableRule3 turn off the respective size
+	// heuristics entirely (ablations).
+	DisableRule2 bool
+	DisableRule3 bool
+	// DisableInheritance turns off the constant-ratio heuristic for
+	// inherited call sites (ablation D5).
+	DisableInheritance bool
+}
+
+func (o OptimizeConfig) any() bool { return o.ICPBudget > 0 || o.InlineBudget > 0 }
+
+// Profile wraps a collected execution profile.
+type Profile struct {
+	p *prof.Profile
+}
+
+// WriteTo serializes the profile in the text format of internal/prof.
+func (p *Profile) WriteTo(w io.Writer) (int64, error) { return p.p.WriteTo(w) }
+
+// ReadProfile parses a profile serialized with WriteTo.
+func ReadProfile(r io.Reader) (*Profile, error) {
+	pp, err := prof.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Profile{p: pp}, nil
+}
+
+// Merge folds another profile into this one.
+func (p *Profile) Merge(other *Profile) { p.p.Merge(other.p) }
+
+// TargetDistribution returns the Table 4 statistic: for each observed
+// target count (key 7 = ">6"), the number of indirect call sites.
+func (p *Profile) TargetDistribution() map[int]int { return p.p.TargetDistribution() }
+
+// Raw exposes the underlying profile for advanced use within this module.
+func (p *Profile) Raw() *prof.Profile { return p.p }
+
+// TopReport formats the n hottest call sites with cumulative coverage.
+func (p *Profile) TopReport(n int) string { return p.p.TopReport(n) }
+
+// System is a generated synthetic kernel ready to be profiled and built
+// into hardened images.
+type System struct {
+	Kernel *kernel.Kernel
+	// baseline program compiled from the pristine module, used for
+	// profiling runs.
+	prog *interp.Program
+}
+
+// NewSyntheticKernel generates the kernel substrate.
+func NewSyntheticKernel(cfg KernelConfig) (*System, error) {
+	k, err := kernel.Generate(kernel.Config{Seed: cfg.Seed, ColdFuncs: cfg.ColdFuncs})
+	if err != nil {
+		return nil, err
+	}
+	prog, err := interp.Compile(k.Mod.Clone())
+	if err != nil {
+		return nil, err
+	}
+	return &System{Kernel: k, prog: prog}, nil
+}
+
+// Profile runs the profiling binary under the given workload and returns
+// the collected edge/value profile. opsScale multiplies the workload's
+// mix weights.
+func (s *System) Profile(w Workload, opsScale int) (*Profile, error) {
+	r, err := workload.NewRunner(s.Kernel, s.prog, w, 1000+int64(w))
+	if err != nil {
+		return nil, err
+	}
+	p, err := r.Profile(opsScale)
+	if err != nil {
+		return nil, err
+	}
+	return &Profile{p: p}, nil
+}
+
+// BuildConfig describes one production image.
+type BuildConfig struct {
+	// Profile supplies the PGO input; required when Optimize requests
+	// any transformation.
+	Profile *Profile
+	// Optimize selects PIBE's transformations.
+	Optimize OptimizeConfig
+	// Defenses selects the hardening applied after optimization.
+	Defenses Defenses
+	// JumpSwitches enables the runtime-promotion baseline instead of
+	// static ICP (§8.2); it composes with Defenses.Retpolines as the
+	// fallback for unlearned targets.
+	JumpSwitches bool
+}
+
+// OptimizeStats reports what the optimization passes did.
+type OptimizeStats struct {
+	ICP    *icp.Result
+	Inline *inline.Result
+	LLVM   *llvminline.Result
+}
+
+// Image is a built (optimized and hardened) kernel image.
+type Image struct {
+	sys    *System
+	cfg    BuildConfig
+	Mod    *ir.Module
+	prog   *interp.Program
+	Census *harden.Census
+	Opt    OptimizeStats
+}
+
+// Build produces a production image: clone the kernel, apply ICP and
+// inlining under the configured budgets, harden the remaining indirect
+// branches, and compile.
+func (s *System) Build(cfg BuildConfig) (*Image, error) {
+	if cfg.Optimize.any() && cfg.Profile == nil {
+		return nil, errors.New("pibe: optimization requested without a profile")
+	}
+	mod := s.Kernel.Mod.Clone()
+	img := &Image{sys: s, cfg: cfg, Mod: mod}
+
+	var extraWeights map[ir.SiteID]uint64
+	// The §8.4 default-LLVM-inliner datapoint is a stock PGO build: no
+	// PIBE indirect call promotion either.
+	if cfg.Optimize.ICPBudget > 0 && !cfg.Optimize.UseLLVMInliner {
+		res, err := icp.Run(mod, cfg.Profile.p, icp.Options{
+			Budget:            cfg.Optimize.ICPBudget,
+			MaxTargetsPerSite: cfg.Optimize.MaxICPTargets,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("pibe: icp: %v", err)
+		}
+		img.Opt.ICP = res
+		extraWeights = res.NewSiteWeights
+	}
+	if cfg.Optimize.InlineBudget > 0 {
+		if cfg.Optimize.UseLLVMInliner {
+			res, err := llvminline.Run(mod, cfg.Profile.p, llvminline.Options{
+				Budget:       cfg.Optimize.InlineBudget,
+				ExtraWeights: extraWeights,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("pibe: llvm inliner: %v", err)
+			}
+			img.Opt.LLVM = res
+		} else {
+			opts := inline.Options{
+				Budget:       cfg.Optimize.InlineBudget,
+				LaxBudget:    cfg.Optimize.LaxBudget,
+				ExtraWeights: extraWeights,
+			}
+			if cfg.Optimize.DisableRule2 {
+				opts.Rule2Threshold = -1
+			}
+			if cfg.Optimize.DisableRule3 {
+				opts.Rule3Threshold = -1
+			}
+			opts.DisableInheritance = cfg.Optimize.DisableInheritance
+			res, err := inline.Run(mod, cfg.Profile.p, opts)
+			if err != nil {
+				return nil, fmt.Errorf("pibe: inline: %v", err)
+			}
+			img.Opt.Inline = res
+		}
+	}
+	census, err := harden.Apply(mod, cfg.Defenses.config())
+	if err != nil {
+		return nil, fmt.Errorf("pibe: harden: %v", err)
+	}
+	img.Census = census
+	if cfg.JumpSwitches {
+		// JumpSwitches replaces the static forward-edge instrumentation:
+		// indirect calls dispatch through the runtime switch (with a
+		// retpoline as the learning/fallback path), so the compiler
+		// leaves them bare for the runtime hook to manage.
+		for _, f := range mod.Funcs {
+			f.ForEachInstr(func(b *ir.Block, i int, in *ir.Instr) {
+				if in.Op == ir.OpICall && !in.Asm {
+					in.Defense = ir.DefNone
+				}
+			})
+		}
+	}
+	if err := ir.Verify(mod, ir.VerifyOptions{}); err != nil {
+		return nil, fmt.Errorf("pibe: built image does not verify: %v", err)
+	}
+	prog, err := interp.Compile(mod)
+	if err != nil {
+		return nil, fmt.Errorf("pibe: compile: %v", err)
+	}
+	img.prog = prog
+	return img, nil
+}
+
+// Latency is one measured LMBench data point.
+type Latency struct {
+	Bench  string
+	Micros float64
+	Cycles float64
+}
+
+// runner builds a workload runner against this image, attaching the
+// JumpSwitches hook if configured.
+func (img *Image) runner(w Workload, seed int64) (*workload.Runner, error) {
+	r, err := workload.NewRunner(img.sys.Kernel, img.prog, w, seed)
+	if err != nil {
+		return nil, err
+	}
+	if img.cfg.JumpSwitches {
+		r.Hook = jumpswitch.New(jumpswitch.DefaultParams())
+	}
+	r.RefillRSB = img.cfg.Defenses.RSBRefill
+	return r, nil
+}
+
+// MeasureLMBench measures all 20 LMBench latency benchmarks on the image.
+func (img *Image) MeasureLMBench(w Workload) ([]Latency, error) {
+	r, err := img.runner(w, 71)
+	if err != nil {
+		return nil, err
+	}
+	ms, err := r.MeasureAll()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Latency, len(ms))
+	for i, m := range ms {
+		out[i] = Latency{Bench: m.Bench, Micros: m.Micros, Cycles: m.Cycles}
+	}
+	return out, nil
+}
+
+// MeasureBenchmark measures a single benchmark.
+func (img *Image) MeasureBenchmark(w Workload, bench string) (Latency, error) {
+	r, err := img.runner(w, 71)
+	if err != nil {
+		return Latency{}, err
+	}
+	m, err := r.Measure(bench)
+	if err != nil {
+		return Latency{}, err
+	}
+	return Latency{Bench: m.Bench, Micros: m.Micros, Cycles: m.Cycles}, nil
+}
+
+// MeasureRequestCycles measures the kernel cycles of one application
+// request for the macrobenchmarks (Table 7).
+func (img *Image) MeasureRequestCycles(app Workload) (float64, error) {
+	r, err := img.runner(app, 73)
+	if err != nil {
+		return 0, err
+	}
+	return r.MeasureRequest(5)
+}
+
+// SecurityReport attacks every indirect branch of the image and reports
+// which remain hijackable (Table 11 / §8.6).
+func (img *Image) SecurityReport() attack.Report {
+	return attack.Evaluate(img.Mod)
+}
+
+// Size returns the image size in bytes.
+func (img *Image) Size() int64 { return img.Mod.ByteSize() }
+
+// Stats returns the static composition of the image.
+func (img *Image) Stats() ir.Stats { return ir.CollectStats(img.Mod) }
+
+// DumpFunction renders one function of the image in the IR text format
+// (parsable by internal/ir's Parse). It returns "" if the function does
+// not exist.
+func (img *Image) DumpFunction(name string) string {
+	f := img.Mod.Func(name)
+	if f == nil {
+		return ""
+	}
+	return ir.Print(f)
+}
+
+// CPUFrequencyGHz is the clock the simulator converts cycles with.
+func CPUFrequencyGHz() float64 { return cpu.DefaultParams().FreqGHz }
+
+// Geomean aggregates relative overheads the way the paper's tables do.
+func Geomean(overheads []float64) float64 { return workload.Geomean(overheads) }
+
+// Overhead returns (new-base)/base.
+func Overhead(base, new float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (new - base) / base
+}

@@ -1,0 +1,295 @@
+package pibe_test
+
+import (
+	"bytes"
+	"testing"
+
+	pibe "repro"
+)
+
+// testSystem builds a small kernel once per test binary.
+func testSystem(t *testing.T) *pibe.System {
+	t.Helper()
+	sys, err := pibe.NewSyntheticKernel(pibe.KernelConfig{Seed: 5, ColdFuncs: 300})
+	if err != nil {
+		t.Fatalf("NewSyntheticKernel: %v", err)
+	}
+	return sys
+}
+
+func testProfile(t *testing.T, sys *pibe.System) *pibe.Profile {
+	t.Helper()
+	p, err := sys.Profile(pibe.LMBench, 2)
+	if err != nil {
+		t.Fatalf("Profile: %v", err)
+	}
+	return p
+}
+
+func TestPipelineEndToEnd(t *testing.T) {
+	sys := testSystem(t)
+	profile := testProfile(t, sys)
+
+	base, err := sys.Build(pibe.BuildConfig{})
+	if err != nil {
+		t.Fatalf("Build baseline: %v", err)
+	}
+	hard, err := sys.Build(pibe.BuildConfig{Defenses: pibe.AllDefenses})
+	if err != nil {
+		t.Fatalf("Build hardened: %v", err)
+	}
+	opt, err := sys.Build(pibe.BuildConfig{
+		Profile:  profile,
+		Defenses: pibe.AllDefenses,
+		Optimize: pibe.OptimizeConfig{ICPBudget: 0.99999, InlineBudget: 0.999999, LaxBudget: 0.99},
+	})
+	if err != nil {
+		t.Fatalf("Build optimized: %v", err)
+	}
+
+	baseLat, err := base.MeasureLMBench(pibe.LMBench)
+	if err != nil {
+		t.Fatalf("measure baseline: %v", err)
+	}
+	hardLat, err := hard.MeasureLMBench(pibe.LMBench)
+	if err != nil {
+		t.Fatalf("measure hardened: %v", err)
+	}
+	optLat, err := opt.MeasureLMBench(pibe.LMBench)
+	if err != nil {
+		t.Fatalf("measure optimized: %v", err)
+	}
+
+	var hardOv, optOv []float64
+	for i := range baseLat {
+		hardOv = append(hardOv, pibe.Overhead(baseLat[i].Micros, hardLat[i].Micros))
+		optOv = append(optOv, pibe.Overhead(baseLat[i].Micros, optLat[i].Micros))
+	}
+	gHard, gOpt := pibe.Geomean(hardOv), pibe.Geomean(optOv)
+
+	// The headline claim: comprehensive defenses are an order of
+	// magnitude cheaper with PIBE's optimizations.
+	if gHard < 0.5 {
+		t.Errorf("unoptimized all-defenses geomean = %.1f%%, expected severe overhead", 100*gHard)
+	}
+	if gOpt > gHard/3 {
+		t.Errorf("optimized geomean %.1f%% not well below unoptimized %.1f%%", 100*gOpt, 100*gHard)
+	}
+}
+
+func TestOptimizationRequiresProfile(t *testing.T) {
+	sys := testSystem(t)
+	_, err := sys.Build(pibe.BuildConfig{Optimize: pibe.OptimizeConfig{ICPBudget: 0.99}})
+	if err == nil {
+		t.Fatal("Build without profile accepted")
+	}
+}
+
+func TestProfileSerializationRoundTrip(t *testing.T) {
+	sys := testSystem(t)
+	profile := testProfile(t, sys)
+	var buf bytes.Buffer
+	if _, err := profile.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	got, err := pibe.ReadProfile(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadProfile: %v", err)
+	}
+	// A profile read back must drive the same optimization decisions.
+	img1, err := sys.Build(pibe.BuildConfig{Profile: profile,
+		Optimize: pibe.OptimizeConfig{ICPBudget: 0.99, InlineBudget: 0.99}})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	img2, err := sys.Build(pibe.BuildConfig{Profile: got,
+		Optimize: pibe.OptimizeConfig{ICPBudget: 0.99, InlineBudget: 0.99}})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if img1.Opt.Inline.Inlined != img2.Opt.Inline.Inlined ||
+		img1.Opt.ICP.PromotedTargets != img2.Opt.ICP.PromotedTargets {
+		t.Errorf("round-tripped profile changed decisions: %d/%d vs %d/%d",
+			img1.Opt.Inline.Inlined, img1.Opt.ICP.PromotedTargets,
+			img2.Opt.Inline.Inlined, img2.Opt.ICP.PromotedTargets)
+	}
+}
+
+func TestSecurityReportAcrossConfigs(t *testing.T) {
+	sys := testSystem(t)
+	base, err := sys.Build(pibe.BuildConfig{})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	hard, err := sys.Build(pibe.BuildConfig{Defenses: pibe.AllDefenses})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	rb, rh := base.SecurityReport(), hard.SecurityReport()
+	if rb.ICallsSpectreV2 < rb.TotalICalls-20 {
+		t.Errorf("unhardened kernel: only %d/%d icalls V2-vulnerable", rb.ICallsSpectreV2, rb.TotalICalls)
+	}
+	// After hardening only the inline-assembly sites stay vulnerable.
+	if rh.ICallsSpectreV2 != 12 {
+		t.Errorf("hardened kernel: %d V2-vulnerable icalls, want 12 (asm hypercalls)", rh.ICallsSpectreV2)
+	}
+	if rh.ReturnsRet2spec != 0 {
+		t.Errorf("hardened kernel: %d RSB-vulnerable returns, want 0", rh.ReturnsRet2spec)
+	}
+	if rh.IJumpsSpectreV2 != 5 {
+		t.Errorf("hardened kernel: %d vulnerable ijumps, want 5 (asm jump tables)", rh.IJumpsSpectreV2)
+	}
+}
+
+func TestBuildIsDeterministic(t *testing.T) {
+	sys := testSystem(t)
+	profile := testProfile(t, sys)
+	cfg := pibe.BuildConfig{
+		Profile:  profile,
+		Defenses: pibe.AllDefenses,
+		Optimize: pibe.OptimizeConfig{ICPBudget: 0.999, InlineBudget: 0.999},
+	}
+	a, err := sys.Build(cfg)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	b, err := sys.Build(cfg)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if a.Size() != b.Size() || a.Opt.Inline.Inlined != b.Opt.Inline.Inlined {
+		t.Error("same config produced different images")
+	}
+	la, err := a.MeasureBenchmark(pibe.LMBench, "read")
+	if err != nil {
+		t.Fatalf("measure: %v", err)
+	}
+	lb, err := b.MeasureBenchmark(pibe.LMBench, "read")
+	if err != nil {
+		t.Fatalf("measure: %v", err)
+	}
+	if la.Cycles != lb.Cycles {
+		t.Errorf("read latency differs across identical builds: %v vs %v", la.Cycles, lb.Cycles)
+	}
+}
+
+func TestJumpSwitchesBetweenNoOptAndICP(t *testing.T) {
+	sys := testSystem(t)
+	profile := testProfile(t, sys)
+	retp := pibe.Defenses{Retpolines: true}
+	measure := func(cfg pibe.BuildConfig) float64 {
+		img, err := sys.Build(cfg)
+		if err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+		lat, err := img.MeasureLMBench(pibe.LMBench)
+		if err != nil {
+			t.Fatalf("measure: %v", err)
+		}
+		var sum float64
+		for _, l := range lat {
+			sum += l.Cycles
+		}
+		return sum
+	}
+	noopt := measure(pibe.BuildConfig{Defenses: retp})
+	js := measure(pibe.BuildConfig{Defenses: retp, JumpSwitches: true})
+	icp := measure(pibe.BuildConfig{Profile: profile, Defenses: retp,
+		Optimize: pibe.OptimizeConfig{ICPBudget: 0.99999}})
+	// Table 3's ordering: static promotion beats JumpSwitches beats
+	// unoptimized retpolines.
+	if !(icp < js && js < noopt) {
+		t.Errorf("ordering violated: icp=%.0f js=%.0f noopt=%.0f", icp, js, noopt)
+	}
+}
+
+func TestImageStatsAndSizeGrowth(t *testing.T) {
+	sys := testSystem(t)
+	profile := testProfile(t, sys)
+	base, err := sys.Build(pibe.BuildConfig{})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	opt, err := sys.Build(pibe.BuildConfig{Profile: profile, Defenses: pibe.AllDefenses,
+		Optimize: pibe.OptimizeConfig{ICPBudget: 0.999, InlineBudget: 0.999}})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if opt.Size() <= base.Size() {
+		t.Error("optimization+hardening did not grow the image")
+	}
+	growth := float64(opt.Size()-base.Size()) / float64(base.Size())
+	if growth > 0.6 {
+		t.Errorf("image growth %.0f%% is excessive (paper: 5-37%%)", 100*growth)
+	}
+	st := opt.Stats()
+	if st.Funcs == 0 || st.IndirectCalls == 0 {
+		t.Error("Stats incomplete")
+	}
+}
+
+// TestHeadlineShapeAcrossSeeds verifies that the paper's qualitative
+// claims are robust to the synthetic kernel's structural randomness:
+// for multiple generation seeds, the configuration ordering must hold
+// (unoptimized all-defenses severe; PGO alone a speedup; optimized
+// all-defenses an order of magnitude below unoptimized).
+func TestHeadlineShapeAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed shape check is slow")
+	}
+	for _, seed := range []int64{2, 3} {
+		seed := seed
+		t.Run(string(rune('0'+seed)), func(t *testing.T) {
+			sys, err := pibe.NewSyntheticKernel(pibe.KernelConfig{Seed: seed, ColdFuncs: 400})
+			if err != nil {
+				t.Fatalf("NewSyntheticKernel: %v", err)
+			}
+			profile, err := sys.Profile(pibe.LMBench, 2)
+			if err != nil {
+				t.Fatalf("Profile: %v", err)
+			}
+			geomean := func(cfg pibe.BuildConfig, base []pibe.Latency) float64 {
+				img, err := sys.Build(cfg)
+				if err != nil {
+					t.Fatalf("Build: %v", err)
+				}
+				lat, err := img.MeasureLMBench(pibe.LMBench)
+				if err != nil {
+					t.Fatalf("measure: %v", err)
+				}
+				if base == nil {
+					return 0
+				}
+				var ovs []float64
+				for i := range base {
+					ovs = append(ovs, pibe.Overhead(base[i].Micros, lat[i].Micros))
+				}
+				return pibe.Geomean(ovs)
+			}
+			baseImg, err := sys.Build(pibe.BuildConfig{})
+			if err != nil {
+				t.Fatalf("Build: %v", err)
+			}
+			base, err := baseImg.MeasureLMBench(pibe.LMBench)
+			if err != nil {
+				t.Fatalf("measure: %v", err)
+			}
+			opt := pibe.OptimizeConfig{ICPBudget: 0.99999, InlineBudget: 0.999999, LaxBudget: 0.99}
+			noopt := geomean(pibe.BuildConfig{Defenses: pibe.AllDefenses}, base)
+			pgo := geomean(pibe.BuildConfig{Profile: profile, Optimize: opt}, base)
+			full := geomean(pibe.BuildConfig{Profile: profile, Defenses: pibe.AllDefenses, Optimize: opt}, base)
+			t.Logf("seed %d: no-opt %+.1f%%, pgo %+.1f%%, optimized %+.1f%%",
+				seed, 100*noopt, 100*pgo, 100*full)
+			if noopt < 0.8 {
+				t.Errorf("no-opt geomean %.1f%%: defenses should be severe", 100*noopt)
+			}
+			if pgo > 0 {
+				t.Errorf("PGO-only geomean %.1f%%: should be a speedup", 100*pgo)
+			}
+			if full > noopt/4 {
+				t.Errorf("optimized %.1f%% vs unoptimized %.1f%%: want a large reduction",
+					100*full, 100*noopt)
+			}
+		})
+	}
+}
