@@ -1,0 +1,255 @@
+package pibe_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	pibe "repro"
+	"repro/internal/ir"
+	"repro/internal/resilience"
+)
+
+// The chaos suite runs the full profile→optimize→harden→measure pipeline
+// under a matrix of injected faults and asserts the graceful-degradation
+// contract: zero panics, every built image passes ir.Verify, transient
+// measurement faults are absorbed by retry/backoff, aborted profiling
+// runs yield usable partial profiles, and measured latencies stay within
+// a per-scenario tolerance of the fault-free control run.
+
+// chaosBenches is the benchmark subset each scenario measures.
+var chaosBenches = []string{"read", "open"}
+
+// chaosScenario is one cell of the fault matrix.
+type chaosScenario struct {
+	name string
+	// rates arms the system injector for profiling/measurement chaos.
+	rates pibe.FaultRates
+	// maxFaults caps injected faults so retries are guaranteed to converge.
+	maxFaults int
+	// mangle post-processes the serialized clean profile (torn writes,
+	// corrupt records) before it is lenient-read back.
+	mangle pibe.FaultRates
+	// zeroWeight replaces the profile with an empty (all-zero-weight) one.
+	zeroWeight bool
+	// wantAbort requires the profiling run to abort with a usable
+	// non-empty partial profile.
+	wantAbort bool
+	// tol bounds the measured-latency ratio vs the fault-free control:
+	// each benchmark must land within [control/tol, control*tol].
+	tol float64
+}
+
+func chaosMatrix() []chaosScenario {
+	return []chaosScenario{
+		{name: "fault-free-control", tol: 1.0001},
+		{name: "interp-trap", rates: pibe.FaultRates{Trap: 2e-4}, wantAbort: true, tol: 4},
+		{name: "fuel-exhaustion", rates: pibe.FaultRates{Fuel: 2e-5}, wantAbort: true, tol: 4},
+		{name: "depth-exhaustion", rates: pibe.FaultRates{Depth: 2e-4}, wantAbort: true, tol: 4},
+		{name: "profile-truncation", mangle: pibe.FaultRates{Truncate: 1}, tol: 4},
+		{name: "corrupt-profile-record", mangle: pibe.FaultRates{Corrupt: 1}, tol: 1.5},
+		// Fault caps stay below DefaultRetry's 4 attempts so the final
+		// attempt is guaranteed fault-free.
+		{name: "transient-measure-failure", rates: pibe.FaultRates{Measure: 0.4}, maxFaults: 3, tol: 1.25},
+		{name: "zero-weight-profile", zeroWeight: true, tol: 10},
+		{name: "combined-trap-and-transients", rates: pibe.FaultRates{Trap: 1e-4, Measure: 0.4}, maxFaults: 3, wantAbort: true, tol: 4},
+	}
+}
+
+// chaosBuild is the all-defenses optimized configuration every scenario
+// builds.
+func chaosBuild(p *pibe.Profile) pibe.BuildConfig {
+	return pibe.BuildConfig{
+		Profile:  p,
+		Defenses: pibe.AllDefenses,
+		Optimize: pibe.OptimizeConfig{ICPBudget: 0.99999, InlineBudget: 0.999, LaxBudget: 0.99},
+	}
+}
+
+// runChaosPipeline executes one scenario end to end and returns the
+// measured latencies keyed by benchmark.
+func runChaosPipeline(t *testing.T, sys *pibe.System, sc chaosScenario) map[string]float64 {
+	t.Helper()
+	var inject *resilience.Injector
+	if sc.rates != (pibe.FaultRates{}) {
+		inject = sys.InjectFaults(int64(1000+len(sc.name)), sc.rates, sc.maxFaults)
+	}
+	defer sys.InjectFaults(0, pibe.FaultRates{}, 0)
+
+	// Phase 1: profile, possibly aborting into a partial profile.
+	p, err := sys.Profile(pibe.LMBench, 2)
+	if sc.wantAbort {
+		if err == nil || !pibe.IsPartialProfileErr(err) {
+			t.Fatalf("expected an aborted profiling run, got err=%v", err)
+		}
+		if p == nil || len(p.Raw().Sites) == 0 {
+			t.Fatalf("aborted profiling run did not yield a non-empty partial profile (err=%v)", err)
+		}
+	} else if err != nil {
+		t.Fatalf("Profile: %v", err)
+	}
+
+	// Phase 2: optional serialization damage (torn write / corrupt
+	// record) salvaged by the lenient reader.
+	if sc.mangle != (pibe.FaultRates{}) {
+		var buf bytes.Buffer
+		if _, err := p.WriteTo(&buf); err != nil {
+			t.Fatalf("WriteTo: %v", err)
+		}
+		mangler := resilience.NewInjector(7, sc.mangle)
+		damaged, kinds := mangler.MangleProfile(buf.Bytes())
+		if len(kinds) == 0 {
+			t.Fatal("mangler applied no damage")
+		}
+		salvaged, sal, err := pibe.ReadProfileLenient(bytes.NewReader(damaged))
+		if err != nil {
+			t.Fatalf("ReadProfileLenient: %v", err)
+		}
+		if sal.Clean() {
+			t.Fatalf("damaged profile read back clean; salvage = %s", sal)
+		}
+		if sal.Kept == 0 || len(salvaged.Raw().Sites) == 0 {
+			t.Fatalf("nothing salvaged from damaged profile: %s", sal)
+		}
+		p = salvaged
+	}
+	if sc.zeroWeight {
+		empty, err := pibe.ReadProfile(strings.NewReader("pibe-profile v1\nops 0\n"))
+		if err != nil {
+			t.Fatalf("empty profile: %v", err)
+		}
+		p = empty
+	}
+
+	// Phase 3: build. The image must verify.
+	img, err := sys.Build(chaosBuild(p))
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if err := ir.Verify(img.Mod, ir.VerifyOptions{}); err != nil {
+		t.Fatalf("built image does not verify: %v", err)
+	}
+
+	// Phase 4: measure. Transient faults must be absorbed by retry.
+	lats := make(map[string]float64, len(chaosBenches))
+	for _, b := range chaosBenches {
+		lat, err := img.MeasureBenchmark(pibe.LMBench, b)
+		if err != nil {
+			t.Fatalf("MeasureBenchmark(%s): %v", b, err)
+		}
+		if lat.Micros <= 0 || math.IsNaN(lat.Micros) || math.IsInf(lat.Micros, 0) {
+			t.Fatalf("MeasureBenchmark(%s) = %v µs", b, lat.Micros)
+		}
+		lats[b] = lat.Micros
+	}
+
+	if sc.rates.Measure > 0 {
+		counts := inject.Counts()
+		if counts[resilience.KindTransient] == 0 {
+			t.Fatal("transient-measure scenario injected no transient faults")
+		}
+	}
+	return lats
+}
+
+func TestChaosMatrix(t *testing.T) {
+	sys := testSystem(t)
+	matrix := chaosMatrix()
+	if matrix[0].name != "fault-free-control" {
+		t.Fatal("control scenario must run first")
+	}
+	control := runChaosPipeline(t, sys, matrix[0])
+	for _, sc := range matrix[1:] {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			lats := runChaosPipeline(t, sys, sc)
+			for _, b := range chaosBenches {
+				ratio := lats[b] / control[b]
+				if ratio > sc.tol || ratio < 1/sc.tol {
+					t.Errorf("%s latency %.3fµs is %.2fx the fault-free control %.3fµs (tolerance %gx)",
+						b, lats[b], ratio, control[b], sc.tol)
+				}
+			}
+		})
+	}
+}
+
+// TestPartialProfileMergeWorkflow covers the degraded-operations path end
+// to end: a profiling run aborted by injected faults yields a partial
+// profile, that partial merges with a clean profile from another
+// workload, and the merged profile drives a build that verifies and
+// measures successfully.
+func TestPartialProfileMergeWorkflow(t *testing.T) {
+	sys := testSystem(t)
+
+	sys.InjectFaults(99, pibe.FaultRates{Trap: 2e-4}, 0)
+	partial, err := sys.Profile(pibe.LMBench, 2)
+	sys.InjectFaults(0, pibe.FaultRates{}, 0)
+	if err == nil || !pibe.IsPartialProfileErr(err) {
+		t.Fatalf("expected aborted profiling run, got %v", err)
+	}
+	if partial == nil || len(partial.Raw().Sites) == 0 {
+		t.Fatal("no usable partial profile")
+	}
+	fe, ok := pibe.IsFault(err)
+	if !ok || !fe.Injected || fe.Phase != resilience.PhaseExecute {
+		t.Fatalf("abort error lacks structured fault detail: %+v ok=%v", fe, ok)
+	}
+
+	clean, err := sys.Profile(pibe.Apache, 2)
+	if err != nil {
+		t.Fatalf("clean profile: %v", err)
+	}
+	sitesBefore := len(clean.Raw().Sites)
+	clean.Merge(partial)
+	if len(clean.Raw().Sites) < sitesBefore {
+		t.Fatal("merge lost sites")
+	}
+
+	img, err := sys.Build(chaosBuild(clean))
+	if err != nil {
+		t.Fatalf("Build with merged partial profile: %v", err)
+	}
+	if err := ir.Verify(img.Mod, ir.VerifyOptions{}); err != nil {
+		t.Fatalf("image from merged partial profile does not verify: %v", err)
+	}
+	lat, err := img.MeasureBenchmark(pibe.LMBench, "read")
+	if err != nil || lat.Micros <= 0 {
+		t.Fatalf("measurement on merged-profile image: %v (%.3fµs)", err, lat.Micros)
+	}
+}
+
+// TestOptimizeConfigValidation covers the satellite requirement: NaN,
+// negative and >1 budgets and negative MaxICPTargets are rejected with
+// structured errors instead of silently misbehaving.
+func TestOptimizeConfigValidation(t *testing.T) {
+	sys := testSystem(t)
+	p := testProfile(t, sys)
+	bad := []pibe.OptimizeConfig{
+		{ICPBudget: math.NaN()},
+		{InlineBudget: math.NaN()},
+		{LaxBudget: math.NaN()},
+		{ICPBudget: -0.1},
+		{InlineBudget: 1.5},
+		{LaxBudget: -2},
+		{ICPBudget: 0.5, MaxICPTargets: -1},
+	}
+	for _, o := range bad {
+		_, err := sys.Build(pibe.BuildConfig{Profile: p, Optimize: o})
+		if err == nil {
+			t.Errorf("Build accepted invalid OptimizeConfig %+v", o)
+			continue
+		}
+		fe, ok := pibe.IsFault(err)
+		if !ok || fe.Kind != resilience.KindConfig {
+			t.Errorf("invalid config %+v: error not structured as config fault: %v", o, err)
+		}
+	}
+	// The valid boundary cases still build.
+	for _, o := range []pibe.OptimizeConfig{{}, {ICPBudget: 1, InlineBudget: 1, LaxBudget: 1}} {
+		if _, err := sys.Build(pibe.BuildConfig{Profile: p, Optimize: o}); err != nil {
+			t.Errorf("Build rejected valid OptimizeConfig %+v: %v", o, err)
+		}
+	}
+}

@@ -13,6 +13,15 @@
 //	pibe top      [-seed N] [-workload lmbench|apache] [-n 30]   (hottest call sites)
 //	pibe dump     [-seed N] -func NAME [...build flags]          (one function's IR)
 //
+// Chaos mode (any command): -chaos RATE arms a deterministic fault
+// injector (seeded by -chaos-seed) that forces interpreter traps,
+// fuel/depth exhaustion and transient measurement failures at the given
+// rate. The pipeline degrades gracefully — aborted profiling runs emit
+// the partial profile collected so far, and transient measurement
+// failures are retried with backoff; fired faults are summarized on
+// stderr. -lenient salvages corrupt or truncated -profile inputs,
+// skipping bad records and reporting what was kept.
+//
 // The kernel is regenerated deterministically from the seed on every
 // invocation, so a profile collected by one run maps onto the kernel
 // built by the next.
@@ -24,6 +33,7 @@ import (
 	"os"
 
 	pibe "repro"
+	"repro/internal/resilience"
 )
 
 func main() {
@@ -46,10 +56,22 @@ func main() {
 	security := fs.Bool("security", false, "print the security census after build")
 	topN := fs.Int("n", 30, "rows for 'pibe top'")
 	funcName := fs.String("func", "", "function name for 'pibe dump'")
+	chaosRate := fs.Float64("chaos", 0, "fault-injection rate (0 disables chaos mode)")
+	chaosSeed := fs.Int64("chaos-seed", 1, "fault-injection seed")
+	chaosMax := fs.Int("chaos-max", 0, "cap on total injected faults (0 = unlimited)")
+	lenient := fs.Bool("lenient", false, "salvage corrupt/truncated -profile inputs instead of failing")
 	fs.Parse(os.Args[2:])
 
 	sys, err := pibe.NewSyntheticKernel(pibe.KernelConfig{Seed: *seed})
 	check(err)
+
+	var inject *resilience.Injector
+	if *chaosRate > 0 {
+		inject = sys.InjectFaults(*chaosSeed, pibe.UniformFaultRates(*chaosRate), *chaosMax)
+		defer func() {
+			fmt.Fprintf(os.Stderr, "pibe: chaos: injected faults: %s\n", inject.Summary())
+		}()
+	}
 
 	w := os.Stdout
 	if *out != "" {
@@ -88,8 +110,7 @@ func main() {
 		if *workloadName == "apache" {
 			flavor = pibe.Apache
 		}
-		p, err := sys.Profile(flavor, 5)
-		check(err)
+		p := collectProfile(sys, flavor)
 		_, err = p.WriteTo(w)
 		check(err)
 
@@ -98,14 +119,20 @@ func main() {
 		if *profilePath != "" {
 			f, err := os.Open(*profilePath)
 			check(err)
-			profile, err = pibe.ReadProfile(f)
+			if *lenient {
+				p, sal, rerr := pibe.ReadProfileLenient(f)
+				if sal != nil && !sal.Clean() {
+					fmt.Fprintf(os.Stderr, "pibe: %s\n", sal)
+				}
+				profile, err = p, rerr
+			} else {
+				profile, err = pibe.ReadProfile(f)
+			}
 			f.Close()
 			check(err)
 		} else if *icpBudget > 0 || *inlineBudget > 0 {
 			// No profile supplied: collect one in-process.
-			p, err := sys.Profile(pibe.LMBench, 5)
-			check(err)
-			profile = p
+			profile = collectProfile(sys, pibe.LMBench)
 		}
 		cfg := pibe.BuildConfig{
 			Profile:      profile,
@@ -149,6 +176,19 @@ func main() {
 	default:
 		usage()
 	}
+}
+
+// collectProfile runs an in-process profiling run, degrading to the
+// partial profile (with a stderr warning) when the run aborts under
+// injected or organic faults.
+func collectProfile(sys *pibe.System, flavor pibe.Workload) *pibe.Profile {
+	p, err := sys.Profile(flavor, 5)
+	if err != nil && p != nil && pibe.IsPartialProfileErr(err) {
+		fmt.Fprintf(os.Stderr, "pibe: profiling aborted, continuing with partial profile: %v\n", err)
+		return p
+	}
+	check(err)
+	return p
 }
 
 func parseDefenses(s string) pibe.Defenses {

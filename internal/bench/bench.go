@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	pibe "repro"
+	"repro/internal/resilience"
 )
 
 // Suite owns the kernel, the profiles and a cache of built images so
@@ -69,7 +70,10 @@ func (s *Suite) Image(name string, cfg pibe.BuildConfig) (*pibe.Image, error) {
 }
 
 // Latencies measures (or returns cached) LMBench latencies for a named
-// configuration.
+// configuration. Transient measurement failures that survive the
+// per-benchmark retry are absorbed here with a second capped-backoff
+// pass over the whole suite, so one flaky round cannot sink a long
+// table-reproduction run.
 func (s *Suite) Latencies(name string, cfg pibe.BuildConfig) ([]pibe.Latency, error) {
 	if l, ok := s.lats[name]; ok {
 		return l, nil
@@ -78,7 +82,12 @@ func (s *Suite) Latencies(name string, cfg pibe.BuildConfig) ([]pibe.Latency, er
 	if err != nil {
 		return nil, err
 	}
-	l, err := img.MeasureLMBench(pibe.LMBench)
+	var l []pibe.Latency
+	err = resilience.Retry(resilience.DefaultRetry(), func() error {
+		var merr error
+		l, merr = img.MeasureLMBench(pibe.LMBench)
+		return merr
+	})
 	if err != nil {
 		return nil, fmt.Errorf("bench: measure %s: %v", name, err)
 	}

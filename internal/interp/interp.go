@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/cpu"
 	"repro/internal/ir"
+	"repro/internal/resilience"
 )
 
 // ckind discriminates compiled instructions.
@@ -309,6 +310,11 @@ type ICallHook interface {
 
 // Machine executes a Program. CPU, Rec and Hook are all optional; a
 // Machine with none of them just validates control flow.
+//
+// Execution failures — traps, fuel (step-budget) exhaustion, depth
+// exhaustion — are reported as *resilience.FaultError values carrying
+// the faulting function, so callers can distinguish an abort (after
+// which partially recorded state is still usable) from a hard error.
 type Machine struct {
 	Prog *Program
 	CPU  *cpu.Model
@@ -316,6 +322,11 @@ type Machine struct {
 	Res  *Resolver
 	Hook ICallHook
 	RNG  *rand.Rand
+
+	// Inject, when non-nil, is consulted for chaos faults: injected traps
+	// at function entry, depth exhaustion at each call, fuel exhaustion
+	// at each executed block. Injection is deterministic per seed.
+	Inject *resilience.Injector
 
 	// MaxDepth bounds call nesting; MaxSteps bounds total executed
 	// blocks per Run, so broken control flow fails instead of hanging.
@@ -347,7 +358,7 @@ func NewMachine(p *Program, seed int64) *Machine {
 func (mc *Machine) Run(entry string) error {
 	idx := mc.Prog.FuncIndex(entry)
 	if idx < 0 {
-		return fmt.Errorf("interp: no function %q", entry)
+		return trap(entry, "interp: no function %q", entry)
 	}
 	mc.steps = 0
 	// The entry is "called" from a synthetic address so its final return
@@ -394,11 +405,22 @@ func (mc *Machine) tripCounters(depth, n int) []int32 {
 	return f
 }
 
+// trap builds an organic (non-injected) execution trap.
+func trap(site, format string, args ...any) error {
+	return resilience.Faultf(resilience.PhaseExecute, resilience.KindTrap, site, format, args...)
+}
+
 func (mc *Machine) call(fi int32, depth int, retAddr int64) error {
-	if depth >= mc.MaxDepth {
-		return fmt.Errorf("interp: call depth exceeds %d at %s", mc.MaxDepth, mc.Prog.funcs[fi].name)
-	}
 	f := &mc.Prog.funcs[fi]
+	if depth >= mc.MaxDepth || mc.Inject.ExhaustDepth() {
+		return resilience.Faultf(resilience.PhaseExecute, resilience.KindDepthExhausted, f.name,
+			"interp: call depth exceeds %d at %s", mc.MaxDepth, f.name)
+	}
+	if mc.Inject != nil {
+		if err := mc.Inject.Trap(f.name); err != nil {
+			return err
+		}
+	}
 	if mc.Rec != nil {
 		mc.Rec.invoke(fi)
 	}
@@ -411,8 +433,9 @@ func (mc *Machine) call(fi int32, depth int, retAddr int64) error {
 	flag := false
 	for {
 		mc.steps++
-		if mc.steps > mc.MaxSteps {
-			return fmt.Errorf("interp: step budget exhausted in %s", f.name)
+		if mc.steps > mc.MaxSteps || mc.Inject.ExhaustFuel() {
+			return resilience.Faultf(resilience.PhaseExecute, resilience.KindFuelExhausted, f.name,
+				"interp: step budget exhausted in %s", f.name)
 		}
 		b := &f.blocks[bi]
 		if mc.CPU != nil {
@@ -432,7 +455,7 @@ func (mc *Machine) call(fi int32, depth int, retAddr int64) error {
 					d = mc.Res.Get(ci.orig)
 				}
 				if d == nil {
-					return fmt.Errorf("interp: %s: no target distribution for site %d (orig %d)", f.name, ci.site, ci.orig)
+					return trap(f.name, "interp: %s: no target distribution for site %d (orig %d)", f.name, ci.site, ci.orig)
 				}
 				regs[ci.reg] = d.Pick(mc.RNG)
 				if mc.CPU != nil {
@@ -499,7 +522,7 @@ func (mc *Machine) call(fi int32, depth int, retAddr int64) error {
 			case cICall:
 				tgt := regs[ci.reg]
 				if tgt < 0 {
-					return fmt.Errorf("interp: %s: icall through unresolved register r%d (site %d)", f.name, ci.reg, ci.site)
+					return trap(f.name, "interp: %s: icall through unresolved register r%d (site %d)", f.name, ci.reg, ci.site)
 				}
 				if mc.Rec != nil {
 					mc.Rec.indirect(ci.orig, tgt)
@@ -531,7 +554,7 @@ func (mc *Machine) call(fi int32, depth int, retAddr int64) error {
 			}
 		}
 		if next < 0 {
-			return fmt.Errorf("interp: %s: block %d fell through without terminator", f.name, bi)
+			return trap(f.name, "interp: %s: block %d fell through without terminator", f.name, bi)
 		}
 		bi = next
 	}

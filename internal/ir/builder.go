@@ -18,12 +18,13 @@ type Builder struct {
 // NewFunction starts building a function with the given name and
 // parameter count, creating its entry block. The function is registered
 // in the module immediately so that calls to it can be emitted before it
-// is finished.
+// is finished. Like the other Builder conveniences it panics on producer
+// misuse (here: a duplicate name).
 func NewFunction(m *Module, name string, params int) *Builder {
 	f := &Function{Name: name, Params: params}
 	entry := &Block{Name: "entry"}
 	f.Blocks = append(f.Blocks, entry)
-	m.AddFunc(f)
+	m.MustAddFunc(f)
 	return &Builder{mod: m, fn: f, cur: entry}
 }
 

@@ -393,17 +393,28 @@ func NewModule() *Module {
 	return &Module{funcIdx: make(map[string]int)}
 }
 
-// AddFunc appends f to the module. It panics if a function with the same
-// name already exists: duplicate definitions are always a producer bug.
-func (m *Module) AddFunc(f *Function) {
+// AddFunc appends f to the module. A function with the same name already
+// present is a producer bug; it is reported as an error rather than a
+// panic so module-building pipelines degrade instead of crashing.
+func (m *Module) AddFunc(f *Function) error {
 	if m.funcIdx == nil {
 		m.funcIdx = make(map[string]int)
 	}
 	if _, dup := m.funcIdx[f.Name]; dup {
-		panic(fmt.Sprintf("ir: duplicate function %q", f.Name))
+		return fmt.Errorf("ir: duplicate function %q", f.Name)
 	}
 	m.funcIdx[f.Name] = len(m.Funcs)
 	m.Funcs = append(m.Funcs, f)
+	return nil
+}
+
+// MustAddFunc is AddFunc for producers that have already established the
+// name is fresh (clones of valid modules, generated unique names); it
+// panics on a duplicate.
+func (m *Module) MustAddFunc(f *Function) {
+	if err := m.AddFunc(f); err != nil {
+		panic(err.Error())
+	}
 }
 
 // Func returns the named function, or nil.
@@ -467,7 +478,7 @@ func (m *Module) Clone() *Module {
 	nm := NewModule()
 	nm.nextSite = m.nextSite
 	for _, f := range m.Funcs {
-		nm.AddFunc(f.Clone())
+		nm.MustAddFunc(f.Clone())
 	}
 	return nm
 }

@@ -152,12 +152,24 @@ func TestVerifyCatchesDuplicateSiteIDs(t *testing.T) {
 	}
 }
 
-func TestAddFuncPanicsOnDuplicate(t *testing.T) {
+func TestAddFuncRejectsDuplicate(t *testing.T) {
+	m := NewModule()
+	NewFunction(m, "f", 0).Ret()
+	err := m.AddFunc(&Function{Name: "f"})
+	if err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("AddFunc with a duplicate name = %v, want duplicate error", err)
+	}
+	if m.NumFuncs() != 1 {
+		t.Fatalf("failed AddFunc mutated the module: %d funcs", m.NumFuncs())
+	}
+}
+
+func TestMustAddFuncPanicsOnDuplicate(t *testing.T) {
 	m := NewModule()
 	NewFunction(m, "f", 0).Ret()
 	defer func() {
 		if recover() == nil {
-			t.Fatal("AddFunc with a duplicate name did not panic")
+			t.Fatal("MustAddFunc with a duplicate name did not panic")
 		}
 	}()
 	NewFunction(m, "f", 0)

@@ -40,7 +40,9 @@ func Parse(r io.Reader) (*Module, error) {
 			if err != nil {
 				return nil, fmt.Errorf("ir: line %d: %v", line, err)
 			}
-			m.AddFunc(f)
+			if err := m.AddFunc(f); err != nil {
+				return nil, fmt.Errorf("ir: line %d: %v", line, err)
+			}
 			fn, blk = f, nil
 		case strings.HasSuffix(trimmed, ":") && !strings.HasPrefix(text, " "):
 			if fn == nil {

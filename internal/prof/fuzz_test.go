@@ -1,0 +1,62 @@
+package prof
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// fuzzSeedProfile builds a small valid profile to seed the corpus.
+func fuzzSeedProfile() *Profile {
+	p := New()
+	p.Ops = 220000
+	p.AddInvocation("vfs_read", 181000)
+	p.AddInvocation("ext4_read", 160000)
+	p.AddDirect(17, "ksys_read", "vfs_read", 181000)
+	p.AddIndirect(23, "vfs_read", "ext4_read", 160000)
+	p.AddIndirect(23, "vfs_read", "pipe_read", 20000)
+	return p
+}
+
+// FuzzProfRead proves that neither the strict nor the lenient profile
+// reader panics on arbitrary corrupted input, and that whatever the
+// lenient reader salvages re-serializes into a profile the strict reader
+// accepts (salvage output is always well-formed).
+func FuzzProfRead(f *testing.F) {
+	var buf bytes.Buffer
+	if _, err := fuzzSeedProfile().WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.String()
+	f.Add(valid)
+	f.Add("")
+	f.Add("pibe-profile v1\n")
+	f.Add(valid[:len(valid)/2])                              // torn write
+	f.Add(strings.Replace(valid, "indirect", "garbled", 1))  // corrupt record
+	f.Add(strings.Replace(valid, "181000", "-181000", 1))    // bad count
+	f.Add("pibe-profile v1\nops 1\nsite 1 f indirect 5 a:3") // sum mismatch
+	f.Add("wrong magic\nfn f 1\n")
+
+	f.Fuzz(func(t *testing.T, data string) {
+		// Strict: any outcome but a panic is acceptable.
+		Read(strings.NewReader(data))
+
+		// Lenient: must never fail on readable input…
+		p, sal, err := ReadLenient(strings.NewReader(data))
+		if err != nil {
+			t.Fatalf("ReadLenient returned error on in-memory input: %v", err)
+		}
+		if p == nil || sal == nil {
+			t.Fatal("ReadLenient returned nil profile or salvage")
+		}
+		// …and what it salvages must re-serialize into a profile the
+		// strict reader accepts.
+		var out bytes.Buffer
+		if _, err := p.WriteTo(&out); err != nil {
+			t.Fatalf("salvaged profile failed to serialize: %v", err)
+		}
+		if _, err := Read(bytes.NewReader(out.Bytes())); err != nil {
+			t.Fatalf("salvaged profile did not round-trip strictly: %v\n%s", err, out.String())
+		}
+	})
+}

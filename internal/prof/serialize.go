@@ -74,56 +74,139 @@ func (p *Profile) WriteTo(w io.Writer) (int64, error) {
 	return n, bw.Flush()
 }
 
-// Read parses a profile serialized by WriteTo.
-func Read(r io.Reader) (*Profile, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	if !sc.Scan() {
-		return nil, fmt.Errorf("prof: empty input")
-	}
-	if got := sc.Text(); got != magic {
-		return nil, fmt.Errorf("prof: bad magic %q", got)
-	}
-	p := New()
-	line := 1
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" || strings.HasPrefix(text, "#") {
-			continue
-		}
-		fields := strings.Fields(text)
-		switch fields[0] {
-		case "ops":
-			if len(fields) != 2 {
-				return nil, fmt.Errorf("prof: line %d: malformed ops", line)
-			}
-			n, err := strconv.ParseUint(fields[1], 10, 64)
-			if err != nil {
-				return nil, fmt.Errorf("prof: line %d: %v", line, err)
-			}
-			p.Ops = n
-		case "fn":
-			if len(fields) != 3 {
-				return nil, fmt.Errorf("prof: line %d: malformed fn", line)
-			}
-			n, err := strconv.ParseUint(fields[2], 10, 64)
-			if err != nil {
-				return nil, fmt.Errorf("prof: line %d: %v", line, err)
-			}
-			p.Invocations[fields[1]] = n
-		case "site":
-			if err := parseSite(p, fields, line); err != nil {
-				return nil, err
-			}
-		default:
-			return nil, fmt.Errorf("prof: line %d: unknown record %q", line, fields[0])
-		}
-	}
-	return p, sc.Err()
+// Salvage summarizes what a lenient Read kept, skipped and repaired.
+type Salvage struct {
+	// Lines counts the non-blank, non-comment lines examined.
+	Lines int
+	// Kept counts the records accepted into the profile.
+	Kept int
+	// Skipped counts malformed lines dropped.
+	Skipped int
+	// Repaired counts indirect sites whose header count disagreed with
+	// the sum of their target counts (the target sum wins).
+	Repaired int
+	// BadMagic records a missing or wrong header line (a truncated-at-
+	// the-front or foreign file).
+	BadMagic bool
+	// Errs holds the first few skip reasons, capped.
+	Errs []string
 }
 
-func parseSite(p *Profile, fields []string, line int) error {
+// Clean reports whether the input parsed without any degradation.
+func (s *Salvage) Clean() bool {
+	return s.Skipped == 0 && s.Repaired == 0 && !s.BadMagic
+}
+
+func (s *Salvage) String() string {
+	out := fmt.Sprintf("prof: salvaged %d of %d records (%d skipped, %d repaired)",
+		s.Kept, s.Lines, s.Skipped, s.Repaired)
+	if s.BadMagic {
+		out += ", bad magic"
+	}
+	return out
+}
+
+// Read parses a profile serialized by WriteTo. It is strict: the first
+// malformed record discards the whole profile.
+func Read(r io.Reader) (*Profile, error) {
+	p, _, err := read(r, false)
+	return p, err
+}
+
+// ReadLenient parses a profile serialized by WriteTo, skipping corrupt
+// records instead of failing, and reports what it salvaged. Truncated
+// or partially corrupted profiles — torn writes from a crashed profiling
+// host — come back as usable partial profiles. The error is non-nil only
+// when the underlying reader fails; the partial profile and salvage
+// summary are valid even then.
+func ReadLenient(r io.Reader) (*Profile, *Salvage, error) {
+	return read(r, true)
+}
+
+func read(r io.Reader, lenient bool) (*Profile, *Salvage, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	p := New()
+	sal := &Salvage{}
+	line := 0
+	// skip records a lenient skip, or propagates the error when strict.
+	skip := func(err error) error {
+		if !lenient {
+			return err
+		}
+		sal.Skipped++
+		if len(sal.Errs) < 8 {
+			sal.Errs = append(sal.Errs, err.Error())
+		}
+		return nil
+	}
+	handle := func(raw string) error {
+		text := strings.TrimSpace(raw)
+		if text == "" || strings.HasPrefix(text, "#") {
+			return nil
+		}
+		sal.Lines++
+		fields := strings.Fields(text)
+		var err error
+		switch fields[0] {
+		case "ops":
+			var n uint64
+			if len(fields) != 2 {
+				err = fmt.Errorf("prof: line %d: malformed ops", line)
+			} else if n, err = strconv.ParseUint(fields[1], 10, 64); err != nil {
+				err = fmt.Errorf("prof: line %d: %v", line, err)
+			} else {
+				p.Ops = n
+			}
+		case "fn":
+			var n uint64
+			if len(fields) != 3 {
+				err = fmt.Errorf("prof: line %d: malformed fn", line)
+			} else if n, err = strconv.ParseUint(fields[2], 10, 64); err != nil {
+				err = fmt.Errorf("prof: line %d: %v", line, err)
+			} else {
+				p.Invocations[fields[1]] = n
+			}
+		case "site":
+			err = parseSite(p, fields, line, lenient, sal)
+		default:
+			err = fmt.Errorf("prof: line %d: unknown record %q", line, fields[0])
+		}
+		if err != nil {
+			return skip(err)
+		}
+		sal.Kept++
+		return nil
+	}
+	if !sc.Scan() {
+		if !lenient {
+			return nil, nil, fmt.Errorf("prof: empty input")
+		}
+		sal.BadMagic = true
+		return p, sal, sc.Err()
+	}
+	line = 1
+	if got := sc.Text(); got != magic {
+		if !lenient {
+			return nil, nil, fmt.Errorf("prof: bad magic %q", got)
+		}
+		// Headerless input may still hold records (front truncation);
+		// feed the first line through the record parser.
+		sal.BadMagic = true
+		handle(sc.Text())
+	}
+	for sc.Scan() {
+		line++
+		if err := handle(sc.Text()); err != nil {
+			return nil, nil, err
+		}
+	}
+	return p, sal, sc.Err()
+}
+
+// parseSite parses one site record. It stages target counts and commits
+// only a fully parsed record, so a lenient skip leaves no partial state.
+func parseSite(p *Profile, fields []string, line int, lenient bool, sal *Salvage) error {
 	if len(fields) < 4 {
 		return fmt.Errorf("prof: line %d: malformed site", line)
 	}
@@ -151,6 +234,11 @@ func parseSite(p *Profile, fields []string, line int) error {
 		if err != nil {
 			return fmt.Errorf("prof: line %d: %v", line, err)
 		}
+		type target struct {
+			name string
+			n    uint64
+		}
+		var targets []target
 		var sum uint64
 		for _, tok := range fields[5:] {
 			name, cnt, ok := strings.Cut(tok, ":")
@@ -161,11 +249,19 @@ func parseSite(p *Profile, fields []string, line int) error {
 			if err != nil {
 				return fmt.Errorf("prof: line %d: %v", line, err)
 			}
-			p.AddIndirect(id, caller, name, n)
+			targets = append(targets, target{name, n})
 			sum += n
 		}
 		if sum != total {
-			return fmt.Errorf("prof: line %d: site %d target counts sum to %d, header says %d", line, id, sum, total)
+			if !lenient {
+				return fmt.Errorf("prof: line %d: site %d target counts sum to %d, header says %d", line, id, sum, total)
+			}
+			// The per-target counts are self-consistent; the header total
+			// is derived. Keep the targets and let their sum win.
+			sal.Repaired++
+		}
+		for _, t := range targets {
+			p.AddIndirect(id, caller, t.name, t.n)
 		}
 	default:
 		return fmt.Errorf("prof: line %d: unknown site kind %q", line, fields[3])

@@ -1,0 +1,59 @@
+package resilience
+
+import "time"
+
+// RetryPolicy bounds a capped-exponential-backoff retry loop.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts including the first
+	// (default 4).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (default 1ms); it
+	// doubles per retry up to MaxDelay (default 50ms).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Sleep is a test hook; nil means time.Sleep.
+	Sleep func(time.Duration)
+}
+
+// DefaultRetry is the policy the measurement drivers use.
+func DefaultRetry() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 50 * time.Millisecond}
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	d := DefaultRetry()
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = d.MaxAttempts
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = d.BaseDelay
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = d.MaxDelay
+	}
+	return p
+}
+
+// Retry runs f, retrying with capped exponential backoff while it fails
+// with a transient fault (IsTransient). Any other error — or transient
+// failure persisting through MaxAttempts — is returned as-is.
+func Retry(p RetryPolicy, f func() error) error {
+	p = p.withDefaults()
+	sleep := p.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	delay := p.BaseDelay
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = f()
+		if err == nil || !IsTransient(err) || attempt >= p.MaxAttempts {
+			return err
+		}
+		sleep(delay)
+		delay *= 2
+		if delay > p.MaxDelay {
+			delay = p.MaxDelay
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/interp"
 	"repro/internal/kernel"
 	"repro/internal/prof"
+	"repro/internal/resilience"
 )
 
 // Flavor identifies a workload.
@@ -164,6 +165,16 @@ type Runner struct {
 	// measurement (the §6.4 alternative to return retpolines).
 	RefillRSB bool
 
+	// Inject, when non-nil, threads chaos faults through the runner:
+	// profiling machines draw interpreter faults from it (an abort
+	// degrades to a partial profile), and measurement rounds draw
+	// transient failures (absorbed by Retry). Measurement machines
+	// themselves run injector-free so retried rounds stay deterministic.
+	Inject *resilience.Injector
+	// Retry bounds the backoff loop that absorbs transient measurement
+	// faults; the zero value means resilience.DefaultRetry().
+	Retry resilience.RetryPolicy
+
 	// Reps is the number of measurement rounds (the artifact uses 5,
 	// reporting medians).
 	Reps int
@@ -199,8 +210,21 @@ type Measurement struct {
 }
 
 // Measure runs one LMBench benchmark and returns the median-of-rounds
-// per-operation latency.
+// per-operation latency. Transient measurement faults (injected chaos or
+// any *resilience.FaultError of kind transient) are absorbed by retrying
+// the whole benchmark — fresh machine, same seeds, so a successful retry
+// is deterministic — with capped exponential backoff.
 func (r *Runner) Measure(bench string) (Measurement, error) {
+	var m Measurement
+	err := resilience.Retry(r.Retry, func() error {
+		var err error
+		m, err = r.measureOnce(bench)
+		return err
+	})
+	return m, err
+}
+
+func (r *Runner) measureOnce(bench string) (Measurement, error) {
 	entry, ok := r.Kernel.Entries[bench]
 	if !ok {
 		return Measurement{}, fmt.Errorf("workload: unknown benchmark %q", bench)
@@ -239,6 +263,9 @@ func (r *Runner) Measure(bench string) (Measurement, error) {
 	}
 	samples := make([]float64, r.Reps)
 	for rep := 0; rep < r.Reps; rep++ {
+		if err := r.Inject.MeasureFault(bench); err != nil {
+			return Measurement{}, err
+		}
 		r.CPU.Reset()
 		for i := 0; i < ops; i++ {
 			if err := mc.Run(entry); err != nil {
@@ -271,12 +298,19 @@ func (r *Runner) MeasureAll() ([]Measurement, error) {
 // Profile executes the flavor's operation mix with recording enabled and
 // returns the aggregated profile. opsScale multiplies the mix weights
 // (an opsScale of 20 runs 20 operations per unit of mix weight).
+//
+// If a run aborts — an interpreter trap or fuel/depth exhaustion,
+// organic or injected — Profile degrades gracefully: it returns the
+// partial profile collected up to the abort alongside the abort error,
+// so callers can still merge and use what was gathered. Only when even
+// lifting the partial counts fails is the profile nil.
 func (r *Runner) Profile(opsScale int) (*prof.Profile, error) {
 	if opsScale <= 0 {
 		opsScale = 10
 	}
 	mc := interp.NewMachine(r.Prog, r.Seed^0x5eed)
 	mc.Res = r.Res
+	mc.Inject = r.Inject
 	mc.Rec = interp.NewRecorder(r.Prog)
 	mix := Mix(r.Flavor)
 	benches := make([]string, 0, len(mix))
@@ -308,6 +342,15 @@ func (r *Runner) Profile(opsScale int) (*prof.Profile, error) {
 		}
 		for i := 0; i < n; i++ {
 			if err := mc.Run(entry); err != nil {
+				if resilience.IsAbort(err) {
+					// Salvage the counts recorded before the abort.
+					mc.Rec.AddOps(ops)
+					partial, perr := mc.Rec.Profile()
+					if perr != nil {
+						return nil, fmt.Errorf("workload: profiling aborted (%v) and salvage failed: %v", err, perr)
+					}
+					return partial, fmt.Errorf("workload: profiling aborted after %d ops: %w", ops, err)
+				}
 				return nil, err
 			}
 			ops++
@@ -319,8 +362,19 @@ func (r *Runner) Profile(opsScale int) (*prof.Profile, error) {
 
 // MeasureRequest measures the cycles one application request takes in
 // the kernel (median of rounds). The caller adds the constant userspace
-// cycles when computing throughput.
+// cycles when computing throughput. Transient faults are retried like
+// Measure's.
 func (r *Runner) MeasureRequest(reps int) (float64, error) {
+	var c float64
+	err := resilience.Retry(r.Retry, func() error {
+		var err error
+		c, err = r.measureRequestOnce(reps)
+		return err
+	})
+	return c, err
+}
+
+func (r *Runner) measureRequestOnce(reps int) (float64, error) {
 	script := Request(r.Flavor)
 	if script == nil {
 		return 0, fmt.Errorf("workload: flavor %v has no request script", r.Flavor)
@@ -349,6 +403,9 @@ func (r *Runner) MeasureRequest(reps int) (float64, error) {
 	}
 	samples := make([]float64, reps)
 	for rep := 0; rep < reps; rep++ {
+		if err := r.Inject.MeasureFault(r.Flavor.String()); err != nil {
+			return 0, err
+		}
 		r.CPU.Reset()
 		for i := 0; i < perRep; i++ {
 			if err := runOnce(); err != nil {

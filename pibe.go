@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 
 	"repro/internal/attack"
 	"repro/internal/cpu"
@@ -39,6 +40,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/llvminline"
 	"repro/internal/prof"
+	"repro/internal/resilience"
 	"repro/internal/workload"
 )
 
@@ -125,6 +127,34 @@ type OptimizeConfig struct {
 
 func (o OptimizeConfig) any() bool { return o.ICPBudget > 0 || o.InlineBudget > 0 }
 
+// validate rejects configurations that would silently misbehave: NaN,
+// negative or >1 budgets, and a negative target cap.
+func (o OptimizeConfig) validate() error {
+	budgets := []struct {
+		name string
+		v    float64
+	}{
+		{"ICPBudget", o.ICPBudget},
+		{"InlineBudget", o.InlineBudget},
+		{"LaxBudget", o.LaxBudget},
+	}
+	for _, b := range budgets {
+		if math.IsNaN(b.v) {
+			return resilience.Faultf(resilience.PhaseBuild, resilience.KindConfig, b.name,
+				"pibe: OptimizeConfig.%s is NaN", b.name)
+		}
+		if b.v < 0 || b.v > 1 {
+			return resilience.Faultf(resilience.PhaseBuild, resilience.KindConfig, b.name,
+				"pibe: OptimizeConfig.%s = %v, want a fraction in [0, 1]", b.name, b.v)
+		}
+	}
+	if o.MaxICPTargets < 0 {
+		return resilience.Faultf(resilience.PhaseBuild, resilience.KindConfig, "MaxICPTargets",
+			"pibe: OptimizeConfig.MaxICPTargets = %d, want >= 0", o.MaxICPTargets)
+	}
+	return nil
+}
+
 // Profile wraps a collected execution profile.
 type Profile struct {
 	p *prof.Profile
@@ -133,13 +163,27 @@ type Profile struct {
 // WriteTo serializes the profile in the text format of internal/prof.
 func (p *Profile) WriteTo(w io.Writer) (int64, error) { return p.p.WriteTo(w) }
 
-// ReadProfile parses a profile serialized with WriteTo.
+// ReadProfile parses a profile serialized with WriteTo. It is strict:
+// one malformed record discards the whole profile. Use
+// ReadProfileLenient to salvage truncated or partially corrupt profiles.
 func ReadProfile(r io.Reader) (*Profile, error) {
 	pp, err := prof.Read(r)
 	if err != nil {
 		return nil, err
 	}
 	return &Profile{p: pp}, nil
+}
+
+// ReadProfileLenient parses a possibly damaged profile, skipping corrupt
+// records, and reports what it salvaged. Torn writes (a crashed
+// profiling host) and mangled records degrade to a usable partial
+// profile instead of an error.
+func ReadProfileLenient(r io.Reader) (*Profile, *prof.Salvage, error) {
+	pp, sal, err := prof.ReadLenient(r)
+	if pp == nil {
+		return nil, sal, err
+	}
+	return &Profile{p: pp}, sal, err
 }
 
 // Merge folds another profile into this one.
@@ -155,6 +199,22 @@ func (p *Profile) Raw() *prof.Profile { return p.p }
 // TopReport formats the n hottest call sites with cumulative coverage.
 func (p *Profile) TopReport(n int) string { return p.p.TopReport(n) }
 
+// FaultRates configures per-event fault-injection probabilities; see
+// resilience.Rates for field semantics.
+type FaultRates = resilience.Rates
+
+// UniformFaultRates sets every fault kind to (a normalization of) r.
+func UniformFaultRates(r float64) FaultRates { return resilience.UniformRates(r) }
+
+// IsFault extracts the structured fault in err's chain, if any. All
+// pipeline failures — interpreter aborts, injected chaos, invalid
+// configuration, recovered panics — carry a *resilience.FaultError.
+func IsFault(err error) (*resilience.FaultError, bool) { return resilience.AsFault(err) }
+
+// IsPartialProfileErr reports whether err marks a profiling run that
+// aborted but still returned a usable partial profile.
+func IsPartialProfileErr(err error) bool { return resilience.IsAbort(err) }
+
 // System is a generated synthetic kernel ready to be profiled and built
 // into hardened images.
 type System struct {
@@ -162,10 +222,14 @@ type System struct {
 	// baseline program compiled from the pristine module, used for
 	// profiling runs.
 	prog *interp.Program
+	// inject, when armed, threads chaos faults through profiling and
+	// measurement runs of this system and its images.
+	inject *resilience.Injector
 }
 
 // NewSyntheticKernel generates the kernel substrate.
-func NewSyntheticKernel(cfg KernelConfig) (*System, error) {
+func NewSyntheticKernel(cfg KernelConfig) (sys *System, err error) {
+	defer resilience.RecoverPanic(&err, resilience.PhaseBuild, "NewSyntheticKernel")
 	k, err := kernel.Generate(kernel.Config{Seed: cfg.Seed, ColdFuncs: cfg.ColdFuncs})
 	if err != nil {
 		return nil, err
@@ -177,19 +241,43 @@ func NewSyntheticKernel(cfg KernelConfig) (*System, error) {
 	return &System{Kernel: k, prog: prog}, nil
 }
 
+// InjectFaults arms a deterministic, seeded chaos injector on this
+// system: profiling runs draw interpreter faults from it (aborting runs
+// degrade to partial profiles) and measurement runs draw transient
+// failures (absorbed by retry with backoff). maxFaults caps the total
+// faults fired (0 = unlimited). It returns the injector so callers can
+// inspect fired-fault counts; passing all-zero rates disarms injection.
+func (s *System) InjectFaults(seed int64, rates FaultRates, maxFaults int) *resilience.Injector {
+	if rates == (FaultRates{}) {
+		s.inject = nil
+		return nil
+	}
+	s.inject = resilience.NewInjector(seed, rates)
+	s.inject.SetMaxFaults(maxFaults)
+	return s.inject
+}
+
 // Profile runs the profiling binary under the given workload and returns
 // the collected edge/value profile. opsScale multiplies the workload's
 // mix weights.
-func (s *System) Profile(w Workload, opsScale int) (*Profile, error) {
+//
+// If the profiling run aborts (an interpreter trap or resource
+// exhaustion, organic or injected), Profile returns the partial profile
+// collected so far along with the abort error — check
+// IsPartialProfileErr(err); the partial profile merges and builds like
+// any other.
+func (s *System) Profile(w Workload, opsScale int) (p *Profile, err error) {
+	defer resilience.RecoverPanic(&err, resilience.PhaseProfile, "Profile")
 	r, err := workload.NewRunner(s.Kernel, s.prog, w, 1000+int64(w))
 	if err != nil {
 		return nil, err
 	}
-	p, err := r.Profile(opsScale)
-	if err != nil {
+	r.Inject = s.inject
+	pp, err := r.Profile(opsScale)
+	if pp == nil {
 		return nil, err
 	}
-	return &Profile{p: p}, nil
+	return &Profile{p: pp}, err
 }
 
 // BuildConfig describes one production image.
@@ -226,13 +314,19 @@ type Image struct {
 
 // Build produces a production image: clone the kernel, apply ICP and
 // inlining under the configured budgets, harden the remaining indirect
-// branches, and compile.
-func (s *System) Build(cfg BuildConfig) (*Image, error) {
+// branches, and compile. Invalid configurations are rejected up front
+// with structured errors, and panics escaping the transformation passes
+// are recovered into errors rather than crashing the host.
+func (s *System) Build(cfg BuildConfig) (img *Image, err error) {
+	defer resilience.RecoverPanic(&err, resilience.PhaseBuild, "Build")
+	if err := cfg.Optimize.validate(); err != nil {
+		return nil, err
+	}
 	if cfg.Optimize.any() && cfg.Profile == nil {
 		return nil, errors.New("pibe: optimization requested without a profile")
 	}
 	mod := s.Kernel.Mod.Clone()
-	img := &Image{sys: s, cfg: cfg, Mod: mod}
+	img = &Image{sys: s, cfg: cfg, Mod: mod}
 
 	var extraWeights map[ir.SiteID]uint64
 	// The §8.4 default-LLVM-inliner datapoint is a stock PGO build: no
@@ -315,7 +409,9 @@ type Latency struct {
 }
 
 // runner builds a workload runner against this image, attaching the
-// JumpSwitches hook if configured.
+// JumpSwitches hook if configured and the system's chaos injector if
+// armed (transient measurement faults are absorbed by the runner's
+// retry/backoff loop).
 func (img *Image) runner(w Workload, seed int64) (*workload.Runner, error) {
 	r, err := workload.NewRunner(img.sys.Kernel, img.prog, w, seed)
 	if err != nil {
@@ -325,11 +421,13 @@ func (img *Image) runner(w Workload, seed int64) (*workload.Runner, error) {
 		r.Hook = jumpswitch.New(jumpswitch.DefaultParams())
 	}
 	r.RefillRSB = img.cfg.Defenses.RSBRefill
+	r.Inject = img.sys.inject
 	return r, nil
 }
 
 // MeasureLMBench measures all 20 LMBench latency benchmarks on the image.
-func (img *Image) MeasureLMBench(w Workload) ([]Latency, error) {
+func (img *Image) MeasureLMBench(w Workload) (lats []Latency, err error) {
+	defer resilience.RecoverPanic(&err, resilience.PhaseMeasure, "MeasureLMBench")
 	r, err := img.runner(w, 71)
 	if err != nil {
 		return nil, err
@@ -346,7 +444,8 @@ func (img *Image) MeasureLMBench(w Workload) ([]Latency, error) {
 }
 
 // MeasureBenchmark measures a single benchmark.
-func (img *Image) MeasureBenchmark(w Workload, bench string) (Latency, error) {
+func (img *Image) MeasureBenchmark(w Workload, bench string) (lat Latency, err error) {
+	defer resilience.RecoverPanic(&err, resilience.PhaseMeasure, "MeasureBenchmark")
 	r, err := img.runner(w, 71)
 	if err != nil {
 		return Latency{}, err
@@ -360,7 +459,8 @@ func (img *Image) MeasureBenchmark(w Workload, bench string) (Latency, error) {
 
 // MeasureRequestCycles measures the kernel cycles of one application
 // request for the macrobenchmarks (Table 7).
-func (img *Image) MeasureRequestCycles(app Workload) (float64, error) {
+func (img *Image) MeasureRequestCycles(app Workload) (cycles float64, err error) {
+	defer resilience.RecoverPanic(&err, resilience.PhaseMeasure, "MeasureRequestCycles")
 	r, err := img.runner(app, 73)
 	if err != nil {
 		return 0, err
