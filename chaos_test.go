@@ -220,6 +220,56 @@ func TestPartialProfileMergeWorkflow(t *testing.T) {
 	}
 }
 
+// TestFleetUnderFaults runs the continuous-profiling fleet with a seeded
+// chaos injector tripping interpreter traps inside the collectors, and
+// asserts the degradation contract: the fleet neither panics nor aborts,
+// the run is marked partial with at least one aborted collector, and the
+// final aggregate is a usable non-empty partial profile that still
+// drives drift detection and a successful rebuild.
+func TestFleetUnderFaults(t *testing.T) {
+	sys := testSystem(t)
+	baseline := testProfile(t, sys)
+
+	inj := sys.InjectFaults(1234, pibe.FaultRates{Trap: 3e-4}, 0)
+	defer sys.InjectFaults(0, pibe.FaultRates{}, 0)
+
+	fl, err := sys.NewFleet(baseline, pibe.FleetConfig{
+		Runners:        4,
+		Shards:         4,
+		Epochs:         2,
+		Seed:           77,
+		Mix:            []pibe.Workload{pibe.Apache, pibe.Nginx},
+		DriftThreshold: 0.75,
+		Build:          chaosBuild(nil),
+	})
+	if err != nil {
+		t.Fatalf("NewFleet: %v", err)
+	}
+	res, err := fl.Run()
+	if err != nil {
+		t.Fatalf("fleet aborted instead of degrading to a partial aggregate: %v", err)
+	}
+	if inj.Total() == 0 {
+		t.Fatal("no faults fired; the scenario tested nothing")
+	}
+	if !res.Partial {
+		t.Fatal("faults fired but the run is not marked partial")
+	}
+	var aborted int
+	for _, e := range res.Epochs {
+		aborted += e.Aborted + e.Failed
+	}
+	if aborted == 0 {
+		t.Fatal("no collector aborted under injected traps")
+	}
+	if res.Final == nil || len(res.Final.Raw().Sites) == 0 {
+		t.Fatal("partial aggregate is empty")
+	}
+	if res.Rebuilds == 0 {
+		t.Errorf("partial aggregate did not drive a drift rebuild; epochs: %+v", res.Epochs)
+	}
+}
+
 // TestOptimizeConfigValidation covers the satellite requirement: NaN,
 // negative and >1 budgets and negative MaxICPTargets are rejected with
 // structured errors instead of silently misbehaving.

@@ -12,6 +12,16 @@
 //	pibe measure  [-seed N] [-profile profile.txt] ... (build + LMBench latencies)
 //	pibe top      [-seed N] [-workload lmbench|apache] [-n 30]   (hottest call sites)
 //	pibe dump     [-seed N] -func NAME [...build flags]          (one function's IR)
+//	pibe fleet    [-seed N] [-fleet 4] [-fleet-shards 8] [-fleet-epochs 3]
+//	              [-drift-threshold 0.75] [-fleet-mix apache,nginx] [-fleet-decay 0.5]
+//	              [-profile baseline.txt] [...build flags] [-measure]
+//
+// Fleet mode runs continuous profiling: -fleet concurrent collectors per
+// epoch stream profile deltas into a sharded aggregator with per-epoch
+// exponential decay; when the live hot set's overlap with the baseline
+// profile falls below -drift-threshold, the image is rebuilt from the
+// fresh aggregate. With -measure, each epoch reports the active image's
+// per-request kernel cycles, so a rebuild shows up as a latency drop.
 //
 // Chaos mode (any command): -chaos RATE arms a deterministic fault
 // injector (seeded by -chaos-seed) that forces interpreter traps,
@@ -31,6 +41,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	pibe "repro"
 	"repro/internal/resilience"
@@ -56,6 +67,12 @@ func main() {
 	security := fs.Bool("security", false, "print the security census after build")
 	topN := fs.Int("n", 30, "rows for 'pibe top'")
 	funcName := fs.String("func", "", "function name for 'pibe dump'")
+	fleetRunners := fs.Int("fleet", 4, "fleet mode: concurrent profile collectors per epoch")
+	fleetShards := fs.Int("fleet-shards", 8, "fleet aggregator shard (lock stripe) count")
+	fleetEpochs := fs.Int("fleet-epochs", 3, "fleet profiling epochs")
+	driftThreshold := fs.Float64("drift-threshold", 0.75, "rebuild when hot-set overlap falls below this (0 disables)")
+	fleetMix := fs.String("fleet-mix", "apache,nginx", "comma-separated fleet workload mix")
+	fleetDecay := fs.Float64("fleet-decay", 0.5, "per-epoch count decay factor (1 disables)")
 	chaosRate := fs.Float64("chaos", 0, "fault-injection rate (0 disables chaos mode)")
 	chaosSeed := fs.Int64("chaos-seed", 1, "fault-injection seed")
 	chaosMax := fs.Int("chaos-max", 0, "cap on total injected faults (0 = unlimited)")
@@ -173,9 +190,92 @@ func main() {
 			}
 		}
 
+	case "fleet":
+		// Baseline: a profile from -profile, or an in-process LMBench run
+		// (the paper's training workload) — deliberately mismatched with
+		// the default apache,nginx fleet mix so drift is observable.
+		var baseline *pibe.Profile
+		if *profilePath != "" {
+			f, err := os.Open(*profilePath)
+			check(err)
+			baseline, err = pibe.ReadProfile(f)
+			f.Close()
+			check(err)
+		} else {
+			baseline = collectProfile(sys, pibe.LMBench)
+		}
+		cfg := pibe.FleetConfig{
+			Runners:        *fleetRunners,
+			Shards:         *fleetShards,
+			Epochs:         *fleetEpochs,
+			Seed:           *seed,
+			Decay:          *fleetDecay,
+			Mix:            parseMix(*fleetMix),
+			DriftThreshold: *driftThreshold,
+			Build: pibe.BuildConfig{
+				Defenses: parseDefenses(*defenses),
+				Optimize: pibe.OptimizeConfig{
+					ICPBudget:    *icpBudget,
+					InlineBudget: *inlineBudget,
+					LaxBudget:    *lax,
+				},
+			},
+			Measure:    *measure,
+			MeasureApp: parseMix(*fleetMix)[0],
+		}
+		fl, err := sys.NewFleet(baseline, cfg)
+		check(err)
+		res, err := fl.Run()
+		if err != nil && res != nil && res.Partial {
+			fmt.Fprintf(os.Stderr, "pibe: fleet degraded to a partial aggregate: %v\n", err)
+		} else {
+			check(err)
+		}
+		for _, e := range res.Epochs {
+			fmt.Fprintf(w, "epoch %d: merged %d/%d (aborted %d, failed %d)  sites %d  ops %d  overlap %.3f",
+				e.Epoch, e.Merged, e.Merged+e.Failed, e.Aborted, e.Failed, e.Sites, e.Ops, e.Overlap)
+			if e.Rebuilt {
+				fmt.Fprint(w, "  REBUILT")
+			}
+			if e.RebuildErr != "" {
+				fmt.Fprintf(w, "  rebuild-error=%q", e.RebuildErr)
+			}
+			if e.RequestCycles > 0 {
+				fmt.Fprintf(w, "  req-cycles %.0f", e.RequestCycles)
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintf(w, "fleet: %d epochs, %d rebuilds, partial=%v\n",
+			len(res.Epochs), res.Rebuilds, res.Partial)
+
 	default:
 		usage()
 	}
+}
+
+// parseMix parses a comma-separated flavor list ("apache,nginx").
+func parseMix(s string) []pibe.Workload {
+	var mix []pibe.Workload
+	for _, name := range strings.Split(s, ",") {
+		switch strings.TrimSpace(name) {
+		case "lmbench":
+			mix = append(mix, pibe.LMBench)
+		case "apache":
+			mix = append(mix, pibe.Apache)
+		case "nginx":
+			mix = append(mix, pibe.Nginx)
+		case "dbench":
+			mix = append(mix, pibe.DBench)
+		case "":
+		default:
+			fmt.Fprintf(os.Stderr, "pibe: unknown workload %q in mix\n", name)
+			os.Exit(2)
+		}
+	}
+	if len(mix) == 0 {
+		mix = []pibe.Workload{pibe.LMBench}
+	}
+	return mix
 }
 
 // collectProfile runs an in-process profiling run, degrading to the
@@ -211,7 +311,7 @@ func parseDefenses(s string) pibe.Defenses {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: pibe <profile|build|measure|top|dump> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: pibe <profile|build|measure|fleet|top|dump> [flags]")
 	os.Exit(2)
 }
 

@@ -1,0 +1,163 @@
+package pibe_test
+
+import (
+	"bytes"
+	"testing"
+
+	pibe "repro"
+)
+
+// fleetBuild is the all-defenses optimized configuration the fleet's
+// rebuild controller uses in these tests.
+func fleetBuild() pibe.BuildConfig {
+	return pibe.BuildConfig{
+		Defenses: pibe.AllDefenses,
+		Optimize: pibe.OptimizeConfig{ICPBudget: 0.99999, InlineBudget: 0.999, LaxBudget: 0.99},
+	}
+}
+
+// TestFleetDriftRebuildEndToEnd demonstrates the whole loop: an image
+// built against an LMBench-only profile goes stale when the fleet's
+// workload mix shifts to Apache/Nginx; the drift detector sees hot-set
+// overlap below the threshold, the controller rebuilds from the live
+// aggregate, and the rebuilt image serves the shifted mix strictly
+// faster than the stale one (the §8.4 mismatched-profile penalty,
+// recovered automatically).
+func TestFleetDriftRebuildEndToEnd(t *testing.T) {
+	sys := testSystem(t)
+	profLM := testProfile(t, sys)
+
+	fl, err := sys.NewFleet(profLM, pibe.FleetConfig{
+		Runners:        4,
+		Shards:         4,
+		Epochs:         2,
+		OpsScale:       2,
+		Seed:           42,
+		Mix:            []pibe.Workload{pibe.Apache, pibe.Nginx},
+		DriftThreshold: 0.75,
+		Build:          fleetBuild(),
+	})
+	if err != nil {
+		t.Fatalf("NewFleet: %v", err)
+	}
+	stale := fl.Image()
+	staleCycles, err := stale.MeasureRequestCycles(pibe.Apache)
+	if err != nil {
+		t.Fatalf("measure stale image: %v", err)
+	}
+
+	res, err := fl.Run()
+	if err != nil {
+		t.Fatalf("fleet run: %v", err)
+	}
+	if res.Partial {
+		t.Error("fault-free fleet run reported partial aggregate")
+	}
+	if res.Rebuilds == 0 {
+		t.Fatalf("workload shift did not trigger a rebuild; epochs: %+v", res.Epochs)
+	}
+	first := res.Epochs[0]
+	if !(first.Overlap < 0.75) {
+		t.Errorf("epoch 0 hot-set overlap = %.3f, want below the 0.75 threshold", first.Overlap)
+	}
+	if !first.Rebuilt {
+		t.Errorf("drifted epoch 0 did not rebuild: %+v", first)
+	}
+
+	fresh := fl.Image()
+	if fresh == stale {
+		t.Fatal("rebuild did not replace the active image")
+	}
+	freshCycles, err := fresh.MeasureRequestCycles(pibe.Apache)
+	if err != nil {
+		t.Fatalf("measure rebuilt image: %v", err)
+	}
+	if !(freshCycles < staleCycles) {
+		t.Errorf("rebuilt image not faster on the shifted mix: stale %.0f cycles, rebuilt %.0f cycles",
+			staleCycles, freshCycles)
+	}
+	t.Logf("apache request kernel cycles: stale %.0f → rebuilt %.0f (%.1f%% better), overlap %.3f",
+		staleCycles, freshCycles, 100*(staleCycles-freshCycles)/staleCycles, first.Overlap)
+}
+
+// TestFleetDeterministicAggregate is the public-API side of the
+// determinism contract: two fleet runs with the same seed and shard
+// count serialize byte-identical final aggregates.
+func TestFleetDeterministicAggregate(t *testing.T) {
+	sys := testSystem(t)
+	profLM := testProfile(t, sys)
+	run := func() []byte {
+		fl, err := sys.NewFleet(profLM, pibe.FleetConfig{
+			Runners: 3,
+			Shards:  4,
+			Epochs:  2,
+			Seed:    7,
+			Mix:     []pibe.Workload{pibe.Apache, pibe.Nginx, pibe.DBench},
+			// No DriftThreshold: collection only, no rebuilds.
+			Build: pibe.BuildConfig{},
+		})
+		if err != nil {
+			t.Fatalf("NewFleet: %v", err)
+		}
+		res, err := fl.Run()
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		var buf bytes.Buffer
+		if _, err := res.Final.WriteTo(&buf); err != nil {
+			t.Fatalf("WriteTo: %v", err)
+		}
+		return buf.Bytes()
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same seed + shard count produced different serialized aggregates (%d vs %d bytes)", len(a), len(b))
+	}
+}
+
+// TestFleetTrajectory exercises the overhead-trajectory measurement: the
+// per-epoch request-cycle samples must be positive, and the post-rebuild
+// sample must improve on the pre-rebuild one.
+func TestFleetTrajectory(t *testing.T) {
+	sys := testSystem(t)
+	profLM := testProfile(t, sys)
+	fl, err := sys.NewFleet(profLM, pibe.FleetConfig{
+		Runners:        4,
+		Shards:         4,
+		Epochs:         3,
+		Seed:           11,
+		Mix:            []pibe.Workload{pibe.Apache, pibe.Nginx},
+		DriftThreshold: 0.75,
+		Build:          fleetBuild(),
+		Measure:        true,
+		MeasureApp:     pibe.Apache,
+	})
+	if err != nil {
+		t.Fatalf("NewFleet: %v", err)
+	}
+	// The pre-run sample on the stale image anchors the trajectory.
+	staleCycles, err := fl.Image().MeasureRequestCycles(pibe.Apache)
+	if err != nil {
+		t.Fatalf("measure stale: %v", err)
+	}
+	res, err := fl.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	rebuiltAt := -1
+	for _, e := range res.Epochs {
+		if e.RequestCycles <= 0 {
+			t.Fatalf("epoch %d trajectory sample = %v", e.Epoch, e.RequestCycles)
+		}
+		if e.Rebuilt && rebuiltAt < 0 {
+			rebuiltAt = e.Epoch
+		}
+	}
+	if rebuiltAt < 0 {
+		t.Fatalf("no rebuild in trajectory run: %+v", res.Epochs)
+	}
+	after := res.Epochs[rebuiltAt].RequestCycles
+	if !(after < staleCycles) {
+		t.Errorf("trajectory did not improve after rebuild: stale %.0f, post-rebuild %.0f", staleCycles, after)
+	}
+}

@@ -6,7 +6,10 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	pibe "repro"
 	"repro/internal/resilience"
@@ -14,6 +17,12 @@ import (
 
 // Suite owns the kernel, the profiles and a cache of built images so
 // experiments that share a configuration do not rebuild it.
+//
+// The suite is safe for concurrent use: the table generators fan
+// configuration builds and measurements out across a bounded worker pool
+// (see forEach), and the image/latency caches deduplicate concurrent
+// requests for the same configuration so it is built exactly once no
+// matter how many workers race for it.
 type Suite struct {
 	Seed int64
 	Sys  *pibe.System
@@ -21,9 +30,85 @@ type Suite struct {
 	ProfLM     *pibe.Profile
 	ProfApache *pibe.Profile
 
-	images  map[string]*pibe.Image
-	lats    map[string][]pibe.Latency
-	baseLat []pibe.Latency
+	// Workers bounds the goroutines a table generator fans out across.
+	// Zero or negative selects the default, min(GOMAXPROCS, 4).
+	Workers int
+
+	mu     sync.Mutex
+	flight map[string]*flight
+}
+
+// flight is one cached (possibly still in-progress) build or
+// measurement. The first caller to claim a key becomes the leader and
+// performs the work; everyone else blocks on done and shares the
+// result. Entries are never evicted — the flight map IS the cache.
+type flight struct {
+	done chan struct{}
+	img  *pibe.Image
+	lat  []pibe.Latency
+	err  error
+}
+
+// claim returns the flight for key, creating it if absent. The boolean
+// reports whether the caller is the leader and must do the work (and
+// close done when finished).
+func (s *Suite) claim(key string) (*flight, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f, ok := s.flight[key]; ok {
+		return f, false
+	}
+	f := &flight{done: make(chan struct{})}
+	s.flight[key] = f
+	return f, true
+}
+
+// forEach runs fn(0) .. fn(n-1) across a bounded pool of workers and
+// waits for all of them. Every index runs even if an earlier one fails;
+// the returned error is the one with the lowest index, so the outcome
+// is deterministic regardless of scheduling.
+func (s *Suite) forEach(n int, fn func(i int) error) error {
+	w := s.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+		if w > 4 {
+			w = 4
+		}
+	}
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	next := int64(-1)
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // NewSuite generates the kernel and collects the LMBench and Apache
@@ -46,8 +131,7 @@ func NewSuite(seed int64) (*Suite, error) {
 		Sys:        sys,
 		ProfLM:     profLM,
 		ProfApache: profAp,
-		images:     make(map[string]*pibe.Image),
-		lats:       make(map[string][]pibe.Latency),
+		flight:     make(map[string]*flight),
 	}, nil
 }
 
@@ -57,16 +141,19 @@ const (
 )
 
 // Image builds (or returns the cached) image for a named configuration.
+// Concurrent calls for the same name share one build.
 func (s *Suite) Image(name string, cfg pibe.BuildConfig) (*pibe.Image, error) {
-	if img, ok := s.images[name]; ok {
-		return img, nil
+	f, leader := s.claim("img:" + name)
+	if !leader {
+		<-f.done
+		return f.img, f.err
 	}
-	img, err := s.Sys.Build(cfg)
-	if err != nil {
-		return nil, fmt.Errorf("bench: build %s: %v", name, err)
+	defer close(f.done)
+	f.img, f.err = s.Sys.Build(cfg)
+	if f.err != nil {
+		f.err = fmt.Errorf("bench: build %s: %v", name, f.err)
 	}
-	s.images[name] = img
-	return img, nil
+	return f.img, f.err
 }
 
 // Latencies measures (or returns cached) LMBench latencies for a named
@@ -75,38 +162,33 @@ func (s *Suite) Image(name string, cfg pibe.BuildConfig) (*pibe.Image, error) {
 // pass over the whole suite, so one flaky round cannot sink a long
 // table-reproduction run.
 func (s *Suite) Latencies(name string, cfg pibe.BuildConfig) ([]pibe.Latency, error) {
-	if l, ok := s.lats[name]; ok {
-		return l, nil
+	f, leader := s.claim("lat:" + name)
+	if !leader {
+		<-f.done
+		return f.lat, f.err
 	}
+	defer close(f.done)
 	img, err := s.Image(name, cfg)
 	if err != nil {
+		f.err = err
 		return nil, err
 	}
-	var l []pibe.Latency
-	err = resilience.Retry(resilience.DefaultRetry(), func() error {
+	f.err = resilience.Retry(resilience.DefaultRetry(), func() error {
 		var merr error
-		l, merr = img.MeasureLMBench(pibe.LMBench)
+		f.lat, merr = img.MeasureLMBench(pibe.LMBench)
 		return merr
 	})
-	if err != nil {
-		return nil, fmt.Errorf("bench: measure %s: %v", name, err)
+	if f.err != nil {
+		f.lat = nil
+		f.err = fmt.Errorf("bench: measure %s: %v", name, f.err)
 	}
-	s.lats[name] = l
-	return l, nil
+	return f.lat, f.err
 }
 
 // Baseline returns the LTO-baseline latencies (no PGO, no defenses),
 // the reference everything else is relative to.
 func (s *Suite) Baseline() ([]pibe.Latency, error) {
-	if s.baseLat != nil {
-		return s.baseLat, nil
-	}
-	l, err := s.Latencies("lto-baseline", pibe.BuildConfig{})
-	if err != nil {
-		return nil, err
-	}
-	s.baseLat = l
-	return l, nil
+	return s.Latencies("lto-baseline", pibe.BuildConfig{})
 }
 
 // overheads computes per-benchmark relative overheads against the LTO

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	pibe "repro"
@@ -142,6 +143,60 @@ func TestTableByIDUnknown(t *testing.T) {
 	s := newTestSuite(t)
 	if _, err := s.TableByID("42"); err == nil {
 		t.Fatal("unknown table id accepted")
+	}
+}
+
+// TestParallelTablesMatchSerial: the worker-pool table generators must
+// render byte-identical tables to a serial run, and concurrent suites
+// must be race-free (run under -race in CI). Table 3 covers the
+// parallel-measurement path and Table 12 the parallel-build path;
+// Tables 5 and 6 run on the same forEach/singleflight machinery, so
+// these two are representative without making the race run prohibitive.
+func TestParallelTablesMatchSerial(t *testing.T) {
+	serial := newTestSuite(t)
+	serial.Workers = 1
+	par := newTestSuite(t)
+	par.Workers = 4
+	for _, id := range []string{"3", "12"} {
+		ts, err := serial.TableByID(id)
+		if err != nil {
+			t.Fatalf("serial table %s: %v", id, err)
+		}
+		tp, err := par.TableByID(id)
+		if err != nil {
+			t.Fatalf("parallel table %s: %v", id, err)
+		}
+		if ts.Render() != tp.Render() {
+			t.Errorf("table %s differs between serial and parallel generation:\n--- serial ---\n%s--- parallel ---\n%s",
+				id, ts.Render(), tp.Render())
+		}
+	}
+}
+
+// TestConcurrentImageSingleflight: many goroutines racing for the same
+// configuration share exactly one build.
+func TestConcurrentImageSingleflight(t *testing.T) {
+	s := newTestSuite(t)
+	const n = 8
+	imgs := make([]*pibe.Image, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			img, err := s.Image("shared", pibe.BuildConfig{Defenses: pibe.AllDefenses})
+			if err != nil {
+				t.Errorf("Image: %v", err)
+				return
+			}
+			imgs[i] = img
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if imgs[i] != imgs[0] {
+			t.Fatalf("goroutine %d got a different image: singleflight built more than once", i)
+		}
 	}
 }
 

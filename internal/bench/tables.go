@@ -89,18 +89,21 @@ func (s *Suite) Table3() (*Table, error) {
 		Notes:  []string{"paper geomeans: 20.2% / 5.0% / 3.9% / 1.3%"},
 	}
 	baseIdx := indexLat(base)
-	var all [][]float64
-	for _, c := range cols {
-		lat, err := s.Latencies(c.name, c.cfg)
+	all := make([][]float64, len(cols))
+	if err := s.forEach(len(cols), func(i int) error {
+		lat, err := s.Latencies(cols[i].name, cols[i].cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		idx := indexLat(lat)
-		var ovs []float64
+		ovs := make([]float64, 0, len(table3Benches))
 		for _, b := range table3Benches {
 			ovs = append(ovs, pibe.Overhead(baseIdx[b], idx[b]))
 		}
-		all = append(all, ovs)
+		all[i] = ovs
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	for i, b := range table3Benches {
 		row := []string{b}
@@ -177,13 +180,16 @@ func (s *Suite) Table5() (*Table, error) {
 			"+inl(99.9%)", "+inl(99.9999%)", "lax heuristics"},
 		Notes: []string{"paper geomeans: 149.1% / 133.1% / 28.0% / 15.9% / 12.7% / 10.6%"},
 	}
-	var all [][]float64
-	for _, c := range cols {
-		lat, err := s.Latencies(c.name, c.cfg)
+	all := make([][]float64, len(cols))
+	if err := s.forEach(len(cols), func(i int) error {
+		lat, err := s.Latencies(cols[i].name, cols[i].cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		all = append(all, overheads(base, lat))
+		all[i] = overheads(base, lat)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	for i := range base {
 		row := []string{base[i].Bench}
@@ -222,9 +228,10 @@ func (s *Suite) Table6() (*Table, error) {
 		{"LVI-CFI", pibe.Defenses{LVICFI: true}},
 		{"all", pibe.AllDefenses},
 	}
-	for _, r := range rows {
-		ltoName := "t6-lto-" + r.name
-		pibeName := "t6-pibe-" + r.name
+	type pair struct{ lto, pibe float64 }
+	res := make([]pair, len(rows))
+	if err := s.forEach(len(rows), func(i int) error {
+		r := rows[i]
 		var ltoCfg pibe.BuildConfig
 		ltoCfg.Defenses = r.d
 		pc := s.cfgOptimal(r.d)
@@ -233,17 +240,23 @@ func (s *Suite) Table6() (*Table, error) {
 			// only indirect call promotion.
 			pc.Optimize = pibe.OptimizeConfig{ICPBudget: BudgetICP}
 		}
-		ltoLat, err := s.Latencies(ltoName, ltoCfg)
+		ltoLat, err := s.Latencies("t6-lto-"+r.name, ltoCfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		pibeLat, err := s.Latencies(pibeName, pc)
+		pibeLat, err := s.Latencies("t6-pibe-"+r.name, pc)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		lo := overheads(base, ltoLat)
 		po := overheads(base, pibeLat)
-		t.Rows = append(t.Rows, []string{r.name, pct(lo[len(lo)-1]), pct(po[len(po)-1])})
+		res[i] = pair{lo[len(lo)-1], po[len(po)-1]}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for i, r := range rows {
+		t.Rows = append(t.Rows, []string{r.name, pct(res[i].lto), pct(res[i].pibe)})
 	}
 	return t, nil
 }
@@ -257,7 +270,10 @@ func (s *Suite) Table8() (*Table, error) {
 			"return weight", "return sites"},
 		Notes: []string{"paper at 99%: 98.8% weight, 17.2% sites, 12.3% return sites; at 99.9999%: 100%/89.7%/86.1%"},
 	}
-	for _, b := range []float64{0.99, 0.999, 0.999999} {
+	if err := s.warmBudgetImages(); err != nil {
+		return nil, err
+	}
+	for _, b := range statsBudgets {
 		img, err := s.budgetImage(b)
 		if err != nil {
 			return nil, err
@@ -285,6 +301,18 @@ func (s *Suite) budgetImage(b float64) (*pibe.Image, error) {
 	})
 }
 
+// statsBudgets are the three budgets Tables 8–11 report.
+var statsBudgets = []float64{0.99, 0.999, 0.999999}
+
+// warmBudgetImages builds the per-budget images of Tables 8–11 in
+// parallel so the serial per-row loops below only hit the cache.
+func (s *Suite) warmBudgetImages() error {
+	return s.forEach(len(statsBudgets), func(i int) error {
+		_, err := s.budgetImage(statsBudgets[i])
+		return err
+	})
+}
+
 // Table9 reproduces Table 9: inlining weight blocked by each size
 // heuristic.
 func (s *Suite) Table9() (*Table, error) {
@@ -294,7 +322,10 @@ func (s *Suite) Table9() (*Table, error) {
 		Header: []string{"budget", "overall", "Rule 2", "Rule 3", "other"},
 		Notes:  []string{"paper at 99.9999%: Rule2 0.96%, Rule3 3.41%, other 1.9%"},
 	}
-	for _, b := range []float64{0.99, 0.999, 0.999999} {
+	if err := s.warmBudgetImages(); err != nil {
+		return nil, err
+	}
+	for _, b := range statsBudgets {
 		img, err := s.budgetImage(b)
 		if err != nil {
 			return nil, err
@@ -325,7 +356,10 @@ func (s *Suite) Table10() (*Table, error) {
 		Header: []string{"budget", "icalls total", "icp candidates", "call sites total", "inline candidates"},
 		Notes:  []string{"paper: icp 0.59-3.09% of 20927; inlining 1.14-7.5% of ~133k"},
 	}
-	for _, b := range []float64{0.99, 0.999, 0.999999} {
+	if err := s.warmBudgetImages(); err != nil {
+		return nil, err
+	}
+	for _, b := range statsBudgets {
 		img, err := s.budgetImage(b)
 		if err != nil {
 			return nil, err
@@ -353,13 +387,16 @@ func (s *Suite) Table11() (*Table, error) {
 		Header: []string{"statistic", "no-opt", "99%", "99.9%", "99.9999%"},
 		Notes:  []string{"paper: Def 20927→26066, Vuln ICalls 41→170, Vuln IJumps 5"},
 	}
+	if err := s.warmBudgetImages(); err != nil {
+		return nil, err
+	}
 	imgs := []*pibe.Image{}
 	noopt, err := s.Image("alldef-noopt", cfgAllDefNoOpt())
 	if err != nil {
 		return nil, err
 	}
 	imgs = append(imgs, noopt)
-	for _, b := range []float64{0.99, 0.999, 0.999999} {
+	for _, b := range statsBudgets {
 		img, err := s.budgetImage(b)
 		if err != nil {
 			return nil, err
@@ -404,6 +441,29 @@ func (s *Suite) Table12() (*Table, error) {
 		{"w/retpolines", pibe.Defenses{Retpolines: true}, []float64{0.99999}},
 		{"w/LVI-CFI", pibe.Defenses{LVICFI: true}, []float64{0.99, 0.999999}},
 		{"w/ret-retpolines", pibe.Defenses{RetRetpolines: true}, []float64{0.99, 0.999999}},
+	}
+	// Build every configuration in parallel first; the ordered assembly
+	// loop below then only hits the cache.
+	type build struct {
+		name string
+		cfg  pibe.BuildConfig
+	}
+	var builds []build
+	for _, r := range rows {
+		builds = append(builds, build{"t12-noopt-" + r.label, pibe.BuildConfig{Defenses: r.d}})
+		for _, b := range r.budgets {
+			builds = append(builds, build{fmt.Sprintf("t12-%s-b%g", r.label, b), pibe.BuildConfig{
+				Profile:  s.ProfLM,
+				Defenses: r.d,
+				Optimize: pibe.OptimizeConfig{ICPBudget: b, InlineBudget: b},
+			}})
+		}
+	}
+	if err := s.forEach(len(builds), func(i int) error {
+		_, err := s.Image(builds[i].name, builds[i].cfg)
+		return err
+	}); err != nil {
+		return nil, err
 	}
 	for _, r := range rows {
 		nooptName := "t12-noopt-" + r.label

@@ -1,0 +1,330 @@
+// Package fleet is the continuous-profiling subsystem: it models a fleet
+// of production instances that keep profiling the running kernel while
+// it serves traffic, streams their profile deltas into a sharded
+// aggregator, watches for workload drift, and triggers a re-optimization
+// when the live hot set no longer matches the profile the current image
+// was built from.
+//
+// The paper computes its optimization budgets over one offline,
+// "representative" profile; in production the workload mix drifts and a
+// stale profile silently erodes the ICP/inlining win (the §8.4
+// mismatched-profile effect). This package closes that loop:
+//
+//	runners (N goroutines, mixed flavors) ──deltas──▶ channel
+//	     channel ──collector workers──▶ sharded lock-striped Aggregator
+//	     epoch barrier ─▶ decay ─▶ snapshot ─▶ drift detector ─▶ rebuild
+//
+// Determinism contract: with no fault injector armed, the same Seed,
+// Shards and Config produce a byte-identical serialized aggregate
+// snapshot regardless of goroutine scheduling. Runner seeds are derived
+// from (Seed, epoch, runner index), merges are exact commutative uint64
+// sums, and decay happens at the epoch barrier — so no interleaving can
+// change the result, and fleet runs are replayable the way chaos runs
+// are.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/interp"
+	"repro/internal/kernel"
+	"repro/internal/prof"
+	"repro/internal/resilience"
+	"repro/internal/workload"
+)
+
+// Config parameterizes one fleet profiling run.
+type Config struct {
+	// Runners is the number of concurrent workload runners per epoch
+	// (default 4). Runner i of an epoch profiles Mix[i%len(Mix)].
+	Runners int
+	// Shards is the aggregator stripe count (default 8).
+	Shards int
+	// Epochs is the number of profiling epochs (default 1). Decay is
+	// applied at each epoch boundary after the first.
+	Epochs int
+	// OpsScale is each runner's workload-mix multiplier (default 2).
+	OpsScale int
+	// Seed derives every runner's seed; equal seeds (and shard counts)
+	// reproduce byte-identical aggregates.
+	Seed int64
+	// Decay is the per-epoch count multiplier in (0, 1]; 0 means the
+	// default 0.5, 1 disables decay.
+	Decay float64
+	// Mix lists the workload flavors the fleet runs; runner i draws
+	// Mix[i%len(Mix)]. Empty means all-LMBench.
+	Mix []workload.Flavor
+	// HotBudget is the cumulative-weight budget defining the hot site
+	// set the drift detector compares (default 0.99).
+	HotBudget float64
+	// DriftThreshold triggers a rebuild when the live aggregate's
+	// hot-set overlap with the baseline profile falls below it; 0
+	// disables drift-triggered rebuilds.
+	DriftThreshold float64
+	// Inject, when non-nil, threads chaos faults through the collectors.
+	// Aborted collector runs degrade to partial deltas that still merge;
+	// the fleet only fails when every collector of every epoch
+	// contributed nothing. Note that injected faults are drawn from one
+	// shared stream, so chaos fleet runs are not byte-deterministic.
+	Inject *resilience.Injector
+	// OnEpoch, when non-nil, observes each epoch's report after drift
+	// detection and any rebuild. Returning an error aborts the run.
+	OnEpoch func(EpochReport) error
+}
+
+func (c Config) withDefaults() Config {
+	if c.Runners <= 0 {
+		c.Runners = 4
+	}
+	if c.Shards <= 0 {
+		c.Shards = 8
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 1
+	}
+	if c.OpsScale <= 0 {
+		c.OpsScale = 2
+	}
+	if c.Decay == 0 {
+		c.Decay = 0.5
+	}
+	if len(c.Mix) == 0 {
+		c.Mix = []workload.Flavor{workload.LMBench}
+	}
+	if c.HotBudget <= 0 || c.HotBudget > 1 {
+		c.HotBudget = 0.99
+	}
+	return c
+}
+
+// EpochReport summarizes one epoch of fleet collection.
+type EpochReport struct {
+	// Epoch is the zero-based epoch index.
+	Epoch int
+	// Merged counts runners whose delta (complete or partial) reached
+	// the aggregate; Aborted counts the subset whose profiling run
+	// aborted and degraded to a partial delta; Failed counts runners
+	// that contributed nothing.
+	Merged, Aborted, Failed int
+	// Overlap is the hot-set overlap between the live aggregate
+	// snapshot and the baseline profile the current image was built
+	// from (1 when no baseline is set).
+	Overlap float64
+	// Rebuilt records that drift tripped the threshold and the rebuild
+	// hook succeeded; RebuildErr carries a failed hook's error text.
+	Rebuilt    bool
+	RebuildErr string
+	// Sites and Ops describe the post-epoch aggregate snapshot.
+	Sites int
+	Ops   uint64
+}
+
+// Result is a completed fleet run.
+type Result struct {
+	Reports []EpochReport
+	// Final is the aggregate snapshot after the last epoch.
+	Final *prof.Profile
+	// Rebuilds counts drift-triggered rebuilds that succeeded.
+	Rebuilds int
+	// Partial reports that at least one collector aborted or failed;
+	// the aggregate is an under-count of the fleet's true activity but
+	// remains usable (graceful degradation).
+	Partial bool
+}
+
+// Service runs fleet profiling over one generated kernel.
+type Service struct {
+	k    *kernel.Kernel
+	prog *interp.Program
+	cfg  Config
+	agg  *Aggregator
+	// baseline is the profile the currently deployed image was built
+	// from; the drift detector compares live snapshots against it and
+	// rebuild advances it to the snapshot that drove the rebuild.
+	baseline *prof.Profile
+	// rebuild is invoked with the fresh aggregate snapshot when drift
+	// trips the threshold.
+	rebuild func(*prof.Profile) error
+}
+
+// New builds a fleet service. baseline is the profile the current image
+// was built from (nil disables drift detection); rebuild, when non-nil,
+// is called with the live snapshot whenever hot-set overlap falls below
+// Config.DriftThreshold, and on success the snapshot becomes the new
+// baseline.
+func New(k *kernel.Kernel, prog *interp.Program, cfg Config, baseline *prof.Profile, rebuild func(*prof.Profile) error) (*Service, error) {
+	if k == nil || prog == nil {
+		return nil, errors.New("fleet: nil kernel or program")
+	}
+	cfg = cfg.withDefaults()
+	for _, f := range cfg.Mix {
+		if workload.Mix(f) == nil {
+			return nil, fmt.Errorf("fleet: flavor %v has no workload mix", f)
+		}
+	}
+	return &Service{
+		k:        k,
+		prog:     prog,
+		cfg:      cfg,
+		agg:      NewAggregator(cfg.Shards, cfg.Decay),
+		baseline: baseline,
+		rebuild:  rebuild,
+	}, nil
+}
+
+// Aggregator exposes the live aggregate for snapshot reads while (or
+// after) the service runs.
+func (s *Service) Aggregator() *Aggregator { return s.agg }
+
+// runnerSeed derives a distinct deterministic seed per (epoch, runner).
+func (s *Service) runnerSeed(epoch, runner int) int64 {
+	return s.cfg.Seed*1_000_003 + int64(epoch)*8191 + int64(runner)*127 + 1
+}
+
+// delta is one collector's contribution travelling the channel from a
+// runner goroutine to the collector workers.
+type delta struct {
+	p       *prof.Profile
+	aborted bool // profiling aborted; p is the salvaged partial
+	failed  bool // nothing usable collected
+}
+
+// Run executes the configured epochs. Each epoch: N runner goroutines
+// profile their flavor concurrently and stream deltas over a channel
+// into collector workers that merge them into the sharded aggregator;
+// at the epoch barrier the aggregate is decayed (from the second epoch
+// on, before new deltas land), snapshotted, and checked for drift
+// against the baseline; drift below the threshold triggers the rebuild
+// hook with the snapshot.
+//
+// Collector faults — injected or organic — degrade to partial
+// aggregates: an aborted profiling run contributes the partial profile
+// it salvaged, and a runner that produces nothing is only counted as
+// failed. Run returns an error (resilience.PhaseFleet /
+// KindEmptyAggregate) only when, after all epochs, nothing at all was
+// aggregated.
+func (s *Service) Run() (*Result, error) {
+	res := &Result{}
+	for e := 0; e < s.cfg.Epochs; e++ {
+		if e > 0 {
+			s.agg.Decay()
+		}
+		rep := s.runEpoch(e)
+
+		snap := s.agg.Snapshot()
+		rep.Sites = len(snap.Sites)
+		rep.Ops = snap.Ops
+		rep.Overlap = 1
+		if s.baseline != nil {
+			rep.Overlap = prof.HotOverlap(snap, s.baseline, s.cfg.HotBudget)
+		}
+		if s.cfg.DriftThreshold > 0 && rep.Overlap < s.cfg.DriftThreshold && s.rebuild != nil {
+			if err := s.rebuild(snap); err != nil {
+				rep.RebuildErr = err.Error()
+			} else {
+				rep.Rebuilt = true
+				s.baseline = snap
+				res.Rebuilds++
+			}
+		}
+		if rep.Aborted > 0 || rep.Failed > 0 {
+			res.Partial = true
+		}
+		res.Reports = append(res.Reports, rep)
+		if e == s.cfg.Epochs-1 {
+			res.Final = snap
+		}
+		if s.cfg.OnEpoch != nil {
+			if err := s.cfg.OnEpoch(rep); err != nil {
+				return res, fmt.Errorf("fleet: epoch %d observer: %w", e, err)
+			}
+		}
+	}
+	if len(res.Final.Sites) == 0 && len(res.Final.Invocations) == 0 {
+		return res, resilience.Faultf(resilience.PhaseFleet, resilience.KindEmptyAggregate, "aggregate",
+			"fleet: every collector failed; nothing aggregated after %d epochs", s.cfg.Epochs)
+	}
+	return res, nil
+}
+
+// runEpoch fans out the runners, fans their deltas into the aggregator,
+// and returns the epoch's collection tallies.
+func (s *Service) runEpoch(epoch int) EpochReport {
+	rep := EpochReport{Epoch: epoch}
+	deltas := make(chan delta, s.cfg.Runners)
+
+	collectors := s.cfg.Runners
+	if collectors > 4 {
+		collectors = 4
+	}
+	var mu sync.Mutex // guards rep tallies
+	var collectWG sync.WaitGroup
+	for w := 0; w < collectors; w++ {
+		collectWG.Add(1)
+		go func() {
+			defer collectWG.Done()
+			for d := range deltas {
+				if d.p != nil && !d.failed {
+					s.agg.Add(d.p)
+				}
+				mu.Lock()
+				switch {
+				case d.failed:
+					rep.Failed++
+				case d.aborted:
+					rep.Aborted++
+					rep.Merged++
+				default:
+					rep.Merged++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+
+	var runWG sync.WaitGroup
+	for i := 0; i < s.cfg.Runners; i++ {
+		runWG.Add(1)
+		go func(i int) {
+			defer runWG.Done()
+			deltas <- s.collect(epoch, i)
+		}(i)
+	}
+	runWG.Wait()
+	close(deltas)
+	collectWG.Wait()
+	return rep
+}
+
+// collect runs one collector: a profiling run of the runner's flavor,
+// degrading an aborted run to its salvaged partial profile.
+func (s *Service) collect(epoch, i int) (d delta) {
+	// A panicking collector degrades to a failed delta rather than
+	// killing the fleet.
+	defer func() {
+		if r := recover(); r != nil {
+			d = delta{failed: true}
+		}
+	}()
+	flavor := s.cfg.Mix[i%len(s.cfg.Mix)]
+	r, err := workload.NewRunner(s.k, s.prog, flavor, s.runnerSeed(epoch, i))
+	if err != nil {
+		return delta{failed: true}
+	}
+	r.Inject = s.cfg.Inject
+	p, err := r.Profile(s.cfg.OpsScale)
+	switch {
+	case p == nil:
+		return delta{failed: true}
+	case err != nil && resilience.IsAbort(err):
+		if len(p.Sites) == 0 && len(p.Invocations) == 0 {
+			return delta{failed: true}
+		}
+		return delta{p: p, aborted: true}
+	case err != nil:
+		return delta{failed: true}
+	}
+	return delta{p: p}
+}

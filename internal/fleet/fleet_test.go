@@ -1,0 +1,318 @@
+package fleet
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/kernel"
+	"repro/internal/prof"
+	"repro/internal/resilience"
+	"repro/internal/workload"
+)
+
+var (
+	testOnce sync.Once
+	testK    *kernel.Kernel
+	testP    *interp.Program
+	testErr  error
+)
+
+// testKernel builds one small kernel shared by the package's tests.
+func testKernel(t *testing.T) (*kernel.Kernel, *interp.Program) {
+	t.Helper()
+	testOnce.Do(func() {
+		testK, testErr = kernel.Generate(kernel.Config{Seed: 3, ColdFuncs: 50})
+		if testErr != nil {
+			return
+		}
+		testP, testErr = interp.Compile(testK.Mod.Clone())
+	})
+	if testErr != nil {
+		t.Fatalf("test kernel: %v", testErr)
+	}
+	return testK, testP
+}
+
+func testConfig() Config {
+	return Config{
+		Runners:  4,
+		Shards:   4,
+		Epochs:   2,
+		OpsScale: 2,
+		Seed:     42,
+		Mix:      []workload.Flavor{workload.Apache, workload.Nginx},
+	}
+}
+
+func serialize(t *testing.T, p *prof.Profile) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := p.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestSnapshotDeterminism is the determinism contract: two runs with the
+// same seed and shard count produce byte-identical serialized aggregate
+// snapshots, regardless of goroutine scheduling.
+func TestSnapshotDeterminism(t *testing.T) {
+	k, prog := testKernel(t)
+	run := func() []byte {
+		svc, err := New(k, prog, testConfig(), nil, nil)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		res, err := svc.Run()
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if res.Partial {
+			t.Fatal("fault-free run reported partial aggregate")
+		}
+		return serialize(t, res.Final)
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same seed + shards produced different aggregates (%d vs %d bytes)", len(a), len(b))
+	}
+	if len(a) < 100 {
+		t.Fatalf("suspiciously small aggregate: %d bytes", len(a))
+	}
+}
+
+// TestAggregatorMatchesSerialMerge: the sharded concurrent path must
+// compute exactly what a serial prof.Merge fold computes.
+func TestAggregatorMatchesSerialMerge(t *testing.T) {
+	k, prog := testKernel(t)
+	var deltas []*prof.Profile
+	for i := 0; i < 6; i++ {
+		flavor := []workload.Flavor{workload.Apache, workload.Nginx, workload.DBench}[i%3]
+		r, err := workload.NewRunner(k, prog, flavor, int64(100+i))
+		if err != nil {
+			t.Fatalf("NewRunner: %v", err)
+		}
+		p, err := r.Profile(1)
+		if err != nil {
+			t.Fatalf("Profile: %v", err)
+		}
+		deltas = append(deltas, p)
+	}
+
+	serial := prof.New()
+	for _, d := range deltas {
+		serial.Merge(d)
+	}
+
+	for _, shards := range []int{1, 3, 8} {
+		agg := NewAggregator(shards, 1)
+		var wg sync.WaitGroup
+		for _, d := range deltas {
+			wg.Add(1)
+			go func(d *prof.Profile) {
+				defer wg.Done()
+				agg.Add(d)
+			}(d)
+		}
+		wg.Wait()
+		if got, want := serialize(t, agg.Snapshot()), serialize(t, serial); !bytes.Equal(got, want) {
+			t.Errorf("shards=%d: concurrent aggregate differs from serial merge", shards)
+		}
+	}
+}
+
+func TestDecay(t *testing.T) {
+	agg := NewAggregator(2, 0.5)
+	d := prof.New()
+	d.AddDirect(1, "a", "b", 100)
+	d.AddIndirect(2, "a", "x", 10)
+	d.AddIndirect(2, "a", "y", 1)
+	d.AddInvocation("a", 50)
+	d.Ops = 40
+	agg.Add(d)
+
+	agg.Decay()
+	snap := agg.Snapshot()
+	if got := snap.Sites[1].Count; got != 50 {
+		t.Errorf("direct count after one decay = %d, want 50", got)
+	}
+	s2 := snap.Sites[2]
+	if s2.Targets["x"] != 5 {
+		t.Errorf("indirect target x after decay = %d, want 5", s2.Targets["x"])
+	}
+	if _, ok := s2.Targets["y"]; ok {
+		t.Error("stale single-count target y survived a decay epoch")
+	}
+	if s2.Count != 5 {
+		t.Errorf("indirect header after decay = %d, want sum of surviving targets 5", s2.Count)
+	}
+	if snap.Invocations["a"] != 25 || snap.Ops != 20 {
+		t.Errorf("invocations/ops after decay = %d/%d, want 25/20", snap.Invocations["a"], snap.Ops)
+	}
+
+	// Decay to extinction: counts hit zero and entries drop out.
+	for i := 0; i < 12; i++ {
+		agg.Decay()
+	}
+	snap = agg.Snapshot()
+	if len(snap.Sites) != 0 || len(snap.Invocations) != 0 || snap.Ops != 0 {
+		t.Errorf("aggregate did not fully decay: %d sites, %d fns, ops %d",
+			len(snap.Sites), len(snap.Invocations), snap.Ops)
+	}
+}
+
+// TestDecayedSnapshotRoundTrips: decay must preserve the serialization
+// invariant (indirect header == Σ target counts) that the strict profile
+// reader enforces.
+func TestDecayedSnapshotRoundTrips(t *testing.T) {
+	k, prog := testKernel(t)
+	r, err := workload.NewRunner(k, prog, workload.Apache, 7)
+	if err != nil {
+		t.Fatalf("NewRunner: %v", err)
+	}
+	p, err := r.Profile(2)
+	if err != nil {
+		t.Fatalf("Profile: %v", err)
+	}
+	agg := NewAggregator(4, 0.37)
+	agg.Add(p)
+	for i := 0; i < 3; i++ {
+		agg.Decay()
+	}
+	data := serialize(t, agg.Snapshot())
+	if _, err := prof.Read(bytes.NewReader(data)); err != nil {
+		t.Fatalf("decayed snapshot rejected by strict reader: %v", err)
+	}
+}
+
+// TestPartialAggregateUnderFaults: injected collector faults degrade to
+// a partial aggregate, not a fleet abort.
+func TestPartialAggregateUnderFaults(t *testing.T) {
+	k, prog := testKernel(t)
+	cfg := testConfig()
+	cfg.Inject = resilience.NewInjector(11, resilience.Rates{Trap: 3e-4})
+	svc, err := New(k, prog, cfg, nil, nil)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	res, err := svc.Run()
+	if err != nil {
+		t.Fatalf("fleet aborted instead of degrading: %v", err)
+	}
+	if !res.Partial {
+		t.Fatal("injected traps fired but result not marked partial (raise the rate?)")
+	}
+	var aborted int
+	for _, r := range res.Reports {
+		aborted += r.Aborted + r.Failed
+	}
+	if aborted == 0 {
+		t.Fatal("no collector aborted or failed")
+	}
+	if len(res.Final.Sites) == 0 {
+		t.Fatal("partial aggregate is empty")
+	}
+}
+
+// TestEmptyAggregateFault: when every collector dies before contributing
+// anything, the fleet reports a structured empty-aggregate fault.
+func TestEmptyAggregateFault(t *testing.T) {
+	k, prog := testKernel(t)
+	cfg := testConfig()
+	cfg.Epochs = 1
+	cfg.Inject = resilience.NewInjector(5, resilience.Rates{Trap: 1})
+	svc, err := New(k, prog, cfg, nil, nil)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	res, err := svc.Run()
+	if err == nil {
+		t.Fatalf("all-collectors-dead run succeeded: %+v", res.Reports)
+	}
+	fe, ok := resilience.AsFault(err)
+	if !ok || fe.Phase != resilience.PhaseFleet || fe.Kind != resilience.KindEmptyAggregate {
+		t.Fatalf("error not a fleet/empty-aggregate fault: %v", err)
+	}
+}
+
+// TestDriftRebuild: an LMBench baseline against an Apache/Nginx fleet
+// drifts below the threshold and triggers exactly one rebuild (the
+// post-rebuild baseline matches the live mix, so overlap recovers).
+func TestDriftRebuild(t *testing.T) {
+	k, prog := testKernel(t)
+	lr, err := workload.NewRunner(k, prog, workload.LMBench, 1)
+	if err != nil {
+		t.Fatalf("NewRunner: %v", err)
+	}
+	baseline, err := lr.Profile(2)
+	if err != nil {
+		t.Fatalf("baseline profile: %v", err)
+	}
+
+	cfg := testConfig()
+	cfg.Epochs = 3
+	cfg.DriftThreshold = 0.9
+	var rebuilds []*prof.Profile
+	svc, err := New(k, prog, cfg, baseline, func(snap *prof.Profile) error {
+		rebuilds = append(rebuilds, snap)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	res, err := svc.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Rebuilds == 0 {
+		t.Fatalf("no rebuild despite mismatched baseline; overlaps: %+v", overlaps(res))
+	}
+	first := res.Reports[0]
+	if !(first.Overlap < cfg.DriftThreshold) {
+		t.Errorf("epoch 0 overlap %.3f not below threshold %.2f", first.Overlap, cfg.DriftThreshold)
+	}
+	if !first.Rebuilt {
+		t.Error("first drifted epoch did not rebuild")
+	}
+	// After the rebuild the baseline tracks the live mix: overlap
+	// recovers and stays above the pre-rebuild level.
+	last := res.Reports[len(res.Reports)-1]
+	if last.Overlap <= first.Overlap {
+		t.Errorf("overlap did not recover after rebuild: first %.3f, last %.3f", first.Overlap, last.Overlap)
+	}
+	if len(rebuilds) != res.Rebuilds || rebuilds[0] == nil || len(rebuilds[0].Sites) == 0 {
+		t.Fatalf("rebuild hook saw %d calls (want %d) or an empty snapshot", len(rebuilds), res.Rebuilds)
+	}
+}
+
+func overlaps(res *Result) []float64 {
+	var out []float64
+	for _, r := range res.Reports {
+		out = append(out, r.Overlap)
+	}
+	return out
+}
+
+// TestOnEpochObserver: the observer sees every epoch in order and its
+// error aborts the run.
+func TestOnEpochObserver(t *testing.T) {
+	k, prog := testKernel(t)
+	cfg := testConfig()
+	var seen []int
+	cfg.OnEpoch = func(r EpochReport) error {
+		seen = append(seen, r.Epoch)
+		return nil
+	}
+	svc, err := New(k, prog, cfg, nil, nil)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := svc.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(seen) != cfg.Epochs || seen[0] != 0 || seen[len(seen)-1] != cfg.Epochs-1 {
+		t.Fatalf("observer saw epochs %v, want 0..%d", seen, cfg.Epochs-1)
+	}
+}

@@ -11,6 +11,7 @@
 package prof
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/ir"
@@ -104,9 +105,48 @@ func (p *Profile) AddInvocation(fn string, n uint64) {
 	p.Invocations[fn] += n
 }
 
+// Clone returns a deep copy of the site, sharing no mutable state with s.
+func (s *Site) Clone() *Site {
+	ns := *s
+	if s.Targets != nil {
+		ns.Targets = make(map[string]uint64, len(s.Targets))
+		for t, n := range s.Targets {
+			ns.Targets[t] = n
+		}
+	}
+	return &ns
+}
+
+// Clone returns a deep copy of the profile. The clone shares no mutable
+// state with p, so it can be read or merged-into concurrently with
+// further mutation of the original.
+func (p *Profile) Clone() *Profile {
+	np := &Profile{
+		Sites:       make(map[ir.SiteID]*Site, len(p.Sites)),
+		Invocations: make(map[string]uint64, len(p.Invocations)),
+		Ops:         p.Ops,
+	}
+	for id, s := range p.Sites {
+		np.Sites[id] = s.Clone()
+	}
+	for fn, n := range p.Invocations {
+		np.Invocations[fn] = n
+	}
+	return np
+}
+
 // Merge folds other into p. Profiles from repeated runs of the same
 // workload are merged this way (the paper aggregates 11 LMBench
 // iterations into one profile).
+//
+// Merge is NOT safe for concurrent use: it mutates p and reads other
+// without synchronization, so neither profile may be concurrently
+// mutated (and p may not be concurrently read). Callers that aggregate
+// profiles from concurrent producers must either serialize their merges
+// or go through the synchronized path, internal/fleet's Aggregator.
+// Merge is commutative and associative over the merged weights (counts
+// are exact uint64 sums), which is what makes sharded aggregation
+// order-independent; see the property tests in merge_prop_test.go.
 func (p *Profile) Merge(other *Profile) {
 	for id, s := range other.Sites {
 		if s.Indirect() {
@@ -180,6 +220,84 @@ func (p *Profile) TargetDistribution() map[int]int {
 		dist[n]++
 	}
 	return dist
+}
+
+// HotSet returns the budget-selected hot item set of the profile: the
+// hottest items that together cover the given fraction of the profile's
+// cumulative weight, keyed so that workload drift is visible at the
+// granularity the optimizers care about. Direct sites are keyed
+// "d:<id>" (inlining candidates), indirect (site, target) pairs are
+// keyed "i:<id>:<target>" (promotion candidates) — so an application
+// mix that rotates which target is hot at a multi-target site changes
+// the hot set even though the site itself stays hot. Selection is
+// deterministic: items sort by weight descending, key ascending.
+func (p *Profile) HotSet(budget float64) map[string]uint64 {
+	type item struct {
+		key string
+		w   uint64
+	}
+	var items []item
+	for id, s := range p.Sites {
+		if s.Indirect() {
+			for _, t := range s.SortedTargets() {
+				items = append(items, item{fmt.Sprintf("i:%d:%s", id, t.Name), t.Count})
+			}
+		} else {
+			items = append(items, item{fmt.Sprintf("d:%d", id), s.Count})
+		}
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].w != items[j].w {
+			return items[i].w > items[j].w
+		}
+		return items[i].key < items[j].key
+	})
+	wi := make([]WeightedItem, len(items))
+	for i, it := range items {
+		wi[i] = WeightedItem{Index: i, Weight: it.w}
+	}
+	keep := CumulativeBudget(wi, budget, false)
+	out := make(map[string]uint64, keep)
+	for _, it := range items[:keep] {
+		out[it.key] = it.w
+	}
+	return out
+}
+
+// HotOverlap is the drift statistic of the fleet profiling service: the
+// histogram intersection of the two profiles' budget-selected hot sets,
+// Σ min(ŵ_live, ŵ_base) over hot items, where ŵ is an item's weight
+// normalized by its profile's total hot weight. It is 1 exactly when
+// the hot distributions agree and decays toward 0 as weight moves to
+// different items — or merely redistributes across the same items,
+// which is the drift that silently erodes PIBE's wins: a promotion
+// chain ordered by stale counts puts the now-hot target deep in the
+// chain even though the target was "covered" (the §8.4 mismatched-
+// profile effect, measured continuously). Bare set membership misses
+// that; weight-mass agreement does not.
+func HotOverlap(live, base *Profile, budget float64) float64 {
+	hl, hb := live.HotSet(budget), base.HotSet(budget)
+	var tl, tb uint64
+	for _, w := range hl {
+		tl += w
+	}
+	for _, w := range hb {
+		tb += w
+	}
+	if tl == 0 || tb == 0 {
+		return 0
+	}
+	var sim float64
+	for k, w := range hl {
+		wl := float64(w) / float64(tl)
+		wb := float64(hb[k]) / float64(tb)
+		if wl < wb {
+			sim += wl
+		} else {
+			sim += wb
+		}
+	}
+	return sim
 }
 
 // WeightedItem pairs an arbitrary index with a profile weight, for budget

@@ -28,6 +28,7 @@ const (
 	PhaseMeasure   Phase = "measure"   // latency / cycle measurement
 	PhaseExecute   Phase = "execute"   // inside the interpreter
 	PhaseSerialize Phase = "serialize" // profile (de)serialization
+	PhaseFleet     Phase = "fleet"     // continuous fleet profiling / aggregation
 )
 
 // Kind classifies a fault.
@@ -52,6 +53,11 @@ const (
 	KindPanic Kind = "panic"
 	// KindConfig is an invalid configuration rejected up front.
 	KindConfig Kind = "config"
+	// KindEmptyAggregate is a fleet profiling run whose every collector
+	// failed before contributing anything: the aggregate is empty and
+	// there is nothing to degrade to. Partial collector failures are NOT
+	// this kind — they degrade to a partial aggregate without error.
+	KindEmptyAggregate Kind = "empty-aggregate"
 )
 
 // FaultError is the structured error type used at the interp/workload/

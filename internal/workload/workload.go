@@ -433,19 +433,27 @@ func median(xs []float64) float64 {
 // Geomean returns the geometric mean of (1+x) minus one over the given
 // relative overheads — the aggregation the paper's tables use. Inputs
 // are fractions (0.10 for 10%).
+//
+// The result is always defined: an empty (or nil) slice yields 0, and
+// non-finite inputs (NaN, ±Inf — e.g. an overhead computed against a
+// zero or failed baseline measurement) are skipped rather than allowed
+// to poison the whole aggregate. If every input is non-finite the
+// result is 0.
 func Geomean(overheads []float64) float64 {
-	if len(overheads) == 0 {
-		return 0
-	}
-	prod := 1.0
+	prod, n := 1.0, 0
 	for _, o := range overheads {
 		f := 1 + o
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			continue
+		}
 		if f < 0.01 {
 			f = 0.01
 		}
 		prod *= f
+		n++
 	}
-	return pow(prod, 1/float64(len(overheads))) - 1
+	if n == 0 {
+		return 0
+	}
+	return math.Pow(prod, 1/float64(n)) - 1
 }
-
-func pow(x, y float64) float64 { return math.Pow(x, y) }

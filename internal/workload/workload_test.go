@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/interp"
@@ -189,5 +190,30 @@ func TestMedianAndGeomean(t *testing.T) {
 	g = Geomean([]float64{0.21, -0.10})
 	if g < 0.043 || g > 0.045 {
 		t.Errorf("Geomean mixed = %v, want ≈0.0440", g)
+	}
+}
+
+// TestGeomeanDefined: Geomean is total — empty, all-NaN and mixed
+// non-finite inputs all produce a finite, defined result instead of
+// propagating NaN into a rendered table.
+func TestGeomeanDefined(t *testing.T) {
+	if g := Geomean([]float64{}); g != 0 {
+		t.Errorf("Geomean(empty non-nil) = %v, want 0", g)
+	}
+	nan := math.NaN()
+	if g := Geomean([]float64{nan, nan}); g != 0 {
+		t.Errorf("Geomean(all NaN) = %v, want 0", g)
+	}
+	if g := Geomean([]float64{math.Inf(1), math.Inf(-1)}); g != 0 {
+		t.Errorf("Geomean(all Inf) = %v, want 0", g)
+	}
+	// Non-finite entries are skipped, not zeroed: the finite inputs
+	// alone determine the mean.
+	g := Geomean([]float64{0.10, nan, 0.10, math.Inf(1)})
+	if g < 0.0999 || g > 0.1001 {
+		t.Errorf("Geomean(mixed NaN) = %v, want 0.10 from the finite entries", g)
+	}
+	if got := Geomean([]float64{0.25}); math.IsNaN(got) || got != 0.25 {
+		t.Errorf("Geomean(single) = %v, want 0.25", got)
 	}
 }

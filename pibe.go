@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/attack"
 	"repro/internal/cpu"
+	"repro/internal/fleet"
 	"repro/internal/harden"
 	"repro/internal/icp"
 	"repro/internal/inline"
@@ -489,6 +490,179 @@ func (img *Image) DumpFunction(name string) string {
 		return ""
 	}
 	return ir.Print(f)
+}
+
+// FleetConfig configures continuous fleet profiling (see internal/fleet):
+// N concurrent workload runners stream profile deltas into a sharded
+// aggregator with per-epoch exponential decay; a drift detector compares
+// the live hot set against the profile the active image was built from
+// and rebuilds the image from the fresh aggregate when overlap falls
+// below the threshold.
+type FleetConfig struct {
+	// Runners is the concurrent collector count per epoch (default 4);
+	// runner i profiles Mix[i%len(Mix)].
+	Runners int
+	// Shards is the aggregator stripe count (default 8).
+	Shards int
+	// Epochs is the number of collection epochs (default 1).
+	Epochs int
+	// OpsScale multiplies each runner's workload mix (default 2).
+	OpsScale int
+	// Seed derives all runner seeds. Same Seed + Shards ⇒ byte-identical
+	// aggregate snapshots (absent fault injection).
+	Seed int64
+	// Decay is the per-epoch count multiplier in (0, 1]; 0 means the
+	// default 0.5, 1 disables decay.
+	Decay float64
+	// Mix lists the flavors the fleet runs (default all-LMBench).
+	Mix []Workload
+	// HotBudget is the cumulative-weight budget defining the hot set the
+	// drift detector compares (default 0.99).
+	HotBudget float64
+	// DriftThreshold triggers a rebuild when live-vs-baseline hot-set
+	// overlap falls below it; 0 disables drift-triggered rebuilds.
+	DriftThreshold float64
+	// Build is the image configuration the rebuild controller uses; its
+	// Profile field is replaced by the baseline profile for the initial
+	// image and by the live aggregate on each rebuild.
+	Build BuildConfig
+	// Measure records the per-request kernel-cycle trajectory of the
+	// active image after every epoch, on the MeasureApp workload
+	// (default Apache), so rebuilds show up as overhead drops.
+	Measure    bool
+	MeasureApp Workload
+}
+
+// FleetEpoch is one epoch of a fleet run: the collection tallies, the
+// drift statistic, and (when FleetConfig.Measure is set) the measured
+// per-request kernel cycles of the image active at the epoch's end.
+type FleetEpoch struct {
+	Epoch                   int
+	Merged, Aborted, Failed int
+	// Overlap is the hot-set overlap between the live aggregate and the
+	// profile the active image was built from.
+	Overlap float64
+	// Rebuilt records a successful drift-triggered rebuild this epoch;
+	// RebuildErr carries a failed rebuild's error text.
+	Rebuilt    bool
+	RebuildErr string
+	// Sites and Ops describe the aggregate snapshot.
+	Sites int
+	Ops   uint64
+	// RequestCycles is the overhead-trajectory sample (0 when Measure is
+	// off).
+	RequestCycles float64
+}
+
+// FleetResult is a completed fleet run.
+type FleetResult struct {
+	Epochs []FleetEpoch
+	// Rebuilds counts successful drift-triggered rebuilds.
+	Rebuilds int
+	// Partial reports that some collectors aborted or failed and the
+	// aggregate under-counts the fleet (graceful degradation).
+	Partial bool
+	// Final is the aggregate snapshot after the last epoch.
+	Final *Profile
+}
+
+// Fleet couples a fleet profiling service to this system's build
+// pipeline: it keeps an active image, detects workload drift against
+// the profile that image was built from, and re-optimizes on drift.
+type Fleet struct {
+	sys      *System
+	cfg      FleetConfig
+	baseline *Profile
+	img      *Image
+}
+
+// NewFleet builds the initial image from baseline (via cfg.Build with
+// its Profile replaced by baseline) and returns a fleet whose drift
+// detector compares live aggregates against that baseline. The system's
+// chaos injector, if armed, is threaded through the collectors.
+func (s *System) NewFleet(baseline *Profile, cfg FleetConfig) (f *Fleet, err error) {
+	defer resilience.RecoverPanic(&err, resilience.PhaseFleet, "NewFleet")
+	if baseline == nil {
+		return nil, errors.New("pibe: fleet requires a baseline profile")
+	}
+	bc := cfg.Build
+	bc.Profile = baseline
+	img, err := s.Build(bc)
+	if err != nil {
+		return nil, fmt.Errorf("pibe: fleet initial build: %w", err)
+	}
+	return &Fleet{sys: s, cfg: cfg, baseline: baseline, img: img}, nil
+}
+
+// Image returns the currently active (most recently built) image.
+func (f *Fleet) Image() *Image { return f.img }
+
+// Run executes the configured epochs: concurrent collection, sharded
+// aggregation with decay, drift detection, and automatic rebuilds. It
+// returns a partial result alongside the error when the run degrades
+// terminally (for example, every collector failing).
+func (f *Fleet) Run() (res *FleetResult, err error) {
+	defer resilience.RecoverPanic(&err, resilience.PhaseFleet, "Fleet.Run")
+	measureApp := f.cfg.MeasureApp
+	if f.cfg.Measure && workload.Request(measureApp) == nil {
+		measureApp = Apache
+	}
+	res = &FleetResult{}
+	fcfg := fleet.Config{
+		Runners:        f.cfg.Runners,
+		Shards:         f.cfg.Shards,
+		Epochs:         f.cfg.Epochs,
+		OpsScale:       f.cfg.OpsScale,
+		Seed:           f.cfg.Seed,
+		Decay:          f.cfg.Decay,
+		Mix:            f.cfg.Mix,
+		HotBudget:      f.cfg.HotBudget,
+		DriftThreshold: f.cfg.DriftThreshold,
+		Inject:         f.sys.inject,
+		OnEpoch: func(r fleet.EpochReport) error {
+			fe := FleetEpoch{
+				Epoch: r.Epoch, Merged: r.Merged, Aborted: r.Aborted, Failed: r.Failed,
+				Overlap: r.Overlap, Rebuilt: r.Rebuilt, RebuildErr: r.RebuildErr,
+				Sites: r.Sites, Ops: r.Ops,
+			}
+			if f.cfg.Measure {
+				c, err := f.img.MeasureRequestCycles(measureApp)
+				if err != nil {
+					return fmt.Errorf("trajectory measurement: %w", err)
+				}
+				fe.RequestCycles = c
+			}
+			res.Epochs = append(res.Epochs, fe)
+			return nil
+		},
+	}
+	svc, err := fleet.New(f.sys.Kernel, f.sys.prog, fcfg, f.baseline.p, func(snap *prof.Profile) error {
+		bc := f.cfg.Build
+		bc.Profile = &Profile{p: snap}
+		img, err := f.sys.Build(bc)
+		if err != nil {
+			return err
+		}
+		f.img = img
+		f.baseline = bc.Profile
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	fres, err := svc.Run()
+	res.Rebuilds = fres.Rebuilds
+	res.Partial = fres.Partial
+	if fres.Final != nil {
+		res.Final = &Profile{p: fres.Final}
+	}
+	return res, err
+}
+
+// HotSetOverlap exposes the fleet drift statistic: the fraction of a's
+// budget-selected hot weight whose items are also hot in b.
+func HotSetOverlap(a, b *Profile, budget float64) float64 {
+	return prof.HotOverlap(a.p, b.p, budget)
 }
 
 // CPUFrequencyGHz is the clock the simulator converts cycles with.
