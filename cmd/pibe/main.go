@@ -14,14 +14,23 @@
 //	pibe dump     [-seed N] -func NAME [...build flags]          (one function's IR)
 //	pibe fleet    [-seed N] [-fleet 4] [-fleet-shards 8] [-fleet-epochs 3]
 //	              [-drift-threshold 0.75] [-fleet-mix apache,nginx] [-fleet-decay 0.5]
+//	              [-canary 1] [-regression-budget 0.05] [-state DIR]
 //	              [-profile baseline.txt] [...build flags] [-measure]
 //
 // Fleet mode runs continuous profiling: -fleet concurrent collectors per
 // epoch stream profile deltas into a sharded aggregator with per-epoch
 // exponential decay; when the live hot set's overlap with the baseline
 // profile falls below -drift-threshold, the image is rebuilt from the
-// fresh aggregate. With -measure, each epoch reports the active image's
-// per-request kernel cycles, so a rebuild shows up as a latency drop.
+// fresh aggregate. A rebuilt image must pass differential validation
+// against the unoptimized-but-hardened reference, then serve -canary
+// epochs; it is promoted only if its canary latency stays within
+// -regression-budget of the incumbent and no new fault kinds appeared —
+// otherwise the incumbent keeps serving and the rejection reason is
+// printed. With -state DIR, the fleet checkpoints after every epoch and
+// a rerun with the same directory resumes mid-loop, losing at most the
+// epoch that was in flight when the process died. With -measure, each
+// epoch reports the active image's per-request kernel cycles, so a
+// promotion shows up as a latency drop.
 //
 // Chaos mode (any command): -chaos RATE arms a deterministic fault
 // injector (seeded by -chaos-seed) that forces interpreter traps,
@@ -73,6 +82,9 @@ func main() {
 	driftThreshold := fs.Float64("drift-threshold", 0.75, "rebuild when hot-set overlap falls below this (0 disables)")
 	fleetMix := fs.String("fleet-mix", "apache,nginx", "comma-separated fleet workload mix")
 	fleetDecay := fs.Float64("fleet-decay", 0.5, "per-epoch count decay factor (1 disables)")
+	canary := fs.Int("canary", 1, "epochs a rebuilt candidate serves before the promotion decision")
+	regressionBudget := fs.Float64("regression-budget", 0.05, "canary latency regression tolerated vs the incumbent")
+	stateDir := fs.String("state", "", "checkpoint directory for crash-safe fleet state (resumes if present)")
 	chaosRate := fs.Float64("chaos", 0, "fault-injection rate (0 disables chaos mode)")
 	chaosSeed := fs.Int64("chaos-seed", 1, "fault-injection seed")
 	chaosMax := fs.Int("chaos-max", 0, "cap on total injected faults (0 = unlimited)")
@@ -205,13 +217,16 @@ func main() {
 			baseline = collectProfile(sys, pibe.LMBench)
 		}
 		cfg := pibe.FleetConfig{
-			Runners:        *fleetRunners,
-			Shards:         *fleetShards,
-			Epochs:         *fleetEpochs,
-			Seed:           *seed,
-			Decay:          *fleetDecay,
-			Mix:            parseMix(*fleetMix),
-			DriftThreshold: *driftThreshold,
+			Runners:          *fleetRunners,
+			Shards:           *fleetShards,
+			Epochs:           *fleetEpochs,
+			Seed:             *seed,
+			Decay:            *fleetDecay,
+			Mix:              parseMix(*fleetMix),
+			DriftThreshold:   *driftThreshold,
+			CanaryEpochs:     *canary,
+			RegressionBudget: *regressionBudget,
+			StateDir:         *stateDir,
 			Build: pibe.BuildConfig{
 				Defenses: parseDefenses(*defenses),
 				Optimize: pibe.OptimizeConfig{
@@ -231,11 +246,26 @@ func main() {
 		} else {
 			check(err)
 		}
+		if res.StartEpoch > 0 {
+			fmt.Fprintf(w, "resumed from checkpoint at epoch %d\n", res.StartEpoch)
+		}
 		for _, e := range res.Epochs {
 			fmt.Fprintf(w, "epoch %d: merged %d/%d (aborted %d, failed %d)  sites %d  ops %d  overlap %.3f",
 				e.Epoch, e.Merged, e.Merged+e.Failed, e.Aborted, e.Failed, e.Sites, e.Ops, e.Overlap)
 			if e.Rebuilt {
 				fmt.Fprint(w, "  REBUILT")
+			}
+			if e.Canary {
+				fmt.Fprint(w, "  CANARY")
+			}
+			if e.Promoted {
+				fmt.Fprint(w, "  PROMOTED")
+			}
+			if e.Rejected != "" {
+				fmt.Fprintf(w, "  rejected=%q", e.Rejected)
+			}
+			if e.CoolingDown > 0 {
+				fmt.Fprintf(w, "  cooldown=%d", e.CoolingDown)
 			}
 			if e.RebuildErr != "" {
 				fmt.Fprintf(w, "  rebuild-error=%q", e.RebuildErr)
@@ -245,8 +275,8 @@ func main() {
 			}
 			fmt.Fprintln(w)
 		}
-		fmt.Fprintf(w, "fleet: %d epochs, %d rebuilds, partial=%v\n",
-			len(res.Epochs), res.Rebuilds, res.Partial)
+		fmt.Fprintf(w, "fleet: %d epochs, %d promoted, %d rejected, %d build-failures, partial=%v\n",
+			len(res.Epochs), res.Rebuilds, res.Rejections, res.RebuildFailures, res.Partial)
 
 	default:
 		usage()

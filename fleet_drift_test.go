@@ -2,9 +2,11 @@ package pibe_test
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 
 	pibe "repro"
+	"repro/internal/ir"
 )
 
 // fleetBuild is the all-defenses optimized configuration the fleet's
@@ -62,6 +64,9 @@ func TestFleetDriftRebuildEndToEnd(t *testing.T) {
 	}
 	if !first.Rebuilt {
 		t.Errorf("drifted epoch 0 did not rebuild: %+v", first)
+	}
+	if !first.Promoted || first.Rejected != "" {
+		t.Errorf("clean candidate did not pass the promotion gates: %+v", first)
 	}
 
 	fresh := fl.Image()
@@ -159,5 +164,160 @@ func TestFleetTrajectory(t *testing.T) {
 	after := res.Epochs[rebuiltAt].RequestCycles
 	if !(after < staleCycles) {
 		t.Errorf("trajectory did not improve after rebuild: stale %.0f, post-rebuild %.0f", staleCycles, after)
+	}
+}
+
+// stripOneDefense models a miscompiled hardening pass: one rewriteable
+// indirect call loses its retpoline thunk.
+func stripOneDefense(mod *ir.Module) {
+	done := false
+	for _, f := range mod.Funcs {
+		f.ForEachInstr(func(b *ir.Block, i int, in *ir.Instr) {
+			if !done && in.Op == ir.OpICall && !in.Asm && in.Defense != ir.DefNone {
+				in.Defense = ir.DefNone
+				done = true
+			}
+		})
+		if done {
+			return
+		}
+	}
+}
+
+// swapBranches models a control-flow miscompile: every conditional
+// branch is inverted, which passes the structural checks (the module
+// still verifies and every surviving indirect branch stays hardened)
+// but diverges observably from the reference.
+func swapBranches(mod *ir.Module) {
+	for _, f := range mod.Funcs {
+		f.ForEachInstr(func(b *ir.Block, i int, in *ir.Instr) {
+			if in.Op == ir.OpBr && in.Else != "" {
+				in.Then, in.Else = in.Else, in.Then
+			}
+		})
+	}
+}
+
+// TestFleetTamperedCandidateRejected is the promotion-safety E2E: a
+// candidate whose build was corrupted — either dropping a hardening
+// site or miscompiling control flow — is rejected by differential
+// validation, the incumbent image keeps serving, and the rejection
+// reason lands in the epoch report and the run counters.
+func TestFleetTamperedCandidateRejected(t *testing.T) {
+	cases := []struct {
+		name   string
+		tamper func(*ir.Module)
+		want   string
+	}{
+		{"unhardened-site", stripOneDefense, "unhardened-site"},
+		{"behavioral-divergence", swapBranches, "divergence"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sys := testSystem(t)
+			profLM := testProfile(t, sys)
+			fl, err := sys.NewFleet(profLM, pibe.FleetConfig{
+				Runners:        4,
+				Shards:         4,
+				Epochs:         2,
+				Seed:           42,
+				Mix:            []pibe.Workload{pibe.Apache, pibe.Nginx},
+				DriftThreshold: 0.75,
+				Build:          fleetBuild(),
+				TamperRebuild:  tc.tamper,
+			})
+			if err != nil {
+				t.Fatalf("NewFleet: %v", err)
+			}
+			incumbent := fl.Image()
+			res, err := fl.Run()
+			if err != nil {
+				t.Fatalf("fleet run: %v", err)
+			}
+			if res.Rebuilds != 0 {
+				t.Errorf("tampered candidate was promoted (%d rebuilds)", res.Rebuilds)
+			}
+			if res.Rejections == 0 {
+				t.Fatalf("tampered candidate was not rejected: %+v", res.Epochs)
+			}
+			first := res.Epochs[0]
+			if !first.Rebuilt || first.Promoted {
+				t.Errorf("epoch 0 = %+v, want rebuilt-but-not-promoted", first)
+			}
+			if !strings.Contains(first.Rejected, tc.want) {
+				t.Errorf("rejection reason %q does not name %q", first.Rejected, tc.want)
+			}
+			if fl.Image() != incumbent {
+				t.Error("incumbent image was replaced despite the rejection")
+			}
+		})
+	}
+}
+
+// TestFleetStateResumeContinues is the crash-safe resume E2E at the
+// public API: a fleet stopped after two epochs resumes from its
+// checkpoint directory, replays only the remaining epoch, and converges
+// on exactly the same final aggregate, promotion count and image as an
+// uninterrupted run.
+func TestFleetStateResumeContinues(t *testing.T) {
+	sys := testSystem(t)
+	profLM := testProfile(t, sys)
+	mkCfg := func(dir string, epochs int) pibe.FleetConfig {
+		return pibe.FleetConfig{
+			Runners:        4,
+			Shards:         4,
+			Epochs:         epochs,
+			Seed:           42,
+			Mix:            []pibe.Workload{pibe.Apache, pibe.Nginx},
+			DriftThreshold: 0.75,
+			Build:          fleetBuild(),
+			StateDir:       dir,
+		}
+	}
+	run := func(dir string, epochs int) (*pibe.Fleet, *pibe.FleetResult) {
+		fl, err := sys.NewFleet(profLM, mkCfg(dir, epochs))
+		if err != nil {
+			t.Fatalf("NewFleet: %v", err)
+		}
+		res, err := fl.Run()
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return fl, res
+	}
+
+	dirA := t.TempDir()
+	flA, resA := run(dirA, 3)
+	if resA.Rebuilds == 0 {
+		t.Fatal("reference run never promoted; drift config inert")
+	}
+
+	dirB := t.TempDir()
+	_, resB1 := run(dirB, 2)
+	flB, resB2 := run(dirB, 3)
+	if resB2.StartEpoch != 2 || len(resB2.Epochs) != 1 {
+		t.Fatalf("resume replayed epochs %+v starting at %d, want exactly epoch 2",
+			resB2.Epochs, resB2.StartEpoch)
+	}
+	if resB2.Rebuilds != resA.Rebuilds {
+		t.Errorf("resumed promotion count %d (carried %d) != uninterrupted %d",
+			resB2.Rebuilds, resB1.Rebuilds, resA.Rebuilds)
+	}
+	var a, b bytes.Buffer
+	resA.Final.WriteTo(&a)
+	resB2.Final.WriteTo(&b)
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("resumed final aggregate differs from the uninterrupted run")
+	}
+	ca, err := flA.Image().MeasureRequestCycles(pibe.Apache)
+	if err != nil {
+		t.Fatalf("measure reference image: %v", err)
+	}
+	cb, err := flB.Image().MeasureRequestCycles(pibe.Apache)
+	if err != nil {
+		t.Fatalf("measure resumed image: %v", err)
+	}
+	if ca != cb {
+		t.Errorf("resumed fleet serves a different image: %.0f vs %.0f request cycles", cb, ca)
 	}
 }

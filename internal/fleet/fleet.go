@@ -14,18 +14,29 @@
 //	     channel ──collector workers──▶ sharded lock-striped Aggregator
 //	     epoch barrier ─▶ decay ─▶ snapshot ─▶ drift detector ─▶ rebuild
 //
+// A rebuild is not promoted unconditionally: the candidate image first
+// passes differential validation, then serves a configurable canary
+// window, and is promoted only if its canary latency stays within the
+// regression budget and no new fault kinds appeared — otherwise the
+// incumbent keeps serving and repeated rejections trip a capped-backoff
+// cool-down (see Controller, Candidate and DESIGN.md §9). With a
+// StateDir configured the service checkpoints its state after every
+// epoch and resumes mid-loop after a crash.
+//
 // Determinism contract: with no fault injector armed, the same Seed,
 // Shards and Config produce a byte-identical serialized aggregate
 // snapshot regardless of goroutine scheduling. Runner seeds are derived
 // from (Seed, epoch, runner index), merges are exact commutative uint64
 // sums, and decay happens at the epoch barrier — so no interleaving can
 // change the result, and fleet runs are replayable the way chaos runs
-// are.
+// are. A killed-and-resumed run reaches the same aggregate (and the same
+// promoted image) as an uninterrupted one.
 package fleet
 
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/interp"
@@ -63,6 +74,23 @@ type Config struct {
 	// hot-set overlap with the baseline profile falls below it; 0
 	// disables drift-triggered rebuilds.
 	DriftThreshold float64
+	// CanaryEpochs is how many epochs (counting the build epoch) a
+	// freshly built candidate serves before the promotion decision
+	// (default 1: validate, measure and decide within the drift epoch).
+	CanaryEpochs int
+	// RegressionBudget is the relative canary-latency regression allowed
+	// versus the incumbent before the candidate is rejected (0 means the
+	// default 0.05; negative means no tolerance at all).
+	RegressionBudget float64
+	// Backoff shapes the rebuild cool-down after a rejected candidate or
+	// failed rebuild: the k-th consecutive strike suppresses rebuilds
+	// for Backoff.Steps(k) epochs (capped exponential, jittered). The
+	// zero value means resilience.DefaultRetry().
+	Backoff resilience.RetryPolicy
+	// StateDir, when non-empty, makes the run crash-safe: the service
+	// checkpoints its aggregate, counters and promotion state there
+	// after every epoch (see SaveState) and Restore resumes mid-loop.
+	StateDir string
 	// Inject, when non-nil, threads chaos faults through the collectors.
 	// Aborted collector runs degrade to partial deltas that still merge;
 	// the fleet only fails when every collector of every epoch
@@ -70,7 +98,10 @@ type Config struct {
 	// shared stream, so chaos fleet runs are not byte-deterministic.
 	Inject *resilience.Injector
 	// OnEpoch, when non-nil, observes each epoch's report after drift
-	// detection and any rebuild. Returning an error aborts the run.
+	// detection, any rebuild and the promotion decision, but before the
+	// epoch is checkpointed — an observer failure therefore models a
+	// crash that loses exactly the in-flight epoch. Returning an error
+	// aborts the run.
 	OnEpoch func(EpochReport) error
 }
 
@@ -96,6 +127,15 @@ func (c Config) withDefaults() Config {
 	if c.HotBudget <= 0 || c.HotBudget > 1 {
 		c.HotBudget = 0.99
 	}
+	if c.CanaryEpochs <= 0 {
+		c.CanaryEpochs = 1
+	}
+	switch {
+	case c.RegressionBudget == 0:
+		c.RegressionBudget = 0.05
+	case c.RegressionBudget < 0:
+		c.RegressionBudget = 0
+	}
 	return c
 }
 
@@ -108,14 +148,30 @@ type EpochReport struct {
 	// aborted and degraded to a partial delta; Failed counts runners
 	// that contributed nothing.
 	Merged, Aborted, Failed int
+	// FaultKinds lists (sorted) the fault kinds collectors hit this
+	// epoch; the canary's no-new-fault-kinds gate compares these against
+	// the kinds seen before the candidate was built.
+	FaultKinds []string
 	// Overlap is the hot-set overlap between the live aggregate
 	// snapshot and the baseline profile the current image was built
 	// from (1 when no baseline is set).
 	Overlap float64
 	// Rebuilt records that drift tripped the threshold and the rebuild
-	// hook succeeded; RebuildErr carries a failed hook's error text.
+	// controller produced a candidate; RebuildErr carries a failed
+	// build's error text.
 	Rebuilt    bool
 	RebuildErr string
+	// Canary reports that a candidate image served this epoch.
+	Canary bool
+	// Promoted records that the candidate passed every promotion gate
+	// this epoch and the baseline advanced; Rejected carries the reason
+	// a candidate was rolled back instead.
+	Promoted bool
+	Rejected string
+	// CoolingDown, when non-zero, is how many epochs of rebuild
+	// cool-down remained (counting this one) when drift was detected
+	// but the rebuild was suppressed after recent rejections.
+	CoolingDown int
 	// Sites and Ops describe the post-epoch aggregate snapshot.
 	Sites int
 	Ops   uint64
@@ -126,12 +182,56 @@ type Result struct {
 	Reports []EpochReport
 	// Final is the aggregate snapshot after the last epoch.
 	Final *prof.Profile
-	// Rebuilds counts drift-triggered rebuilds that succeeded.
+	// Rebuilds counts drift-triggered rebuilds that passed every
+	// promotion gate and advanced the baseline.
 	Rebuilds int
+	// RebuildFailures counts rebuild attempts whose build itself failed.
+	RebuildFailures int
+	// Rejections counts candidates that were built but rolled back by a
+	// promotion gate (validation, canary latency, new fault kinds).
+	Rejections int
 	// Partial reports that at least one collector aborted or failed;
 	// the aggregate is an under-count of the fleet's true activity but
 	// remains usable (graceful degradation).
 	Partial bool
+}
+
+// Controller is the build side of the promotion pipeline. The service
+// calls Rebuild when drift trips the threshold; the returned Candidate
+// is validated, canaried and only then promoted.
+type Controller struct {
+	// Rebuild builds a candidate image from the drifted snapshot.
+	// Returning an error counts as a failed rebuild (and a strike
+	// toward the cool-down).
+	Rebuild func(snap *prof.Profile) (*Candidate, error)
+	// Incumbent, when non-nil, measures the serving image's canary
+	// metric (e.g. geomean request latency); nil disables the latency
+	// regression gate.
+	Incumbent func() (float64, error)
+}
+
+// Candidate is one rebuilt image moving through the promotion gates.
+// Nil fields skip their gate.
+type Candidate struct {
+	// Validate differentially validates the candidate against its
+	// reference image (see internal/diffcheck); a non-nil error rejects
+	// the candidate before it serves a single canary epoch.
+	Validate func() error
+	// Measure returns the candidate's canary metric, compared against
+	// Controller.Incumbent under the regression budget.
+	Measure func() (float64, error)
+	// Promote activates the candidate as the serving image; it runs
+	// only after every gate passed.
+	Promote func() error
+}
+
+// canaryState tracks the candidate currently serving its canary window.
+type canaryState struct {
+	snap        *prof.Profile
+	cand        *Candidate
+	served      int
+	kindsBefore map[string]bool
+	newKinds    map[string]bool
 }
 
 // Service runs fleet profiling over one generated kernel.
@@ -141,20 +241,29 @@ type Service struct {
 	cfg  Config
 	agg  *Aggregator
 	// baseline is the profile the currently deployed image was built
-	// from; the drift detector compares live snapshots against it and
-	// rebuild advances it to the snapshot that drove the rebuild.
+	// from; the drift detector compares live snapshots against it and a
+	// promoted rebuild advances it to the snapshot that drove the
+	// rebuild.
 	baseline *prof.Profile
-	// rebuild is invoked with the fresh aggregate snapshot when drift
-	// trips the threshold.
-	rebuild func(*prof.Profile) error
+	ctrl     *Controller
+
+	// promotion-pipeline state
+	canary    *canaryState
+	strikes   int // consecutive rejections / failed rebuilds
+	cooldown  int // epochs left before the next rebuild attempt
+	seenKinds map[string]bool
+
+	// resume state (set by Restore)
+	startEpoch int
+	resumed    *State
 }
 
 // New builds a fleet service. baseline is the profile the current image
-// was built from (nil disables drift detection); rebuild, when non-nil,
-// is called with the live snapshot whenever hot-set overlap falls below
-// Config.DriftThreshold, and on success the snapshot becomes the new
-// baseline.
-func New(k *kernel.Kernel, prog *interp.Program, cfg Config, baseline *prof.Profile, rebuild func(*prof.Profile) error) (*Service, error) {
+// was built from (nil disables drift detection); ctrl, when non-nil,
+// supplies the rebuild/promotion pipeline invoked whenever hot-set
+// overlap falls below Config.DriftThreshold. A promoted candidate's
+// snapshot becomes the new baseline.
+func New(k *kernel.Kernel, prog *interp.Program, cfg Config, baseline *prof.Profile, ctrl *Controller) (*Service, error) {
 	if k == nil || prog == nil {
 		return nil, errors.New("fleet: nil kernel or program")
 	}
@@ -165,18 +274,23 @@ func New(k *kernel.Kernel, prog *interp.Program, cfg Config, baseline *prof.Prof
 		}
 	}
 	return &Service{
-		k:        k,
-		prog:     prog,
-		cfg:      cfg,
-		agg:      NewAggregator(cfg.Shards, cfg.Decay),
-		baseline: baseline,
-		rebuild:  rebuild,
+		k:         k,
+		prog:      prog,
+		cfg:       cfg,
+		agg:       NewAggregator(cfg.Shards, cfg.Decay),
+		baseline:  baseline,
+		ctrl:      ctrl,
+		seenKinds: make(map[string]bool),
 	}, nil
 }
 
 // Aggregator exposes the live aggregate for snapshot reads while (or
 // after) the service runs.
 func (s *Service) Aggregator() *Aggregator { return s.agg }
+
+// Baseline returns the profile the drift detector currently compares
+// against (it advances on every promotion).
+func (s *Service) Baseline() *prof.Profile { return s.baseline }
 
 // runnerSeed derives a distinct deterministic seed per (epoch, runner).
 func (s *Service) runnerSeed(epoch, runner int) int64 {
@@ -187,17 +301,20 @@ func (s *Service) runnerSeed(epoch, runner int) int64 {
 // runner goroutine to the collector workers.
 type delta struct {
 	p       *prof.Profile
-	aborted bool // profiling aborted; p is the salvaged partial
-	failed  bool // nothing usable collected
+	aborted bool   // profiling aborted; p is the salvaged partial
+	failed  bool   // nothing usable collected
+	kind    string // fault kind behind an abort/failure, if structured
 }
 
-// Run executes the configured epochs. Each epoch: N runner goroutines
-// profile their flavor concurrently and stream deltas over a channel
-// into collector workers that merge them into the sharded aggregator;
-// at the epoch barrier the aggregate is decayed (from the second epoch
-// on, before new deltas land), snapshotted, and checked for drift
-// against the baseline; drift below the threshold triggers the rebuild
-// hook with the snapshot.
+// Run executes the configured epochs (resuming from a restored
+// checkpoint's epoch when one was loaded). Each epoch: N runner
+// goroutines profile their flavor concurrently and stream deltas over a
+// channel into collector workers that merge them into the sharded
+// aggregator; at the epoch barrier the aggregate is decayed (from the
+// second epoch on, before new deltas land), snapshotted, and checked for
+// drift against the baseline; drift below the threshold starts the
+// promotion pipeline (build → differential validation → canary window →
+// latency and fault-kind gates → promote or roll back).
 //
 // Collector faults — injected or organic — degrade to partial
 // aggregates: an aborted profiling run contributes the partial profile
@@ -207,7 +324,13 @@ type delta struct {
 // aggregated.
 func (s *Service) Run() (*Result, error) {
 	res := &Result{}
-	for e := 0; e < s.cfg.Epochs; e++ {
+	if st := s.resumed; st != nil {
+		res.Rebuilds = st.Rebuilds
+		res.RebuildFailures = st.RebuildFailures
+		res.Rejections = st.Rejections
+		res.Partial = st.Partial
+	}
+	for e := s.startEpoch; e < s.cfg.Epochs; e++ {
 		if e > 0 {
 			s.agg.Decay()
 		}
@@ -220,15 +343,7 @@ func (s *Service) Run() (*Result, error) {
 		if s.baseline != nil {
 			rep.Overlap = prof.HotOverlap(snap, s.baseline, s.cfg.HotBudget)
 		}
-		if s.cfg.DriftThreshold > 0 && rep.Overlap < s.cfg.DriftThreshold && s.rebuild != nil {
-			if err := s.rebuild(snap); err != nil {
-				rep.RebuildErr = err.Error()
-			} else {
-				rep.Rebuilt = true
-				s.baseline = snap
-				res.Rebuilds++
-			}
-		}
+		s.promotionStep(&rep, res, snap)
 		if rep.Aborted > 0 || rep.Failed > 0 {
 			res.Partial = true
 		}
@@ -241,12 +356,160 @@ func (s *Service) Run() (*Result, error) {
 				return res, fmt.Errorf("fleet: epoch %d observer: %w", e, err)
 			}
 		}
+		if s.cfg.StateDir != "" {
+			if err := s.checkpoint(e+1, res, snap); err != nil {
+				return res, resilience.Fault(resilience.PhaseFleet, resilience.KindTruncated,
+					"checkpoint", err)
+			}
+		}
+	}
+	if res.Final == nil {
+		// Resume landed at or past the configured epoch count: nothing
+		// left to collect, but the restored aggregate is still the result.
+		res.Final = s.agg.Snapshot()
 	}
 	if len(res.Final.Sites) == 0 && len(res.Final.Invocations) == 0 {
 		return res, resilience.Faultf(resilience.PhaseFleet, resilience.KindEmptyAggregate, "aggregate",
 			"fleet: every collector failed; nothing aggregated after %d epochs", s.cfg.Epochs)
 	}
 	return res, nil
+}
+
+// promotionStep advances the canary-gated promotion pipeline by one
+// epoch: it ages a serving canary toward its decision, or — when no
+// canary is active and drift trips the threshold — builds and validates
+// a fresh candidate (respecting the rejection cool-down).
+func (s *Service) promotionStep(rep *EpochReport, res *Result, snap *prof.Profile) {
+	epochKinds := rep.FaultKinds
+	defer func() {
+		for _, k := range epochKinds {
+			s.seenKinds[k] = true
+		}
+	}()
+
+	if s.canary != nil {
+		// The candidate is serving its canary window; collect any fault
+		// kind the fleet had never seen before the candidate was built.
+		rep.Canary = true
+		s.canary.served++
+		for _, k := range epochKinds {
+			if !s.canary.kindsBefore[k] {
+				s.canary.newKinds[k] = true
+			}
+		}
+		if s.canary.served >= s.cfg.CanaryEpochs {
+			s.decideCanary(rep, res)
+		}
+		return
+	}
+
+	if s.cfg.DriftThreshold <= 0 || rep.Overlap >= s.cfg.DriftThreshold ||
+		s.ctrl == nil || s.ctrl.Rebuild == nil {
+		return
+	}
+	if s.cooldown > 0 {
+		rep.CoolingDown = s.cooldown
+		s.cooldown--
+		return
+	}
+	cand, err := s.ctrl.Rebuild(snap)
+	if err != nil {
+		rep.RebuildErr = err.Error()
+		res.RebuildFailures++
+		s.strike()
+		return
+	}
+	rep.Rebuilt = true
+	if cand == nil {
+		cand = &Candidate{}
+	}
+	if cand.Validate != nil {
+		if err := cand.Validate(); err != nil {
+			s.reject(rep, res, "validation: "+err.Error())
+			return
+		}
+	}
+	kindsBefore := make(map[string]bool, len(s.seenKinds)+len(epochKinds))
+	for k := range s.seenKinds {
+		kindsBefore[k] = true
+	}
+	for _, k := range epochKinds {
+		// This epoch's collection ran on the incumbent, before the build:
+		// its faults predate the candidate.
+		kindsBefore[k] = true
+	}
+	s.canary = &canaryState{
+		snap: snap, cand: cand, served: 1,
+		kindsBefore: kindsBefore, newKinds: make(map[string]bool),
+	}
+	rep.Canary = true
+	if s.canary.served >= s.cfg.CanaryEpochs {
+		s.decideCanary(rep, res)
+	}
+}
+
+// decideCanary runs the promotion gates at the end of the canary window:
+// no new fault kinds, canary latency within the regression budget of the
+// incumbent, and a successful activation. Any failure rolls back to the
+// incumbent.
+func (s *Service) decideCanary(rep *EpochReport, res *Result) {
+	c := s.canary
+	s.canary = nil
+	if len(c.newKinds) > 0 {
+		kinds := make([]string, 0, len(c.newKinds))
+		for k := range c.newKinds {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		s.reject(rep, res, fmt.Sprintf("canary: new fault kinds %v", kinds))
+		return
+	}
+	if s.ctrl != nil && s.ctrl.Incumbent != nil && c.cand.Measure != nil {
+		inc, err := s.ctrl.Incumbent()
+		if err != nil {
+			s.reject(rep, res, "incumbent measurement: "+err.Error())
+			return
+		}
+		cl, err := c.cand.Measure()
+		if err != nil {
+			s.reject(rep, res, "canary measurement: "+err.Error())
+			return
+		}
+		if inc > 0 && cl > inc*(1+s.cfg.RegressionBudget) {
+			s.reject(rep, res, fmt.Sprintf(
+				"canary latency %.0f regresses incumbent %.0f beyond the %.1f%% budget",
+				cl, inc, s.cfg.RegressionBudget*100))
+			return
+		}
+	}
+	if c.cand.Promote != nil {
+		if err := c.cand.Promote(); err != nil {
+			s.reject(rep, res, "activation: "+err.Error())
+			return
+		}
+	}
+	rep.Promoted = true
+	s.baseline = c.snap
+	res.Rebuilds++
+	s.strikes = 0
+	s.cooldown = 0
+}
+
+// reject rolls a candidate back to the incumbent, records the reason,
+// and arms the cool-down.
+func (s *Service) reject(rep *EpochReport, res *Result, reason string) {
+	rep.Rejected = reason
+	res.Rejections++
+	s.canary = nil
+	s.strike()
+}
+
+// strike arms the capped-backoff cool-down after a rejection or failed
+// rebuild: the k-th consecutive strike suppresses rebuild attempts for
+// Backoff.Steps(k) epochs.
+func (s *Service) strike() {
+	s.strikes++
+	s.cooldown = s.cfg.Backoff.Steps(s.strikes)
 }
 
 // runEpoch fans out the runners, fans their deltas into the aggregator,
@@ -259,6 +522,7 @@ func (s *Service) runEpoch(epoch int) EpochReport {
 	if collectors > 4 {
 		collectors = 4
 	}
+	kinds := make(map[string]bool)
 	var mu sync.Mutex // guards rep tallies
 	var collectWG sync.WaitGroup
 	for w := 0; w < collectors; w++ {
@@ -279,6 +543,9 @@ func (s *Service) runEpoch(epoch int) EpochReport {
 				default:
 					rep.Merged++
 				}
+				if d.kind != "" {
+					kinds[d.kind] = true
+				}
 				mu.Unlock()
 			}
 		}()
@@ -295,7 +562,19 @@ func (s *Service) runEpoch(epoch int) EpochReport {
 	runWG.Wait()
 	close(deltas)
 	collectWG.Wait()
+	for k := range kinds {
+		rep.FaultKinds = append(rep.FaultKinds, k)
+	}
+	sort.Strings(rep.FaultKinds)
 	return rep
+}
+
+// faultKind extracts the structured kind of a collector error, or "".
+func faultKind(err error) string {
+	if fe, ok := resilience.AsFault(err); ok {
+		return string(fe.Kind)
+	}
+	return ""
 }
 
 // collect runs one collector: a profiling run of the runner's flavor,
@@ -305,26 +584,26 @@ func (s *Service) collect(epoch, i int) (d delta) {
 	// killing the fleet.
 	defer func() {
 		if r := recover(); r != nil {
-			d = delta{failed: true}
+			d = delta{failed: true, kind: string(resilience.KindPanic)}
 		}
 	}()
 	flavor := s.cfg.Mix[i%len(s.cfg.Mix)]
 	r, err := workload.NewRunner(s.k, s.prog, flavor, s.runnerSeed(epoch, i))
 	if err != nil {
-		return delta{failed: true}
+		return delta{failed: true, kind: faultKind(err)}
 	}
 	r.Inject = s.cfg.Inject
 	p, err := r.Profile(s.cfg.OpsScale)
 	switch {
 	case p == nil:
-		return delta{failed: true}
+		return delta{failed: true, kind: faultKind(err)}
 	case err != nil && resilience.IsAbort(err):
 		if len(p.Sites) == 0 && len(p.Invocations) == 0 {
-			return delta{failed: true}
+			return delta{failed: true, kind: faultKind(err)}
 		}
-		return delta{p: p, aborted: true}
+		return delta{p: p, aborted: true, kind: faultKind(err)}
 	case err != nil:
-		return delta{failed: true}
+		return delta{failed: true, kind: faultKind(err)}
 	}
 	return delta{p: p}
 }

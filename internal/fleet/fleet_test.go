@@ -2,6 +2,8 @@ package fleet
 
 import (
 	"bytes"
+	"errors"
+	"strings"
 	"sync"
 	"testing"
 
@@ -255,9 +257,11 @@ func TestDriftRebuild(t *testing.T) {
 	cfg.Epochs = 3
 	cfg.DriftThreshold = 0.9
 	var rebuilds []*prof.Profile
-	svc, err := New(k, prog, cfg, baseline, func(snap *prof.Profile) error {
-		rebuilds = append(rebuilds, snap)
-		return nil
+	svc, err := New(k, prog, cfg, baseline, &Controller{
+		Rebuild: func(snap *prof.Profile) (*Candidate, error) {
+			rebuilds = append(rebuilds, snap)
+			return &Candidate{}, nil
+		},
 	})
 	if err != nil {
 		t.Fatalf("New: %v", err)
@@ -275,6 +279,9 @@ func TestDriftRebuild(t *testing.T) {
 	}
 	if !first.Rebuilt {
 		t.Error("first drifted epoch did not rebuild")
+	}
+	if !first.Promoted {
+		t.Error("gate-free candidate was not promoted within its build epoch")
 	}
 	// After the rebuild the baseline tracks the live mix: overlap
 	// recovers and stays above the pre-rebuild level.
@@ -314,5 +321,191 @@ func TestOnEpochObserver(t *testing.T) {
 	}
 	if len(seen) != cfg.Epochs || seen[0] != 0 || seen[len(seen)-1] != cfg.Epochs-1 {
 		t.Fatalf("observer saw epochs %v, want 0..%d", seen, cfg.Epochs-1)
+	}
+}
+
+// driftBaseline builds an LMBench profile that an Apache/Nginx fleet
+// will drift away from.
+func driftBaseline(t *testing.T, k *kernel.Kernel, prog *interp.Program) *prof.Profile {
+	t.Helper()
+	lr, err := workload.NewRunner(k, prog, workload.LMBench, 1)
+	if err != nil {
+		t.Fatalf("NewRunner: %v", err)
+	}
+	baseline, err := lr.Profile(2)
+	if err != nil {
+		t.Fatalf("baseline profile: %v", err)
+	}
+	return baseline
+}
+
+// TestRejectionAndCooldown: a candidate that fails validation is rolled
+// back with its reason recorded, the incumbent baseline stays, and
+// repeated rejections trip the capped-backoff cool-down.
+func TestRejectionAndCooldown(t *testing.T) {
+	k, prog := testKernel(t)
+	cfg := testConfig()
+	cfg.Epochs = 5
+	cfg.DriftThreshold = 0.9
+	cfg.Backoff = resilience.RetryPolicy{Jitter: -1} // deterministic Steps: 2, 4, ...
+	svc, err := New(k, prog, cfg, driftBaseline(t, k, prog), &Controller{
+		Rebuild: func(snap *prof.Profile) (*Candidate, error) {
+			return &Candidate{
+				Validate: func() error { return errors.New("trace diverged at site 7") },
+			}, nil
+		},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	res, err := svc.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Epoch 0 rejects (strike 1, cool-down Steps(1)=1), epoch 1 cools
+	// down, epoch 2 rejects again (strike 2, cool-down Steps(2)=2), and
+	// epochs 3-4 count that doubled cool-down back down.
+	if res.Rebuilds != 0 {
+		t.Errorf("rejected candidate counted as promoted rebuild: %d", res.Rebuilds)
+	}
+	if res.Rejections != 2 {
+		t.Errorf("Rejections = %d, want 2; reports %+v", res.Rejections, res.Reports)
+	}
+	r0 := res.Reports[0]
+	if !r0.Rebuilt || r0.Promoted || r0.Rejected == "" {
+		t.Errorf("epoch 0 = %+v, want rebuilt+rejected", r0)
+	}
+	if want := "validation: trace diverged at site 7"; r0.Rejected != want {
+		t.Errorf("rejection reason = %q, want %q", r0.Rejected, want)
+	}
+	if res.Reports[1].CoolingDown != 1 {
+		t.Errorf("first strike cool-down = %d, want 1", res.Reports[1].CoolingDown)
+	}
+	if !res.Reports[2].Rebuilt || res.Reports[2].Rejected == "" {
+		t.Errorf("epoch 2 did not retry the rebuild after cool-down: %+v", res.Reports[2])
+	}
+	if got := []int{res.Reports[3].CoolingDown, res.Reports[4].CoolingDown}; got[0] != 2 || got[1] != 1 {
+		t.Errorf("second strike cool-down countdown = %v, want [2 1] (doubled)", got)
+	}
+	// The incumbent baseline never advanced, so overlap stays drifted.
+	if last := res.Reports[len(res.Reports)-1]; last.Overlap >= cfg.DriftThreshold {
+		t.Errorf("baseline advanced despite rejections: overlap %.3f", last.Overlap)
+	}
+}
+
+// TestCanaryLatencyGate: the regression budget separates a candidate
+// that is promoted from one that is rolled back.
+func TestCanaryLatencyGate(t *testing.T) {
+	k, prog := testKernel(t)
+	run := func(canaryLatency float64) *Result {
+		cfg := testConfig()
+		cfg.Epochs = 2
+		cfg.DriftThreshold = 0.9
+		cfg.RegressionBudget = 0.05
+		promoted := false
+		svc, err := New(k, prog, cfg, driftBaseline(t, k, prog), &Controller{
+			Rebuild: func(snap *prof.Profile) (*Candidate, error) {
+				return &Candidate{
+					Measure: func() (float64, error) { return canaryLatency, nil },
+					Promote: func() error { promoted = true; return nil },
+				}, nil
+			},
+			Incumbent: func() (float64, error) { return 100, nil },
+		})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		res, err := svc.Run()
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if got := res.Rebuilds > 0; got != promoted {
+			t.Errorf("Rebuilds=%d but Promote callback ran=%t", res.Rebuilds, promoted)
+		}
+		return res
+	}
+
+	if res := run(104); res.Rebuilds == 0 {
+		t.Errorf("candidate within budget rejected: %+v", res.Reports)
+	}
+	res := run(120)
+	if res.Rebuilds != 0 || res.Rejections == 0 {
+		t.Fatalf("candidate 20%% over budget not rejected: rebuilds=%d rejections=%d",
+			res.Rebuilds, res.Rejections)
+	}
+	if r := res.Reports[0].Rejected; !strings.Contains(r, "canary latency") {
+		t.Errorf("rejection reason %q does not name the latency gate", r)
+	}
+}
+
+// TestCanaryFaultKindGate: a fault kind first seen while the candidate
+// serves its canary window rejects the promotion; the same kind seen
+// before the build does not.
+func TestCanaryFaultKindGate(t *testing.T) {
+	k, prog := testKernel(t)
+	cfg := testConfig()
+	cfg.Epochs = 2
+	cfg.DriftThreshold = 0.9
+	cfg.CanaryEpochs = 2
+	inject := resilience.NewInjector(17, resilience.Rates{})
+	cfg.Inject = inject
+	cfg.OnEpoch = func(r EpochReport) error {
+		if r.Rebuilt {
+			// Arm traps only after the candidate starts serving: the next
+			// epoch's trap kind is new inside the canary window.
+			inject.SetRates(resilience.Rates{Trap: 1})
+		}
+		return nil
+	}
+	svc, err := New(k, prog, cfg, driftBaseline(t, k, prog), &Controller{
+		Rebuild: func(snap *prof.Profile) (*Candidate, error) { return &Candidate{}, nil },
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	res, err := svc.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Rebuilds != 0 || res.Rejections != 1 {
+		t.Fatalf("canary with new fault kinds not rejected: rebuilds=%d rejections=%d reports=%+v",
+			res.Rebuilds, res.Rejections, res.Reports)
+	}
+	if !res.Reports[0].Canary || !res.Reports[1].Canary {
+		t.Errorf("canary window not recorded on both epochs: %+v", res.Reports)
+	}
+	dec := res.Reports[1]
+	if !strings.Contains(dec.Rejected, "new fault kinds") || !strings.Contains(dec.Rejected, "trap") {
+		t.Errorf("rejection reason %q does not name the new trap kind", dec.Rejected)
+	}
+	if len(dec.FaultKinds) == 0 || dec.FaultKinds[0] != "trap" {
+		t.Errorf("epoch 1 fault kinds = %v, want [trap]", dec.FaultKinds)
+	}
+}
+
+// TestActivationFailureRollsBack: a Promote callback error is a
+// rejection, not a crash, and the incumbent keeps serving.
+func TestActivationFailureRollsBack(t *testing.T) {
+	k, prog := testKernel(t)
+	cfg := testConfig()
+	cfg.Epochs = 2
+	cfg.DriftThreshold = 0.9
+	svc, err := New(k, prog, cfg, driftBaseline(t, k, prog), &Controller{
+		Rebuild: func(snap *prof.Profile) (*Candidate, error) {
+			return &Candidate{Promote: func() error { return errors.New("swap failed") }}, nil
+		},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	res, err := svc.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Rebuilds != 0 || res.Rejections == 0 {
+		t.Fatalf("activation failure not treated as rejection: %+v", res)
+	}
+	if r := res.Reports[0].Rejected; !strings.Contains(r, "activation: swap failed") {
+		t.Errorf("rejection reason = %q", r)
 	}
 }

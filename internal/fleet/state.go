@@ -1,0 +1,298 @@
+package fleet
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/prof"
+)
+
+// StateFile is the checkpoint file name inside Config.StateDir.
+const StateFile = "fleet-checkpoint"
+
+// State is everything a fleet service needs to resume mid-loop after a
+// crash: the epoch counter, the run counters, the promotion-pipeline
+// state (strikes, cool-down, an in-flight canary) and the aggregate and
+// baseline profiles. It round-trips through the CRC-framed checkpoint
+// container (prof.WriteSections) via SaveState / LoadState.
+type State struct {
+	// Epoch is the number of fully completed epochs; a resumed run
+	// continues at this index.
+	Epoch int
+	// Run counters carried into the resumed Result.
+	Rebuilds        int
+	RebuildFailures int
+	Rejections      int
+	Partial         bool
+	// Promotion-pipeline state.
+	Strikes   int
+	Cooldown  int
+	SeenKinds []string
+	// BaselineHash is the content hash of Baseline at save time; a
+	// salvaged baseline that no longer matches is discarded on load.
+	BaselineHash string
+	// Baseline is the training profile the incumbent image was built
+	// from (nil when drift detection was off or the baseline section was
+	// lost to corruption).
+	Baseline *prof.Profile
+	// Aggregate is the post-epoch aggregate snapshot.
+	Aggregate *prof.Profile
+	// CanarySnap is the drifted snapshot behind a canary that was still
+	// serving at checkpoint time (nil when none was); the resuming
+	// service re-materializes the candidate from it.
+	CanarySnap        *prof.Profile
+	CanaryServed      int
+	CanaryKindsBefore []string
+	CanaryNewKinds    []string
+}
+
+// SaveState atomically checkpoints st into dir/StateFile: the sections
+// are framed and CRC-guarded, written to a temporary file in the same
+// directory, synced, and renamed into place — a crash at any point
+// leaves either the previous checkpoint or a salvageable new one, never
+// a half-written hole where the old state used to be.
+func SaveState(dir string, st *State) error {
+	if st == nil {
+		return fmt.Errorf("fleet: nil state")
+	}
+	var meta bytes.Buffer
+	fmt.Fprintf(&meta, "epoch %d\n", st.Epoch)
+	fmt.Fprintf(&meta, "rebuilds %d\n", st.Rebuilds)
+	fmt.Fprintf(&meta, "rebuild-failures %d\n", st.RebuildFailures)
+	fmt.Fprintf(&meta, "rejections %d\n", st.Rejections)
+	fmt.Fprintf(&meta, "partial %t\n", st.Partial)
+	fmt.Fprintf(&meta, "strikes %d\n", st.Strikes)
+	fmt.Fprintf(&meta, "cooldown %d\n", st.Cooldown)
+	if len(st.SeenKinds) > 0 {
+		fmt.Fprintf(&meta, "seen-kinds %s\n", strings.Join(st.SeenKinds, " "))
+	}
+	if st.BaselineHash != "" {
+		fmt.Fprintf(&meta, "baseline-hash %s\n", st.BaselineHash)
+	}
+	if st.CanarySnap != nil {
+		fmt.Fprintf(&meta, "canary-served %d\n", st.CanaryServed)
+		if len(st.CanaryKindsBefore) > 0 {
+			fmt.Fprintf(&meta, "canary-kinds-before %s\n", strings.Join(st.CanaryKindsBefore, " "))
+		}
+		if len(st.CanaryNewKinds) > 0 {
+			fmt.Fprintf(&meta, "canary-new-kinds %s\n", strings.Join(st.CanaryNewKinds, " "))
+		}
+	}
+	secs := []prof.Section{{Name: "meta", Data: meta.Bytes()}}
+	add := func(name string, p *prof.Profile) {
+		if p == nil {
+			return
+		}
+		var buf bytes.Buffer
+		p.WriteTo(&buf)
+		secs = append(secs, prof.Section{Name: name, Data: buf.Bytes()})
+	}
+	add("baseline", st.Baseline)
+	add("aggregate", st.Aggregate)
+	add("canary", st.CanarySnap)
+
+	tmp, err := os.CreateTemp(dir, StateFile+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("fleet: checkpoint temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := prof.WriteSections(tmp, secs); err != nil {
+		tmp.Close()
+		return fmt.Errorf("fleet: checkpoint write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("fleet: checkpoint sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("fleet: checkpoint close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, StateFile)); err != nil {
+		return fmt.Errorf("fleet: checkpoint rename: %w", err)
+	}
+	return nil
+}
+
+// LoadState reads dir/StateFile leniently: sections whose frame and CRC
+// survived are used, damaged ones are dropped (a lost baseline merely
+// disables drift detection until the next promotion; a lost aggregate
+// restarts collection from an empty aggregate at the checkpointed
+// epoch). A missing file returns (nil, nil, nil) — a fresh start. The
+// error is non-nil only when no usable state could be recovered at all.
+func LoadState(dir string) (*State, *prof.SectionSalvage, error) {
+	f, err := os.Open(filepath.Join(dir, StateFile))
+	if os.IsNotExist(err) {
+		return nil, nil, nil
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("fleet: open checkpoint: %w", err)
+	}
+	defer f.Close()
+	secs, sal, err := prof.ReadSectionsLenient(f)
+	if err != nil {
+		return nil, sal, fmt.Errorf("fleet: read checkpoint: %w", err)
+	}
+	byName := make(map[string][]byte, len(secs))
+	for _, s := range secs {
+		byName[s.Name] = s.Data
+	}
+	meta, ok := byName["meta"]
+	if !ok {
+		return nil, sal, fmt.Errorf("fleet: checkpoint unusable: meta section lost (%s)", sal)
+	}
+	st := &State{}
+	for _, line := range strings.Split(string(meta), "\n") {
+		if line == "" {
+			continue
+		}
+		key, rest, _ := strings.Cut(line, " ")
+		switch key {
+		case "epoch":
+			st.Epoch, _ = strconv.Atoi(rest)
+		case "rebuilds":
+			st.Rebuilds, _ = strconv.Atoi(rest)
+		case "rebuild-failures":
+			st.RebuildFailures, _ = strconv.Atoi(rest)
+		case "rejections":
+			st.Rejections, _ = strconv.Atoi(rest)
+		case "partial":
+			st.Partial = rest == "true"
+		case "strikes":
+			st.Strikes, _ = strconv.Atoi(rest)
+		case "cooldown":
+			st.Cooldown, _ = strconv.Atoi(rest)
+		case "seen-kinds":
+			st.SeenKinds = strings.Fields(rest)
+		case "baseline-hash":
+			st.BaselineHash = rest
+		case "canary-served":
+			st.CanaryServed, _ = strconv.Atoi(rest)
+		case "canary-kinds-before":
+			st.CanaryKindsBefore = strings.Fields(rest)
+		case "canary-new-kinds":
+			st.CanaryNewKinds = strings.Fields(rest)
+		}
+	}
+	if st.Epoch < 0 {
+		return nil, sal, fmt.Errorf("fleet: checkpoint unusable: negative epoch %d", st.Epoch)
+	}
+	parse := func(name string) *prof.Profile {
+		data, ok := byName[name]
+		if !ok {
+			return nil
+		}
+		p, err := prof.Read(bytes.NewReader(data))
+		if err != nil {
+			// The CRC passed but the payload does not parse — treat like a
+			// dropped section rather than failing the resume.
+			sal.Errs = append(sal.Errs, fmt.Sprintf("section %s unparseable: %v", name, err))
+			return nil
+		}
+		return p
+	}
+	st.Baseline = parse("baseline")
+	st.Aggregate = parse("aggregate")
+	st.CanarySnap = parse("canary")
+	if st.Baseline != nil && st.BaselineHash != "" && st.Baseline.Hash() != st.BaselineHash {
+		sal.Errs = append(sal.Errs,
+			fmt.Sprintf("baseline hash %s does not match recorded %s; discarding baseline",
+				st.Baseline.Hash(), st.BaselineHash))
+		st.Baseline = nil
+	}
+	return st, sal, nil
+}
+
+// Restore primes the service from a loaded checkpoint so Run continues
+// at st.Epoch with the restored aggregate, counters and promotion
+// state. An in-flight canary is re-materialized by calling the
+// controller's Rebuild on the checkpointed snapshot; if that fails the
+// canary is dropped and the drift detector simply rebuilds again.
+// Restore must be called before Run.
+func (s *Service) Restore(st *State) error {
+	if st == nil {
+		return nil
+	}
+	if st.Epoch < 0 {
+		return fmt.Errorf("fleet: restore: negative epoch %d", st.Epoch)
+	}
+	s.startEpoch = st.Epoch
+	s.strikes = st.Strikes
+	s.cooldown = st.Cooldown
+	s.seenKinds = make(map[string]bool, len(st.SeenKinds))
+	for _, k := range st.SeenKinds {
+		s.seenKinds[k] = true
+	}
+	if st.Baseline != nil {
+		s.baseline = st.Baseline
+	}
+	if st.Aggregate != nil {
+		s.agg.Add(st.Aggregate)
+	}
+	if st.CanarySnap != nil && s.ctrl != nil && s.ctrl.Rebuild != nil {
+		cand, err := s.ctrl.Rebuild(st.CanarySnap)
+		if err == nil {
+			if cand == nil {
+				cand = &Candidate{}
+			}
+			c := &canaryState{
+				snap: st.CanarySnap, cand: cand, served: st.CanaryServed,
+				kindsBefore: make(map[string]bool, len(st.CanaryKindsBefore)),
+				newKinds:    make(map[string]bool, len(st.CanaryNewKinds)),
+			}
+			for _, k := range st.CanaryKindsBefore {
+				c.kindsBefore[k] = true
+			}
+			for _, k := range st.CanaryNewKinds {
+				c.newKinds[k] = true
+			}
+			s.canary = c
+		}
+	}
+	s.resumed = st
+	return nil
+}
+
+// checkpoint persists the post-epoch state: epoch+1 completed epochs,
+// the Result counters so far, the promotion-pipeline state and the
+// aggregate snapshot taken this epoch.
+func (s *Service) checkpoint(completed int, res *Result, snap *prof.Profile) error {
+	st := &State{
+		Epoch:           completed,
+		Rebuilds:        res.Rebuilds,
+		RebuildFailures: res.RebuildFailures,
+		Rejections:      res.Rejections,
+		Partial:         res.Partial,
+		Strikes:         s.strikes,
+		Cooldown:        s.cooldown,
+		SeenKinds:       sortedKeys(s.seenKinds),
+		Baseline:        s.baseline,
+		Aggregate:       snap,
+	}
+	if st.Baseline != nil {
+		st.BaselineHash = st.Baseline.Hash()
+	}
+	if s.canary != nil {
+		st.CanarySnap = s.canary.snap
+		st.CanaryServed = s.canary.served
+		st.CanaryKindsBefore = sortedKeys(s.canary.kindsBefore)
+		st.CanaryNewKinds = sortedKeys(s.canary.newKinds)
+	}
+	return SaveState(s.cfg.StateDir, st)
+}
+
+func sortedKeys(m map[string]bool) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,332 @@
+package fleet
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/prof"
+)
+
+func testProfile(seed int64) *prof.Profile {
+	p := prof.New()
+	p.AddDirect(1, "a", "b", uint64(100+seed))
+	p.AddIndirect(2, "a", "x", uint64(10+seed))
+	p.AddIndirect(2, "a", "y", 3)
+	p.AddInvocation("a", uint64(50+seed))
+	p.Ops = uint64(40 + seed)
+	return p
+}
+
+func profileBytes(t *testing.T, p *prof.Profile) []byte {
+	t.Helper()
+	if p == nil {
+		return nil
+	}
+	var buf bytes.Buffer
+	if _, err := p.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st := &State{
+		Epoch:           3,
+		Rebuilds:        2,
+		RebuildFailures: 1,
+		Rejections:      4,
+		Partial:         true,
+		Strikes:         2,
+		Cooldown:        3,
+		SeenKinds:       []string{"fuel-exhausted", "trap"},
+		Baseline:        testProfile(1),
+		Aggregate:       testProfile(2),
+		CanarySnap:      testProfile(3),
+		CanaryServed:    1,
+		CanaryKindsBefore: []string{"trap"},
+		CanaryNewKinds:    []string{"corrupt"},
+	}
+	st.BaselineHash = st.Baseline.Hash()
+	if err := SaveState(dir, st); err != nil {
+		t.Fatalf("SaveState: %v", err)
+	}
+	got, sal, err := LoadState(dir)
+	if err != nil {
+		t.Fatalf("LoadState: %v", err)
+	}
+	if !sal.Clean() {
+		t.Fatalf("clean save salvaged dirty: %s", sal)
+	}
+	if got.Epoch != st.Epoch || got.Rebuilds != st.Rebuilds || got.RebuildFailures != st.RebuildFailures ||
+		got.Rejections != st.Rejections || got.Partial != st.Partial ||
+		got.Strikes != st.Strikes || got.Cooldown != st.Cooldown ||
+		got.CanaryServed != st.CanaryServed || got.BaselineHash != st.BaselineHash {
+		t.Errorf("scalar fields differ:\n got %+v\nwant %+v", got, st)
+	}
+	if !reflect.DeepEqual(got.SeenKinds, st.SeenKinds) ||
+		!reflect.DeepEqual(got.CanaryKindsBefore, st.CanaryKindsBefore) ||
+		!reflect.DeepEqual(got.CanaryNewKinds, st.CanaryNewKinds) {
+		t.Errorf("kind lists differ: %v/%v/%v", got.SeenKinds, got.CanaryKindsBefore, got.CanaryNewKinds)
+	}
+	for _, pair := range []struct {
+		name      string
+		got, want *prof.Profile
+	}{
+		{"baseline", got.Baseline, st.Baseline},
+		{"aggregate", got.Aggregate, st.Aggregate},
+		{"canary", got.CanarySnap, st.CanarySnap},
+	} {
+		if !bytes.Equal(profileBytes(t, pair.got), profileBytes(t, pair.want)) {
+			t.Errorf("%s profile did not round-trip", pair.name)
+		}
+	}
+}
+
+func TestLoadStateMissing(t *testing.T) {
+	st, sal, err := LoadState(t.TempDir())
+	if st != nil || sal != nil || err != nil {
+		t.Fatalf("missing checkpoint should be a fresh start, got %+v %v %v", st, sal, err)
+	}
+}
+
+// TestLoadStateCorruptSection: a bit-flip inside a profile section drops
+// just that section; the meta scalars still resume.
+func TestLoadStateCorruptSection(t *testing.T) {
+	dir := t.TempDir()
+	st := &State{Epoch: 2, Rebuilds: 1, Baseline: testProfile(1), Aggregate: testProfile(2)}
+	st.BaselineHash = st.Baseline.Hash()
+	if err := SaveState(dir, st); err != nil {
+		t.Fatalf("SaveState: %v", err)
+	}
+	path := filepath.Join(dir, StateFile)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	// Flip a byte inside the last section's payload (the aggregate).
+	data[len(data)-20] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, sal, err := LoadState(dir)
+	if err != nil {
+		t.Fatalf("LoadState after corruption: %v", err)
+	}
+	if sal.Clean() || sal.Dropped != 1 {
+		t.Errorf("salvage = %s, want exactly one dropped section", sal)
+	}
+	if got.Epoch != 2 || got.Rebuilds != 1 {
+		t.Errorf("meta scalars lost: %+v", got)
+	}
+	if got.Baseline == nil {
+		t.Error("undamaged baseline section was dropped")
+	}
+	if got.Aggregate != nil {
+		t.Error("corrupted aggregate section survived")
+	}
+}
+
+// TestLoadStateTornWrite: every truncation point either resumes from the
+// salvaged prefix or reports the checkpoint unusable — never panics,
+// never fabricates state.
+func TestLoadStateTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	st := &State{Epoch: 5, Baseline: testProfile(1), Aggregate: testProfile(2)}
+	st.BaselineHash = st.Baseline.Hash()
+	if err := SaveState(dir, st); err != nil {
+		t.Fatalf("SaveState: %v", err)
+	}
+	path := filepath.Join(dir, StateFile)
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	for cut := 0; cut < len(full); cut += 7 {
+		if err := os.WriteFile(path, full[:cut], 0o644); err != nil {
+			t.Fatalf("WriteFile: %v", err)
+		}
+		got, _, err := LoadState(dir)
+		if err != nil {
+			continue // meta lost: caller starts fresh
+		}
+		if got.Epoch != 5 {
+			t.Fatalf("cut=%d: salvaged wrong epoch %d", cut, got.Epoch)
+		}
+	}
+}
+
+// TestLoadStateBaselineHashMismatch: a baseline whose content hash no
+// longer matches the recorded training-profile hash is discarded.
+func TestLoadStateBaselineHashMismatch(t *testing.T) {
+	dir := t.TempDir()
+	st := &State{Epoch: 1, Baseline: testProfile(1), BaselineHash: "feedfacefeedface"}
+	if err := SaveState(dir, st); err != nil {
+		t.Fatalf("SaveState: %v", err)
+	}
+	got, sal, err := LoadState(dir)
+	if err != nil {
+		t.Fatalf("LoadState: %v", err)
+	}
+	if got.Baseline != nil {
+		t.Error("baseline with mismatched hash was kept")
+	}
+	if len(sal.Errs) == 0 {
+		t.Error("hash mismatch left no salvage note")
+	}
+}
+
+// TestResumeMatchesUninterrupted is the crash-safety contract: killing
+// the fleet mid-loop and resuming from the checkpoint reaches the same
+// final aggregate, the same promotion decisions and the same baseline as
+// an uninterrupted run.
+func TestResumeMatchesUninterrupted(t *testing.T) {
+	k, prog := testKernel(t)
+	baseline := driftBaseline(t, k, prog)
+	mkCfg := func(dir string) Config {
+		cfg := testConfig()
+		cfg.Epochs = 3
+		cfg.DriftThreshold = 0.9
+		cfg.StateDir = dir
+		return cfg
+	}
+	ctrl := func() *Controller {
+		return &Controller{
+			Rebuild: func(snap *prof.Profile) (*Candidate, error) { return &Candidate{}, nil },
+		}
+	}
+
+	// Uninterrupted reference run.
+	dirA := t.TempDir()
+	svcA, err := New(k, prog, mkCfg(dirA), baseline.Clone(), ctrl())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	resA, err := svcA.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if resA.Rebuilds == 0 {
+		t.Fatal("reference run never promoted; drift config inert")
+	}
+
+	// Interrupted run: the observer "crashes" the process during epoch 1,
+	// after collection but before the epoch is checkpointed — that epoch
+	// is the one in flight and the only one allowed to be lost.
+	dirB := t.TempDir()
+	cfgB := mkCfg(dirB)
+	cfgB.OnEpoch = func(r EpochReport) error {
+		if r.Epoch == 1 {
+			return errors.New("simulated crash")
+		}
+		return nil
+	}
+	svcB, err := New(k, prog, cfgB, baseline.Clone(), ctrl())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := svcB.Run(); err == nil {
+		t.Fatal("interrupted run did not surface the crash")
+	}
+
+	// Resume from the checkpoint: exactly epoch 0 is on disk.
+	st, sal, err := LoadState(dirB)
+	if err != nil {
+		t.Fatalf("LoadState: %v", err)
+	}
+	if st == nil || !sal.Clean() {
+		t.Fatalf("no clean checkpoint after crash: %+v %v", st, sal)
+	}
+	if st.Epoch != 1 {
+		t.Fatalf("checkpoint lost %d epochs, want exactly the in-flight one (Epoch=1, got %d)",
+			3-st.Epoch, st.Epoch)
+	}
+	cfgR := mkCfg(dirB)
+	svcR, err := New(k, prog, cfgR, baseline.Clone(), ctrl())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := svcR.Restore(st); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	resR, err := svcR.Run()
+	if err != nil {
+		t.Fatalf("resumed Run: %v", err)
+	}
+
+	if !bytes.Equal(profileBytes(t, resR.Final), profileBytes(t, resA.Final)) {
+		t.Error("resumed run's final aggregate differs from the uninterrupted run")
+	}
+	if resR.Rebuilds != resA.Rebuilds || resR.Rejections != resA.Rejections {
+		t.Errorf("resumed counters (rebuilds %d, rejections %d) differ from uninterrupted (%d, %d)",
+			resR.Rebuilds, resR.Rejections, resA.Rebuilds, resA.Rejections)
+	}
+	if !bytes.Equal(profileBytes(t, svcR.Baseline()), profileBytes(t, svcA.Baseline())) {
+		t.Error("resumed run converged on a different baseline")
+	}
+	// The resumed reports must replay the uninterrupted run's tail.
+	if len(resR.Reports) != 2 {
+		t.Fatalf("resumed run replayed %d epochs, want 2", len(resR.Reports))
+	}
+	for i, r := range resR.Reports {
+		want := resA.Reports[i+1]
+		// HotOverlap folds float weights in map order, so identical
+		// aggregates agree only to ULP noise.
+		if r.Epoch != want.Epoch || math.Abs(r.Overlap-want.Overlap) > 1e-9 ||
+			r.Rebuilt != want.Rebuilt || r.Promoted != want.Promoted {
+			t.Errorf("resumed epoch %d = %+v, uninterrupted = %+v", r.Epoch, r, want)
+		}
+	}
+}
+
+// TestRestoreCanaryInFlight: a canary serving at checkpoint time is
+// re-materialized on resume and still reaches its decision.
+func TestRestoreCanaryInFlight(t *testing.T) {
+	k, prog := testKernel(t)
+	cfg := testConfig()
+	cfg.Epochs = 1
+	cfg.DriftThreshold = 0.9
+	cfg.CanaryEpochs = 3
+	snap := testProfile(9)
+	var rebuilt int
+	ctrl := &Controller{
+		Rebuild: func(p *prof.Profile) (*Candidate, error) {
+			rebuilt++
+			return &Candidate{}, nil
+		},
+	}
+	svc, err := New(k, prog, cfg, driftBaseline(t, k, prog), ctrl)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	st := &State{
+		Epoch:        0,
+		CanarySnap:   snap,
+		CanaryServed: 2,
+		SeenKinds:    []string{"trap"},
+	}
+	if err := svc.Restore(st); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if rebuilt != 1 {
+		t.Fatalf("restore did not re-materialize the candidate (rebuilds %d)", rebuilt)
+	}
+	res, err := svc.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// served was 2 of 3; the single resumed epoch completes the window
+	// and the gate-free candidate promotes.
+	r0 := res.Reports[0]
+	if !r0.Canary || !r0.Promoted {
+		t.Fatalf("restored canary did not decide: %+v", r0)
+	}
+	if !bytes.Equal(profileBytes(t, svc.Baseline()), profileBytes(t, snap)) {
+		t.Error("promotion did not advance the baseline to the canary snapshot")
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"repro/internal/ir"
+	"repro/internal/resilience"
 )
 
 // Config selects which defenses to enforce. The zero value applies
@@ -230,6 +231,65 @@ func thunkSize(d ir.Defense) int32 {
 	default:
 		return ir.DefaultInstrSize
 	}
+}
+
+// CheckInvariants verifies PIBE's safety invariant on an already-hardened
+// module: every surviving indirect branch the compiler can rewrite
+// carries exactly the defense the configuration demands. Optimization
+// passes may *eliminate* indirect branches, never *expose* them — a
+// rewriteable indirect call without the forward thunk, a post-boot return
+// without the backward thunk, or an unlowered jump table under
+// retpolines/LVI means a transformation (or a miscompile) dropped a
+// hardening site. The first violation is returned as a
+// resilience.FaultError of KindUnhardenedSite naming the site; nil means
+// the module upholds the invariant.
+//
+// jumpSwitches relaxes the forward-edge check: under the JumpSwitches
+// baseline the build deliberately leaves indirect calls bare for the
+// runtime promotion hook, so only backward edges and jump tables are
+// enforced.
+func CheckInvariants(mod *ir.Module, cfg Config, jumpSwitches bool) error {
+	if mod == nil {
+		return resilience.Faultf(resilience.PhaseBuild, resilience.KindConfig, "harden", "nil module")
+	}
+	fwd, bwd := cfg.ForwardDefense(), cfg.BackwardDefense()
+	if jumpSwitches {
+		fwd = ir.DefNone
+	}
+	var violation *resilience.FaultError
+	for _, f := range mod.Funcs {
+		if violation != nil {
+			break
+		}
+		boot := f.Attrs.Has(ir.AttrBoot)
+		f.ForEachInstr(func(b *ir.Block, i int, in *ir.Instr) {
+			if violation != nil {
+				return
+			}
+			site := fmt.Sprintf("%s/%s[%d]", f.Name, b.Name, i)
+			switch in.Op {
+			case ir.OpICall:
+				if !in.Asm && in.Defense != fwd {
+					violation = resilience.Faultf(resilience.PhaseBuild, resilience.KindUnhardenedSite, site,
+						"indirect call carries %v, config demands %v", in.Defense, fwd)
+				}
+			case ir.OpRet:
+				if !in.Asm && !boot && in.Defense != bwd {
+					violation = resilience.Faultf(resilience.PhaseBuild, resilience.KindUnhardenedSite, site,
+						"return carries %v, config demands %v", in.Defense, bwd)
+				}
+			case ir.OpSwitch:
+				if in.JumpTable && !in.Asm && (cfg.Retpolines || cfg.LVICFI) {
+					violation = resilience.Faultf(resilience.PhaseBuild, resilience.KindUnhardenedSite, site,
+						"jump table not lowered under %s", cfg)
+				}
+			}
+		})
+	}
+	if violation != nil {
+		return violation
+	}
+	return nil
 }
 
 // CollectCensus recomputes the census of an already-hardened module

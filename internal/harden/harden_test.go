@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/ir"
+	"repro/internal/resilience"
 )
 
 func buildModule(t *testing.T) *ir.Module {
@@ -200,5 +201,110 @@ func TestNonTransientDefensesKeepJumpTables(t *testing.T) {
 	}
 	if c.VulnIJumps != 1 {
 		t.Errorf("VulnIJumps = %d, want 1", c.VulnIJumps)
+	}
+}
+
+func TestCheckInvariantsCleanModule(t *testing.T) {
+	cfg := Config{Retpolines: true, RetRetpolines: true, LVICFI: true}
+	m := buildModule(t)
+	if _, err := Apply(m, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckInvariants(m, cfg, false); err != nil {
+		t.Fatalf("hardened module fails its own invariants: %v", err)
+	}
+	// No defenses demanded, none applied: also clean.
+	if err := CheckInvariants(buildModule(t), Config{}, false); err != nil {
+		t.Fatalf("unhardened module under empty config: %v", err)
+	}
+}
+
+func TestCheckInvariantsStrippedRetpoline(t *testing.T) {
+	cfg := Config{Retpolines: true, RetRetpolines: true, LVICFI: true}
+	m := buildModule(t)
+	if _, err := Apply(m, cfg); err != nil {
+		t.Fatal(err)
+	}
+	// Deliberately strip the retpoline from one rewriteable indirect call,
+	// as a buggy transform that re-introduced a bare site would.
+	stripped := false
+	for _, f := range m.Funcs {
+		f.ForEachInstr(func(b *ir.Block, i int, in *ir.Instr) {
+			if !stripped && in.Op == ir.OpICall && !in.Asm {
+				in.Defense = ir.DefNone
+				stripped = true
+			}
+		})
+	}
+	if !stripped {
+		t.Fatal("no rewriteable indirect call in fixture")
+	}
+	err := CheckInvariants(m, cfg, false)
+	fe, ok := resilience.AsFault(err)
+	if !ok || fe.Kind != resilience.KindUnhardenedSite {
+		t.Fatalf("stripped retpoline: err = %v, want KindUnhardenedSite", err)
+	}
+	if fe.Site == "" {
+		t.Fatal("violation does not name the site")
+	}
+}
+
+func TestCheckInvariantsStrippedReturnAndJumpTable(t *testing.T) {
+	cfg := Config{Retpolines: true, RetRetpolines: true}
+	m := buildModule(t)
+	if _, err := Apply(m, cfg); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range m.Funcs {
+		if f.Attrs.Has(ir.AttrBoot) {
+			continue
+		}
+		f.ForEachInstr(func(b *ir.Block, i int, in *ir.Instr) {
+			if in.Op == ir.OpRet && !in.Asm {
+				in.Defense = ir.DefNone
+			}
+		})
+	}
+	if !resilience.IsKind(CheckInvariants(m, cfg, false), resilience.KindUnhardenedSite) {
+		t.Fatal("stripped return retpoline not flagged")
+	}
+
+	m2 := buildModule(t)
+	if _, err := Apply(m2, cfg); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range m2.Funcs {
+		f.ForEachInstr(func(b *ir.Block, i int, in *ir.Instr) {
+			if in.Op == ir.OpSwitch && !in.Asm {
+				in.JumpTable = true // resurrect the lowered table
+			}
+		})
+	}
+	if !resilience.IsKind(CheckInvariants(m2, cfg, false), resilience.KindUnhardenedSite) {
+		t.Fatal("resurrected jump table not flagged")
+	}
+}
+
+func TestCheckInvariantsJumpSwitchesRelaxation(t *testing.T) {
+	cfg := Config{Retpolines: true, RetRetpolines: true}
+	m := buildModule(t)
+	if _, err := Apply(m, cfg); err != nil {
+		t.Fatal(err)
+	}
+	// The JumpSwitches baseline strips forward thunks for its runtime
+	// promotion hook; the relaxed check must accept that and still demand
+	// hardened returns.
+	for _, f := range m.Funcs {
+		f.ForEachInstr(func(b *ir.Block, i int, in *ir.Instr) {
+			if in.Op == ir.OpICall && !in.Asm {
+				in.Defense = ir.DefNone
+			}
+		})
+	}
+	if err := CheckInvariants(m, cfg, true); err != nil {
+		t.Fatalf("jumpSwitches relaxation rejected bare icalls: %v", err)
+	}
+	if err := CheckInvariants(m, cfg, false); err == nil {
+		t.Fatal("strict check accepted bare icalls")
 	}
 }

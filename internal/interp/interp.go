@@ -338,6 +338,15 @@ type Machine struct {
 	// privilege transitions (§6.4 of the paper).
 	RefillRSB bool
 
+	// OnResolve, when non-nil, observes every indirect-target resolution:
+	// the original site ID (stable across ICP and inlining, which key
+	// promoted chains by Orig) and the function index the resolver picked.
+	// The sequence of resolutions is preserved by the optimization passes
+	// — they reorder dispatch, not resolution — so differential image
+	// validation (internal/diffcheck) digests it as the profile-visible
+	// observable to compare a candidate image against its reference.
+	OnResolve func(orig ir.SiteID, target int32)
+
 	steps  int64
 	frames [][]int32 // register files reused per depth
 	trips  [][]int32 // loop trip counters reused per depth
@@ -458,6 +467,9 @@ func (mc *Machine) call(fi int32, depth int, retAddr int64) error {
 					return trap(f.name, "interp: %s: no target distribution for site %d (orig %d)", f.name, ci.site, ci.orig)
 				}
 				regs[ci.reg] = d.Pick(mc.RNG)
+				if mc.OnResolve != nil {
+					mc.OnResolve(ci.orig, regs[ci.reg])
+				}
 				if mc.CPU != nil {
 					mc.CPU.AddStraightline(ci.cost, 1)
 				}

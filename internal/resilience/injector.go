@@ -76,13 +76,46 @@ func (in *Injector) SetMaxFaults(n int) {
 	in.mu.Unlock()
 }
 
-// trip draws one event against rate, recording the fault when it fires.
-func (in *Injector) trip(rate float64, kind Kind) bool {
-	if in == nil || rate <= 0 {
+// SetRates swaps the injector's fault probabilities mid-run, keeping the
+// same deterministic draw stream. Chaos scenarios use it to arm a fault
+// kind only after a chosen point (e.g. to fire first inside a canary
+// window).
+func (in *Injector) SetRates(r Rates) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.rates = r
+	in.mu.Unlock()
+}
+
+// trip draws one event against the current rate for kind, recording the
+// fault when it fires. The rate is read under the lock so SetRates can
+// re-arm a live injector without racing the event streams.
+func (in *Injector) trip(kind Kind) bool {
+	if in == nil {
 		return false
 	}
 	in.mu.Lock()
 	defer in.mu.Unlock()
+	var rate float64
+	switch kind {
+	case KindTrap:
+		rate = in.rates.Trap
+	case KindFuelExhausted:
+		rate = in.rates.Fuel
+	case KindDepthExhausted:
+		rate = in.rates.Depth
+	case KindTruncated:
+		rate = in.rates.Truncate
+	case KindCorrupt:
+		rate = in.rates.Corrupt
+	case KindTransient:
+		rate = in.rates.Measure
+	}
+	if rate <= 0 {
+		return false
+	}
 	if in.max > 0 && in.total >= in.max {
 		return false
 	}
@@ -103,7 +136,7 @@ func (in *Injector) intn(n int) int {
 
 // Trap returns an injected interpreter trap for the named site, or nil.
 func (in *Injector) Trap(site string) error {
-	if in == nil || !in.trip(in.rates.Trap, KindTrap) {
+	if in == nil || !in.trip(KindTrap) {
 		return nil
 	}
 	return &FaultError{
@@ -114,18 +147,18 @@ func (in *Injector) Trap(site string) error {
 
 // ExhaustFuel reports whether an injected step-budget exhaustion fires
 // for the current block.
-func (in *Injector) ExhaustFuel() bool { return in != nil && in.trip(in.rates.Fuel, KindFuelExhausted) }
+func (in *Injector) ExhaustFuel() bool { return in != nil && in.trip(KindFuelExhausted) }
 
 // ExhaustDepth reports whether an injected depth exhaustion fires for the
 // current call.
 func (in *Injector) ExhaustDepth() bool {
-	return in != nil && in.trip(in.rates.Depth, KindDepthExhausted)
+	return in != nil && in.trip(KindDepthExhausted)
 }
 
 // MeasureFault returns an injected transient measurement failure for the
 // named benchmark, or nil.
 func (in *Injector) MeasureFault(bench string) error {
-	if in == nil || !in.trip(in.rates.Measure, KindTransient) {
+	if in == nil || !in.trip(KindTransient) {
 		return nil
 	}
 	return &FaultError{
@@ -144,11 +177,11 @@ func (in *Injector) MangleProfile(data []byte) ([]byte, []Kind) {
 	}
 	var applied []Kind
 	out := data
-	if in.trip(in.rates.Corrupt, KindCorrupt) {
+	if in.trip(KindCorrupt) {
 		out = corruptRecord(append([]byte(nil), out...), in.intn)
 		applied = append(applied, KindCorrupt)
 	}
-	if in.trip(in.rates.Truncate, KindTruncated) {
+	if in.trip(KindTruncated) {
 		// Keep at least a quarter so there is something to salvage, and
 		// always cut strictly inside the data.
 		lo := len(out) / 4

@@ -29,6 +29,7 @@ const (
 	PhaseExecute   Phase = "execute"   // inside the interpreter
 	PhaseSerialize Phase = "serialize" // profile (de)serialization
 	PhaseFleet     Phase = "fleet"     // continuous fleet profiling / aggregation
+	PhasePromote   Phase = "promote"   // candidate-image validation / canary promotion
 )
 
 // Kind classifies a fault.
@@ -58,6 +59,15 @@ const (
 	// there is nothing to degrade to. Partial collector failures are NOT
 	// this kind — they degrade to a partial aggregate without error.
 	KindEmptyAggregate Kind = "empty-aggregate"
+	// KindDivergence is a candidate image whose observable behaviour
+	// (trap status or profile-visible indirect-call targets) differs from
+	// the reference image over the validation corpus: the optimization
+	// passes changed semantics, so the candidate must not be promoted.
+	KindDivergence Kind = "divergence"
+	// KindUnhardenedSite is a surviving indirect branch that does not
+	// carry the configured defense: an optimization or a miscompile
+	// dropped a hardening site, violating PIBE's safety invariant.
+	KindUnhardenedSite Kind = "unhardened-site"
 )
 
 // FaultError is the structured error type used at the interp/workload/

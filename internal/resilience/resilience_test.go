@@ -168,7 +168,8 @@ func TestTruncatingWriter(t *testing.T) {
 func TestRetryAbsorbsTransients(t *testing.T) {
 	var slept []time.Duration
 	p := RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond, MaxDelay: 3 * time.Millisecond,
-		Sleep: func(d time.Duration) { slept = append(slept, d) }}
+		Jitter: -1, // exact doubling, no perturbation
+		Sleep:  func(d time.Duration) { slept = append(slept, d) }}
 	calls := 0
 	err := Retry(p, func() error {
 		calls++
@@ -183,6 +184,56 @@ func TestRetryAbsorbsTransients(t *testing.T) {
 	want := []time.Duration{time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond}
 	if fmt.Sprint(slept) != fmt.Sprint(want) {
 		t.Fatalf("backoff %v, want %v (doubling capped at MaxDelay)", slept, want)
+	}
+}
+
+func TestRetryJitterBoundsAndDeterminism(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 8, BaseDelay: 4 * time.Millisecond, MaxDelay: 64 * time.Millisecond, Seed: 11}
+	spread := false
+	for attempt := 1; attempt <= 7; attempt++ {
+		nominal := 4 * time.Millisecond << (attempt - 1)
+		if nominal > p.MaxDelay {
+			nominal = p.MaxDelay
+		}
+		d := p.DelayAt(attempt)
+		lo, hi := nominal/2, nominal+nominal/2
+		if d < lo || d > hi {
+			t.Fatalf("DelayAt(%d) = %v outside jitter band [%v, %v]", attempt, d, lo, hi)
+		}
+		if d != nominal {
+			spread = true
+		}
+		if again := p.DelayAt(attempt); again != d {
+			t.Fatalf("DelayAt(%d) nondeterministic: %v then %v", attempt, d, again)
+		}
+	}
+	if !spread {
+		t.Fatal("jitter never perturbed any delay")
+	}
+	// Distinct seeds must desynchronize: that is the whole point.
+	q := p
+	q.Seed = 12
+	same := true
+	for attempt := 1; attempt <= 7; attempt++ {
+		if p.DelayAt(attempt) != q.DelayAt(attempt) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical jitter streams")
+	}
+}
+
+func TestRetryStepsShape(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 9, BaseDelay: time.Millisecond, MaxDelay: 8 * time.Millisecond, Jitter: -1}
+	want := []int{1, 2, 4, 8, 8}
+	for i, w := range want {
+		if got := p.Steps(i + 1); got != w {
+			t.Fatalf("Steps(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+	if p.Steps(0) < 1 || DefaultRetry().Steps(1) < 1 {
+		t.Fatal("Steps must be at least 1")
 	}
 }
 

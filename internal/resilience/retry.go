@@ -1,6 +1,9 @@
 package resilience
 
-import "time"
+import (
+	"math/rand"
+	"time"
+)
 
 // RetryPolicy bounds a capped-exponential-backoff retry loop.
 type RetryPolicy struct {
@@ -11,13 +14,23 @@ type RetryPolicy struct {
 	// doubles per retry up to MaxDelay (default 50ms).
 	BaseDelay time.Duration
 	MaxDelay  time.Duration
+	// Jitter is the symmetric random perturbation applied to each delay,
+	// as a fraction of the nominal delay: 0.5 means each delay lands
+	// uniformly in [0.5d, 1.5d]. Zero means the default (0.5); a negative
+	// value disables jitter. Jitter keeps concurrent collectors that hit
+	// the same transient fault from retrying in lockstep.
+	Jitter float64
+	// Seed seeds the jitter stream, so a given (Seed, attempt) pair
+	// always perturbs by the same amount. Concurrent users should derive
+	// distinct seeds (the workload runner uses its own run seed).
+	Seed int64
 	// Sleep is a test hook; nil means time.Sleep.
 	Sleep func(time.Duration)
 }
 
 // DefaultRetry is the policy the measurement drivers use.
 func DefaultRetry() RetryPolicy {
-	return RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 50 * time.Millisecond}
+	return RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 50 * time.Millisecond, Jitter: 0.5}
 }
 
 func (p RetryPolicy) withDefaults() RetryPolicy {
@@ -31,7 +44,51 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 	if p.MaxDelay <= 0 {
 		p.MaxDelay = d.MaxDelay
 	}
+	if p.Jitter == 0 {
+		p.Jitter = d.Jitter
+	}
 	return p
+}
+
+// DelayAt returns the backoff delay before retry number attempt (1-based):
+// BaseDelay doubled per retry, capped at MaxDelay, with the policy's
+// seeded jitter applied. Deterministic in (policy, attempt).
+func (p RetryPolicy) DelayAt(attempt int) time.Duration {
+	p = p.withDefaults()
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := p.BaseDelay
+	for i := 1; i < attempt && d < p.MaxDelay; i++ {
+		d *= 2
+	}
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	if p.Jitter > 0 {
+		// Stateless per-(seed, attempt) draw so callers need not thread a
+		// shared RNG through concurrent retry loops.
+		rng := rand.New(rand.NewSource(p.Seed*0x9e3779b9 + int64(attempt)*0x85ebca6b + 1))
+		factor := 1 + p.Jitter*(2*rng.Float64()-1)
+		d = time.Duration(float64(d) * factor)
+		if d < 1 {
+			d = 1
+		}
+	}
+	return d
+}
+
+// Steps maps the policy's backoff shape onto a unitless multiplier:
+// DelayAt(attempt) expressed in units of BaseDelay, at least 1. The fleet
+// service reuses it to size rebuild cool-downs in epochs after repeated
+// candidate rejections.
+func (p RetryPolicy) Steps(attempt int) int {
+	p = p.withDefaults()
+	n := int(p.DelayAt(attempt) / p.BaseDelay)
+	if n < 1 {
+		n = 1
+	}
+	return n
 }
 
 // Retry runs f, retrying with capped exponential backoff while it fails
@@ -43,17 +100,12 @@ func Retry(p RetryPolicy, f func() error) error {
 	if sleep == nil {
 		sleep = time.Sleep
 	}
-	delay := p.BaseDelay
 	var err error
 	for attempt := 1; ; attempt++ {
 		err = f()
 		if err == nil || !IsTransient(err) || attempt >= p.MaxAttempts {
 			return err
 		}
-		sleep(delay)
-		delay *= 2
-		if delay > p.MaxDelay {
-			delay = p.MaxDelay
-		}
+		sleep(p.DelayAt(attempt))
 	}
 }

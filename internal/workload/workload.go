@@ -197,6 +197,9 @@ func NewRunner(k *kernel.Kernel, prog *interp.Program, flavor Flavor, seed int64
 		CPU:       cpu.New(cpu.DefaultParams()),
 		Flavor:    flavor,
 		Seed:      seed,
+		// Seed the backoff jitter per runner so concurrent collectors
+		// hitting the same transient fault desynchronize their retries.
+		Retry:     resilience.RetryPolicy{Seed: seed},
 		Reps:      5,
 		RepCycles: 3_000_000,
 	}, nil

@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/attack"
 	"repro/internal/cpu"
+	"repro/internal/diffcheck"
 	"repro/internal/fleet"
 	"repro/internal/harden"
 	"repro/internal/icp"
@@ -497,7 +498,12 @@ func (img *Image) DumpFunction(name string) string {
 // aggregator with per-epoch exponential decay; a drift detector compares
 // the live hot set against the profile the active image was built from
 // and rebuilds the image from the fresh aggregate when overlap falls
-// below the threshold.
+// below the threshold. A rebuilt image is not trusted blindly: it must
+// pass differential validation against the unoptimized-but-hardened
+// reference (internal/diffcheck), then serve a canary window, and is
+// promoted only when its canary latency stays within RegressionBudget of
+// the incumbent and no new fault kinds appeared — otherwise the
+// incumbent keeps serving.
 type FleetConfig struct {
 	// Runners is the concurrent collector count per epoch (default 4);
 	// runner i profiles Mix[i%len(Mix)].
@@ -522,6 +528,19 @@ type FleetConfig struct {
 	// DriftThreshold triggers a rebuild when live-vs-baseline hot-set
 	// overlap falls below it; 0 disables drift-triggered rebuilds.
 	DriftThreshold float64
+	// CanaryEpochs is how many epochs (counting the build epoch) a
+	// rebuilt candidate serves before the promotion decision (default 1:
+	// validate, measure and decide within the drift epoch).
+	CanaryEpochs int
+	// RegressionBudget is the relative canary-latency regression
+	// tolerated versus the incumbent before the candidate is rolled back
+	// (0 means the default 0.05; negative means zero tolerance).
+	RegressionBudget float64
+	// StateDir, when non-empty, makes the fleet crash-safe: the service
+	// checkpoints its aggregate, counters and promotion state there
+	// after every epoch, and NewFleet resumes mid-loop from an existing
+	// checkpoint (losing at most the epoch that was in flight).
+	StateDir string
 	// Build is the image configuration the rebuild controller uses; its
 	// Profile field is replaced by the baseline profile for the initial
 	// image and by the live aggregate on each rebuild.
@@ -531,6 +550,12 @@ type FleetConfig struct {
 	// (default Apache), so rebuilds show up as overhead drops.
 	Measure    bool
 	MeasureApp Workload
+	// TamperRebuild is a chaos hook for validation testing: when
+	// non-nil, it mutates every rebuilt candidate's module (modeling a
+	// miscompiled or corrupted optimization pass) after hardening and
+	// before differential validation, which must then reject the
+	// candidate. Never set in production.
+	TamperRebuild func(*ir.Module)
 }
 
 // FleetEpoch is one epoch of a fleet run: the collection tallies, the
@@ -539,13 +564,27 @@ type FleetConfig struct {
 type FleetEpoch struct {
 	Epoch                   int
 	Merged, Aborted, Failed int
+	// FaultKinds lists (sorted) the structured fault kinds collectors
+	// hit this epoch.
+	FaultKinds []string
 	// Overlap is the hot-set overlap between the live aggregate and the
 	// profile the active image was built from.
 	Overlap float64
-	// Rebuilt records a successful drift-triggered rebuild this epoch;
+	// Rebuilt records that drift produced a candidate image this epoch;
 	// RebuildErr carries a failed rebuild's error text.
 	Rebuilt    bool
 	RebuildErr string
+	// Canary reports that a candidate image was serving its canary
+	// window this epoch; Promoted that it passed every gate and became
+	// the active image; Rejected carries the reason it was rolled back
+	// instead.
+	Canary   bool
+	Promoted bool
+	Rejected string
+	// CoolingDown, when non-zero, is how many epochs of rebuild
+	// cool-down remained (counting this one) when drift was detected but
+	// the rebuild was suppressed after recent rejections.
+	CoolingDown int
 	// Sites and Ops describe the aggregate snapshot.
 	Sites int
 	Ops   uint64
@@ -557,8 +596,17 @@ type FleetEpoch struct {
 // FleetResult is a completed fleet run.
 type FleetResult struct {
 	Epochs []FleetEpoch
-	// Rebuilds counts successful drift-triggered rebuilds.
+	// StartEpoch is the epoch the run began at (non-zero after a
+	// checkpoint resume).
+	StartEpoch int
+	// Rebuilds counts drift-triggered rebuilds that passed every
+	// promotion gate and became the active image.
 	Rebuilds int
+	// RebuildFailures counts rebuild attempts whose build failed
+	// outright; Rejections counts candidates built but rolled back by a
+	// promotion gate (validation, canary latency, new fault kinds).
+	RebuildFailures int
+	Rejections      int
 	// Partial reports that some collectors aborted or failed and the
 	// aggregate under-counts the fleet (graceful degradation).
 	Partial bool
@@ -567,23 +615,49 @@ type FleetResult struct {
 }
 
 // Fleet couples a fleet profiling service to this system's build
-// pipeline: it keeps an active image, detects workload drift against
-// the profile that image was built from, and re-optimizes on drift.
+// pipeline: it keeps an active (incumbent) image, detects workload
+// drift against the profile that image was built from, re-optimizes on
+// drift, and promotes the rebuilt image only after it passes
+// differential validation and its canary window.
 type Fleet struct {
 	sys      *System
 	cfg      FleetConfig
 	baseline *Profile
 	img      *Image
+	// ref is the lazily built unoptimized-but-hardened reference image
+	// candidates are differentially validated against.
+	ref *Image
+	// state is a checkpoint loaded from cfg.StateDir, applied to the
+	// service before Run.
+	state *fleet.State
 }
 
 // NewFleet builds the initial image from baseline (via cfg.Build with
 // its Profile replaced by baseline) and returns a fleet whose drift
-// detector compares live aggregates against that baseline. The system's
-// chaos injector, if armed, is threaded through the collectors.
+// detector compares live aggregates against that baseline. When
+// cfg.StateDir holds a checkpoint from an interrupted run, the fleet
+// resumes from it: the checkpointed baseline (which reflects any
+// promotions before the crash) drives the initial image and Run
+// continues at the checkpointed epoch. The system's chaos injector, if
+// armed, is threaded through the collectors.
 func (s *System) NewFleet(baseline *Profile, cfg FleetConfig) (f *Fleet, err error) {
 	defer resilience.RecoverPanic(&err, resilience.PhaseFleet, "NewFleet")
 	if baseline == nil {
 		return nil, errors.New("pibe: fleet requires a baseline profile")
+	}
+	var st *fleet.State
+	if cfg.StateDir != "" {
+		loaded, _, err := fleet.LoadState(cfg.StateDir)
+		if err != nil {
+			return nil, fmt.Errorf("pibe: fleet resume: %w", err)
+		}
+		st = loaded
+		if st != nil && st.Baseline != nil {
+			// The checkpointed baseline is the profile the incumbent at
+			// crash time was built from; rebuilding from it restores that
+			// incumbent exactly (builds are deterministic).
+			baseline = &Profile{p: st.Baseline}
+		}
 	}
 	bc := cfg.Build
 	bc.Profile = baseline
@@ -591,16 +665,86 @@ func (s *System) NewFleet(baseline *Profile, cfg FleetConfig) (f *Fleet, err err
 	if err != nil {
 		return nil, fmt.Errorf("pibe: fleet initial build: %w", err)
 	}
-	return &Fleet{sys: s, cfg: cfg, baseline: baseline, img: img}, nil
+	return &Fleet{sys: s, cfg: cfg, baseline: baseline, img: img, state: st}, nil
 }
 
-// Image returns the currently active (most recently built) image.
+// Image returns the currently active (most recently promoted) image.
 func (f *Fleet) Image() *Image { return f.img }
 
+// refImage lazily builds the reference for differential validation: the
+// same kernel, hardened identically, but with no profile-guided
+// optimization — the image whose behaviour any candidate must preserve.
+func (f *Fleet) refImage() (*Image, error) {
+	if f.ref != nil {
+		return f.ref, nil
+	}
+	bc := f.cfg.Build
+	bc.Profile = nil
+	bc.Optimize = OptimizeConfig{}
+	ref, err := f.sys.Build(bc)
+	if err != nil {
+		return nil, fmt.Errorf("reference build: %w", err)
+	}
+	f.ref = ref
+	return ref, nil
+}
+
+// validateCandidate differentially validates a candidate image against
+// the reference over the fleet's workload mix.
+func (f *Fleet) validateCandidate(cand *Image) error {
+	ref, err := f.refImage()
+	if err != nil {
+		return err
+	}
+	_, err = diffcheck.Validate(f.sys.Kernel, ref.prog, cand.prog, diffcheck.Config{
+		Flavors:      f.cfg.Mix,
+		Seed:         f.cfg.Seed + 777,
+		Runs:         2,
+		Harden:       f.cfg.Build.Defenses.config(),
+		JumpSwitches: f.cfg.Build.JumpSwitches,
+	})
+	return err
+}
+
+// canaryMetric measures an image the way the live fleet experiences it:
+// the geomean of per-request kernel cycles over the mix's application
+// workloads, falling back to a geomean of LMBench microbenchmarks when
+// the mix has no request-driven flavor.
+func (f *Fleet) canaryMetric(img *Image) (float64, error) {
+	var apps []Workload
+	seen := make(map[Workload]bool)
+	for _, w := range f.cfg.Mix {
+		if !seen[w] && workload.Request(w) != nil {
+			seen[w] = true
+			apps = append(apps, w)
+		}
+	}
+	if len(apps) > 0 {
+		logSum := 0.0
+		for _, w := range apps {
+			c, err := img.MeasureRequestCycles(w)
+			if err != nil {
+				return 0, err
+			}
+			logSum += math.Log(c)
+		}
+		return math.Exp(logSum / float64(len(apps))), nil
+	}
+	lats, err := img.MeasureLMBench(LMBench)
+	if err != nil {
+		return 0, err
+	}
+	logSum := 0.0
+	for _, l := range lats {
+		logSum += math.Log(l.Cycles)
+	}
+	return math.Exp(logSum / float64(len(lats))), nil
+}
+
 // Run executes the configured epochs: concurrent collection, sharded
-// aggregation with decay, drift detection, and automatic rebuilds. It
-// returns a partial result alongside the error when the run degrades
-// terminally (for example, every collector failing).
+// aggregation with decay, drift detection, and canary-gated rebuild
+// promotion. It returns a partial result alongside the error when the
+// run degrades terminally (for example, every collector failing).
 func (f *Fleet) Run() (res *FleetResult, err error) {
 	defer resilience.RecoverPanic(&err, resilience.PhaseFleet, "Fleet.Run")
 	measureApp := f.cfg.MeasureApp
@@ -609,21 +753,27 @@ func (f *Fleet) Run() (res *FleetResult, err error) {
 	}
 	res = &FleetResult{}
 	fcfg := fleet.Config{
-		Runners:        f.cfg.Runners,
-		Shards:         f.cfg.Shards,
-		Epochs:         f.cfg.Epochs,
-		OpsScale:       f.cfg.OpsScale,
-		Seed:           f.cfg.Seed,
-		Decay:          f.cfg.Decay,
-		Mix:            f.cfg.Mix,
-		HotBudget:      f.cfg.HotBudget,
-		DriftThreshold: f.cfg.DriftThreshold,
-		Inject:         f.sys.inject,
+		Runners:          f.cfg.Runners,
+		Shards:           f.cfg.Shards,
+		Epochs:           f.cfg.Epochs,
+		OpsScale:         f.cfg.OpsScale,
+		Seed:             f.cfg.Seed,
+		Decay:            f.cfg.Decay,
+		Mix:              f.cfg.Mix,
+		HotBudget:        f.cfg.HotBudget,
+		DriftThreshold:   f.cfg.DriftThreshold,
+		CanaryEpochs:     f.cfg.CanaryEpochs,
+		RegressionBudget: f.cfg.RegressionBudget,
+		StateDir:         f.cfg.StateDir,
+		Inject:           f.sys.inject,
 		OnEpoch: func(r fleet.EpochReport) error {
 			fe := FleetEpoch{
 				Epoch: r.Epoch, Merged: r.Merged, Aborted: r.Aborted, Failed: r.Failed,
-				Overlap: r.Overlap, Rebuilt: r.Rebuilt, RebuildErr: r.RebuildErr,
-				Sites: r.Sites, Ops: r.Ops,
+				FaultKinds: r.FaultKinds,
+				Overlap:    r.Overlap, Rebuilt: r.Rebuilt, RebuildErr: r.RebuildErr,
+				Canary: r.Canary, Promoted: r.Promoted, Rejected: r.Rejected,
+				CoolingDown: r.CoolingDown,
+				Sites:       r.Sites, Ops: r.Ops,
 			}
 			if f.cfg.Measure {
 				c, err := f.img.MeasureRequestCycles(measureApp)
@@ -636,22 +786,50 @@ func (f *Fleet) Run() (res *FleetResult, err error) {
 			return nil
 		},
 	}
-	svc, err := fleet.New(f.sys.Kernel, f.sys.prog, fcfg, f.baseline.p, func(snap *prof.Profile) error {
-		bc := f.cfg.Build
-		bc.Profile = &Profile{p: snap}
-		img, err := f.sys.Build(bc)
-		if err != nil {
-			return err
-		}
-		f.img = img
-		f.baseline = bc.Profile
-		return nil
-	})
+	ctrl := &fleet.Controller{
+		Rebuild: func(snap *prof.Profile) (*fleet.Candidate, error) {
+			bc := f.cfg.Build
+			bc.Profile = &Profile{p: snap}
+			img, err := f.sys.Build(bc)
+			if err != nil {
+				return nil, err
+			}
+			if f.cfg.TamperRebuild != nil {
+				// Chaos hook: corrupt the candidate the way a miscompiled
+				// pass would, then recompile so the corruption is live.
+				f.cfg.TamperRebuild(img.Mod)
+				prog, err := interp.Compile(img.Mod)
+				if err != nil {
+					return nil, fmt.Errorf("pibe: tampered candidate recompile: %w", err)
+				}
+				img.prog = prog
+			}
+			return &fleet.Candidate{
+				Validate: func() error { return f.validateCandidate(img) },
+				Measure:  func() (float64, error) { return f.canaryMetric(img) },
+				Promote: func() error {
+					f.img = img
+					f.baseline = bc.Profile
+					return nil
+				},
+			}, nil
+		},
+		Incumbent: func() (float64, error) { return f.canaryMetric(f.img) },
+	}
+	svc, err := fleet.New(f.sys.Kernel, f.sys.prog, fcfg, f.baseline.p, ctrl)
 	if err != nil {
 		return nil, err
 	}
+	if f.state != nil {
+		if err := svc.Restore(f.state); err != nil {
+			return nil, fmt.Errorf("pibe: fleet restore: %w", err)
+		}
+		res.StartEpoch = f.state.Epoch
+	}
 	fres, err := svc.Run()
 	res.Rebuilds = fres.Rebuilds
+	res.RebuildFailures = fres.RebuildFailures
+	res.Rejections = fres.Rejections
 	res.Partial = fres.Partial
 	if fres.Final != nil {
 		res.Final = &Profile{p: fres.Final}
