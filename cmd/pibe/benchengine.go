@@ -1,0 +1,161 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/interp"
+	"repro/internal/kernel"
+	"repro/internal/workload"
+)
+
+// engineBench is one timed benchmark in the BENCH_engine.json report.
+type engineBench struct {
+	Name      string  `json:"name"`
+	Iters     int     `json:"iters"`
+	NsPerOp   float64 `json:"ns_per_op"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+}
+
+// engineReport is the machine-readable perf trajectory record emitted by
+// `pibe bench-engine`.
+type engineReport struct {
+	Seed       int64         `json:"seed"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Workers    int           `json:"measure_workers"`
+	Benches    []engineBench `json:"benches"`
+	// SpeedupMeasureRequest is serial ns/op divided by parallel ns/op
+	// for MeasureRequest — the headline engine metric.
+	SpeedupMeasureRequest float64 `json:"speedup_measure_request"`
+}
+
+// benchLoop times fn, running at least minIters iterations and at least
+// a fixed minimum duration so cheap operations are not measured from a
+// single noisy sample.
+func benchLoop(name string, minIters int, fn func() error) (engineBench, error) {
+	const minDur = 500 * time.Millisecond
+	if minIters < 1 {
+		minIters = 1
+	}
+	iters := 0
+	start := time.Now()
+	for iters < minIters || time.Since(start) < minDur {
+		if err := fn(); err != nil {
+			return engineBench{}, fmt.Errorf("bench-engine: %s: %v", name, err)
+		}
+		iters++
+	}
+	elapsed := time.Since(start)
+	ns := float64(elapsed.Nanoseconds()) / float64(iters)
+	return engineBench{
+		Name:      name,
+		Iters:     iters,
+		NsPerOp:   ns,
+		OpsPerSec: 1e9 / ns,
+	}, nil
+}
+
+// benchEngine times the execution engine end to end and writes the JSON
+// report to path. It builds its runners directly on the unoptimized
+// kernel program, matching the package benchmarks in internal/workload
+// and internal/interp so the CLI numbers and `go test -bench` numbers
+// describe the same code paths.
+func benchEngine(path string, seed int64, workers, minIters int) error {
+	k, err := kernel.Generate(kernel.Config{Seed: seed})
+	if err != nil {
+		return err
+	}
+	prog, err := interp.Compile(k.Mod)
+	if err != nil {
+		return err
+	}
+	newRunner := func(flavor workload.Flavor, w int) (*workload.Runner, error) {
+		r, err := workload.NewRunner(k, prog, flavor, seed+9)
+		if err != nil {
+			return nil, err
+		}
+		r.Workers = w
+		return r, nil
+	}
+
+	rep := engineReport{Seed: seed, GOMAXPROCS: runtime.GOMAXPROCS(0), Workers: workers}
+
+	// Raw dispatch: one warmed machine executing one kernel entry.
+	mr, err := newRunner(workload.LMBench, 0)
+	if err != nil {
+		return err
+	}
+	mc := interp.NewMachine(prog, seed+13)
+	mc.CPU = mr.CPU
+	mc.Res = mr.Res
+	entry := k.Specs[0].Name
+	b, err := benchLoop("machine_run", minIters*100, func() error {
+		return mc.Run(k.Entries[entry])
+	})
+	if err != nil {
+		return err
+	}
+	rep.Benches = append(rep.Benches, b)
+
+	// Profile collection over the Apache mix.
+	pr, err := newRunner(workload.Apache, 0)
+	if err != nil {
+		return err
+	}
+	b, err = benchLoop("profile_collection", minIters, func() error {
+		_, err := pr.Profile(2)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	rep.Benches = append(rep.Benches, b)
+
+	// Request measurement, serial driver vs sharded driver.
+	rs, err := newRunner(workload.Nginx, 0)
+	if err != nil {
+		return err
+	}
+	serial, err := benchLoop("measure_request_serial", minIters, func() error {
+		_, err := rs.MeasureRequest(5)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	rep.Benches = append(rep.Benches, serial)
+	if workers < 1 {
+		workers = 1
+	}
+	rp, err := newRunner(workload.Nginx, workers)
+	if err != nil {
+		return err
+	}
+	parallel, err := benchLoop("measure_request_parallel", minIters, func() error {
+		_, err := rp.MeasureRequest(5)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	rep.Benches = append(rep.Benches, parallel)
+	rep.SpeedupMeasureRequest = serial.NsPerOp / parallel.NsPerOp
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	for _, b := range rep.Benches {
+		fmt.Printf("%-26s %12.0f ns/op %14.1f ops/sec  (%d iters)\n", b.Name, b.NsPerOp, b.OpsPerSec, b.Iters)
+	}
+	fmt.Printf("measure-request speedup (serial/parallel, %d workers): %.2fx\n", workers, rep.SpeedupMeasureRequest)
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

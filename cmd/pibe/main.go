@@ -16,6 +16,15 @@
 //	              [-drift-threshold 0.75] [-fleet-mix apache,nginx] [-fleet-decay 0.5]
 //	              [-canary 1] [-regression-budget 0.05] [-state DIR]
 //	              [-profile baseline.txt] [...build flags] [-measure]
+//	pibe bench-engine [-seed N] [-measure-workers N] [-bench-iters N] [-o BENCH_engine.json]
+//
+// Measurement commands accept -measure-workers N (default GOMAXPROCS):
+// with N >= 1 the sharded measurement driver runs repetitions on a
+// bounded worker pool with per-repetition derived seeds, deterministic
+// for every N; -measure-workers=0 selects the legacy serial driver.
+// bench-engine times the execution engine (machine dispatch, profile
+// collection, request measurement serial vs parallel) and writes a
+// machine-readable BENCH_engine.json.
 //
 // Fleet mode runs continuous profiling: -fleet concurrent collectors per
 // epoch stream profile deltas into a sharded aggregator with per-epoch
@@ -50,6 +59,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	pibe "repro"
@@ -89,10 +99,14 @@ func main() {
 	chaosSeed := fs.Int64("chaos-seed", 1, "fault-injection seed")
 	chaosMax := fs.Int("chaos-max", 0, "cap on total injected faults (0 = unlimited)")
 	lenient := fs.Bool("lenient", false, "salvage corrupt/truncated -profile inputs instead of failing")
+	measureWorkers := fs.Int("measure-workers", runtime.GOMAXPROCS(0),
+		"measurement worker pool size (0 = legacy serial driver)")
+	benchIters := fs.Int("bench-iters", 3, "minimum iterations per bench-engine benchmark")
 	fs.Parse(os.Args[2:])
 
 	sys, err := pibe.NewSyntheticKernel(pibe.KernelConfig{Seed: *seed})
 	check(err)
+	sys.SetMeasureWorkers(*measureWorkers)
 
 	var inject *resilience.Injector
 	if *chaosRate > 0 {
@@ -278,6 +292,13 @@ func main() {
 		fmt.Fprintf(w, "fleet: %d epochs, %d promoted, %d rejected, %d build-failures, partial=%v\n",
 			len(res.Epochs), res.Rebuilds, res.Rejections, res.RebuildFailures, res.Partial)
 
+	case "bench-engine":
+		path := *out
+		if path == "" {
+			path = "BENCH_engine.json"
+		}
+		check(benchEngine(path, *seed, *measureWorkers, *benchIters))
+
 	default:
 		usage()
 	}
@@ -341,7 +362,7 @@ func parseDefenses(s string) pibe.Defenses {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: pibe <profile|build|measure|fleet|top|dump> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: pibe <profile|build|measure|fleet|top|dump|bench-engine> [flags]")
 	os.Exit(2)
 }
 

@@ -10,7 +10,11 @@
 // same cycle count — so experiments are reproducible.
 package cpu
 
-import "repro/internal/ir"
+import (
+	"math/bits"
+
+	"repro/internal/ir"
+)
 
 // Params configures the model. The zero value is not usable; call
 // DefaultParams.
@@ -137,10 +141,30 @@ type Model struct {
 	pht     []uint8 // 2-bit saturating counters
 	phtMask int64
 
-	icTags [][]int64 // [set][way] line tag; -1 = invalid
-	icLRU  [][]int8  // LRU rank per way (0 = most recent)
-	icMask int64
-	icSets int64
+	// The instruction cache keeps LRU order with monotonic use stamps
+	// instead of per-way rank counters: a hit is one tag scan plus one
+	// stamp store, and the eviction victim is the minimum stamp. Stamps
+	// are seeded descending by way index so a cold set evicts ways in the
+	// same order rank-based LRU would (highest way first); thereafter
+	// stamps are unique, so the two schemes pick identical victims and
+	// the cycle/hit accounting is bit-for-bit unchanged.
+	//
+	// Tags and stamps are stored flat ([set*ways+way]) and each set
+	// remembers its most-recently-hit way, which short-circuits the tag
+	// scan for the dominant re-touch pattern (straight-line execution
+	// touching the same lines every block). The MRU probe is a pure
+	// lookup optimization: hit/miss/eviction behaviour is unchanged.
+	icTags  []int64 // [set*ways+way] line tag; -1 = invalid
+	icStamp []int64 // [set*ways+way] last-use stamp; min = LRU victim
+	icMRU   []int32 // [set] way of the most recent hit or fill
+	icTick  int64   // monotonic use counter
+	icWays  int
+	icMask  int64
+	icSets  int64
+	// icShift converts an aligned line address to its set index by
+	// shift instead of division (ICacheLine is a power of two; New
+	// falls back to icShift < 0 and division otherwise).
+	icShift int
 }
 
 // New returns a Model with cold predictors and caches.
@@ -151,15 +175,18 @@ func New(p Params) *Model {
 	m.rsb = make([]int64, p.RSBDepth)
 	m.pht = make([]uint8, p.PHTEntries)
 	m.phtMask = int64(p.PHTEntries - 1)
-	m.icTags = make([][]int64, p.ICacheSets)
-	m.icLRU = make([][]int8, p.ICacheSets)
-	for s := range m.icTags {
-		m.icTags[s] = make([]int64, p.ICacheWays)
-		m.icLRU[s] = make([]int8, p.ICacheWays)
-		for w := range m.icTags[s] {
-			m.icTags[s][w] = -1
-			m.icLRU[s][w] = int8(w)
-		}
+	m.icWays = p.ICacheWays
+	m.icTags = make([]int64, p.ICacheSets*p.ICacheWays)
+	m.icStamp = make([]int64, p.ICacheSets*p.ICacheWays)
+	m.icMRU = make([]int32, p.ICacheSets)
+	for i := range m.icTags {
+		m.icTags[i] = -1
+		m.icStamp[i] = -int64(i % p.ICacheWays)
+	}
+	m.icTick = 1
+	m.icShift = -1
+	if p.ICacheLine > 0 && p.ICacheLine&(p.ICacheLine-1) == 0 {
+		m.icShift = bits.TrailingZeros64(uint64(p.ICacheLine))
 	}
 	m.icMask = int64(p.ICacheSets - 1)
 	m.icSets = int64(p.ICacheSets)
@@ -183,12 +210,14 @@ func (m *Model) ResetAll() {
 		m.pht[i] = 0
 	}
 	m.rsbLen, m.rsbTop = 0, 0
-	for s := range m.icTags {
-		for w := range m.icTags[s] {
-			m.icTags[s][w] = -1
-			m.icLRU[s][w] = int8(w)
-		}
+	for i := range m.icTags {
+		m.icTags[i] = -1
+		m.icStamp[i] = -int64(i % m.icWays)
 	}
+	for s := range m.icMRU {
+		m.icMRU[s] = 0
+	}
+	m.icTick = 1
 }
 
 // Micros converts the accumulated cycle count to microseconds.
@@ -204,9 +233,14 @@ func (m *Model) Straightline(cost int64, nInstr int64, lineBase int64, nLines in
 	m.Cycles += cost
 	m.Stats.Instructions += nInstr
 	line := lineBase &^ (m.P.ICacheLine - 1)
+	if nLines == 1 { // the common case: small block within one line
+		m.touchLine(line)
+		return
+	}
+	stride := m.P.ICacheLine
 	for i := 0; i < nLines; i++ {
 		m.touchLine(line)
-		line += m.P.ICacheLine
+		line += stride
 	}
 }
 
@@ -222,41 +256,85 @@ func (m *Model) AddStraightline(cost, nInstr int64) {
 // base (rounded down to a line boundary).
 func (m *Model) TouchLines(base int64, n int) {
 	line := base &^ (m.P.ICacheLine - 1)
+	if n == 1 {
+		m.touchLine(line)
+		return
+	}
+	stride := m.P.ICacheLine
 	for i := 0; i < n; i++ {
 		m.touchLine(line)
-		line += m.P.ICacheLine
+		line += stride
 	}
 }
 
+// TouchLine touches the single instruction-cache line containing base.
+// It is the one-line specialization of TouchLines, skipping the loop
+// set-up for the dominant single-line block.
+func (m *Model) TouchLine(base int64) {
+	m.touchLine(base &^ (m.P.ICacheLine - 1))
+}
+
 func (m *Model) touchLine(line int64) {
-	set := (line / m.P.ICacheLine) & m.icMask
-	tags := m.icTags[set]
-	lru := m.icLRU[set]
+	// Set-indexed MRU probe: straight-line execution re-touches the
+	// same lines block after block, and the most recently touched line
+	// of any set is by construction that set's MRU way, so this single
+	// probe resolves both repeat-line and alternating-line patterns
+	// without a tag scan. A probe is a lookup shortcut only — hit/miss
+	// outcomes, stamp updates and eviction are identical either way.
+	if m.icShift >= 0 {
+		set := (line >> m.icShift) & m.icMask
+		if mru := int(set)*m.icWays + int(m.icMRU[set]); m.icTags[mru] == line {
+			m.Stats.ICacheHits++
+			m.icStamp[mru] = m.icTick
+			m.icTick++
+			return
+		}
+	}
+	m.touchLineSlow(line)
+}
+
+// touchLineSlow handles the tag scan and fill for a line that missed the
+// MRU probe (and the probe itself when the line size is not a power of
+// two). line is already aligned.
+func (m *Model) touchLineSlow(line int64) {
+	var set int64
+	if m.icShift >= 0 {
+		set = (line >> m.icShift) & m.icMask
+	} else {
+		set = (line / m.P.ICacheLine) & m.icMask
+		base := int(set) * m.icWays
+		if mru := base + int(m.icMRU[set]); m.icTags[mru] == line {
+			m.Stats.ICacheHits++
+			m.icStamp[mru] = m.icTick
+			m.icTick++
+			return
+		}
+	}
+	base := int(set) * m.icWays
+	tags := m.icTags[base : base+m.icWays]
+	stamp := m.icStamp[base : base+m.icWays]
+	// One pass finds both the matching way (hit) and the LRU victim
+	// (miss), so the miss path — common once the working set exceeds
+	// the cache — does not rescan.
+	victim := 0
 	for w := range tags {
 		if tags[w] == line {
 			m.Stats.ICacheHits++
-			rank := lru[w]
-			for x := range lru {
-				if lru[x] < rank {
-					lru[x]++
-				}
-			}
-			lru[w] = 0
+			stamp[w] = m.icTick
+			m.icTick++
+			m.icMRU[set] = int32(w)
 			return
+		}
+		if stamp[w] < stamp[victim] {
+			victim = w
 		}
 	}
 	m.Stats.ICacheMisses++
 	m.Cycles += m.P.ICacheMissPenalty
-	// Evict the LRU way.
-	victim := 0
-	for w := range lru {
-		if lru[w] == int8(len(lru)-1) {
-			victim = w
-		}
-		lru[w]++
-	}
 	tags[victim] = line
-	m.icLRU[set][victim] = 0
+	stamp[victim] = m.icTick
+	m.icTick++
+	m.icMRU[set] = int32(victim)
 }
 
 // DirectCall charges a direct call at siteAddr returning to retAddr and
@@ -427,7 +505,10 @@ func (m *Model) IndirectJump(siteAddr, targetAddr int64, def ir.Defense) {
 }
 
 func (m *Model) pushRSB(ret int64) {
-	m.rsbTop = (m.rsbTop + 1) % m.P.RSBDepth
+	m.rsbTop++
+	if m.rsbTop == m.P.RSBDepth {
+		m.rsbTop = 0
+	}
 	m.rsb[m.rsbTop] = ret
 	if m.rsbLen < m.P.RSBDepth {
 		m.rsbLen++
@@ -439,7 +520,10 @@ func (m *Model) popRSB() (int64, bool) {
 		return 0, false
 	}
 	v := m.rsb[m.rsbTop]
-	m.rsbTop = (m.rsbTop - 1 + m.P.RSBDepth) % m.P.RSBDepth
+	m.rsbTop--
+	if m.rsbTop < 0 {
+		m.rsbTop = m.P.RSBDepth - 1
+	}
 	m.rsbLen--
 	return v, true
 }

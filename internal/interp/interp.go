@@ -12,24 +12,31 @@
 // The interpreter works on a compiled form of the module (Program) where
 // straight-line instruction runs are pre-aggregated, so measurement cost
 // is proportional to control-flow events rather than instruction count.
+//
+// Execution is iterative: calls push an explicit frame onto a pooled
+// frame stack instead of recursing through Go stack frames, so MaxDepth
+// is bounded by memory, not by goroutine stack growth, and deep call
+// chains cost one frame copy rather than a Go call.
 package interp
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
-	"sort"
 
 	"repro/internal/cpu"
 	"repro/internal/ir"
 	"repro/internal/resilience"
 )
 
-// ckind discriminates compiled instructions.
+// ckind discriminates compiled instructions. Straight-line runs are not
+// instructions at this level at all: compilation folds each run's
+// aggregated cost into the preCost/preCount of the control-flow event
+// that follows it, so the dispatch loop only ever visits events.
 type ckind uint8
 
 const (
-	cSeg     ckind = iota // aggregated straight-line segment
-	cResolve              // function-pointer load
+	cResolve ckind = iota // function-pointer load
 	cCmpFn                // compare register against function
 	cBr                   // conditional branch
 	cJmp                  // unconditional branch
@@ -37,34 +44,85 @@ const (
 	cCall                 // direct call
 	cICall                // indirect call
 	cRet                  // return
+	cStep                 // superblock seam: the entry accounting of a merged jump target
 )
 
+// cinstr is one compiled control-flow event. The layout is deliberately
+// compact — 56 bytes, under one cache line — because the dispatch
+// loop's cost is dominated by event-record fetches: the compiled image
+// must fit in L2 for the interpreter to stream it. Three narrowings
+// make that possible: addresses are int32 (the image starts at
+// LayoutBase and is far smaller than 2 GiB; Compile rejects overflow),
+// kinds that never use a field reuse it (see the per-kind comments),
+// and switch target lists live in a per-function side table instead of
+// a 24-byte slice header per event. Cost fields are int32 — per-run
+// aggregates are bounded by block size times per-instruction latency,
+// far below 2^31.
 type cinstr struct {
-	kind    ckind
-	cost    int64 // cSeg: aggregated latency
-	count   int64 // cSeg: instruction count
-	addr    int64 // branch/call/ret instruction address
-	retAddr int64 // call: return address (addr + size)
-	callee  int32 // cCall: function index; cCmpFn: compared function index
-	site    ir.SiteID
-	orig    ir.SiteID
-	reg     int32
-	args    int32
-	def     ir.Defense
-	then    int32 // cBr/cJmp: block index
-	els     int32
-	targets []int32 // cSwitch
-	prob    float32
-	useFlag bool
-	table   bool  // cSwitch: lowered as a jump table
+	// preCost/preCount carry the aggregated latency and instruction
+	// count of the straight-line run preceding this event (plus the
+	// event's own instruction for cCmpFn, whose cycle rides on the
+	// fused branch). They are charged before the event executes,
+	// preserving the exact charge order of per-instruction execution.
+	preCost  int32
+	preCount int32
+	addr     int32 // branch/call/ret instruction address; cStep: target line base
+	// cost: cResolve load latency; cBr taken threshold in 2^-24 units;
+	// cStep merged segment cost.
+	cost int32
+	// then: cBr/cJmp taken block index; cStep line count.
+	then int32
+	// els: cBr fall-through block index; cCall/cICall return address
+	// (addr + size); cStep merged segment instruction count.
+	els int32
+	// callee: cCall/cCmpFn function index; cSwitch index into the
+	// function's switchTargets side table.
+	callee  int32
 	trip    int32 // cBr: counted-loop trip count (0 = not counted)
 	tripIdx int32 // cBr: index into the frame's trip-counter array
+	reg     int32
+	orig    ir.SiteID
+	site    ir.SiteID
+	args    int16 // call argument count (InlineCost caps it far below 2^15)
+	kind    ckind
+	useFlag bool // cBr: branch on flag; cStep: merged segment may fault
+	table   bool // cSwitch: lowered as a jump table
+	// charged marks events whose segment takes the per-event accounting
+	// path (the segment may fault mid-block, so its straight-line runs
+	// cannot be batched at segment entry). Per-instruction rather than
+	// per-block so superblock merging can join segments with different
+	// accounting modes, and so a frame resumed mid-segment after a call
+	// recovers the right mode.
+	charged bool
+	def     ir.Defense
 }
 
+// cblock is narrowed like cinstr (48 bytes): block records are loaded
+// on every block transition, so they compete with event records for L2.
+// All fields fit int32 — addresses by the layout budget Compile
+// enforces, costs because they are per-block aggregates.
 type cblock struct {
 	instrs   []cinstr
-	lineBase int64
-	nLines   int
+	lineBase int32
+	nLines   int32
+
+	// tailCost/tailCount carry a trailing straight-line run with no
+	// following event (only possible in a malformed block that falls
+	// through); charged before the fell-through trap, as
+	// per-instruction execution would.
+	tailCost  int32
+	tailCount int32
+
+	// Batched accounting, precomputed at compile time: the sum of every
+	// pre/tail charge in the block. Blocks that cannot fault or suspend
+	// mid-block (no resolve, no calls) charge this in a single
+	// cpu.Model call at block entry instead of per event; the charges
+	// are order-independent additions, so the batch is cycle-exact, not
+	// approximate. Blocks with mayFault set take the per-event path so
+	// a mid-block trap never over-charges.
+	segCost  int32
+	segCount int32
+	mayFault bool
 }
 
 type cfunc struct {
@@ -74,6 +132,28 @@ type cfunc struct {
 	numRegs  int
 	numTrips int
 	blocks   []cblock
+	// switchTargets holds the per-switch target block lists; cSwitch
+	// events index it through their callee field. Hoisting the slices
+	// out of cinstr keeps the event record within one cache line.
+	switchTargets [][]int32
+	// flat marks call-free functions (no direct or indirect calls in
+	// any block). Such a body can never suspend — it runs to its return
+	// the moment it is entered — so the dispatch loop executes it
+	// frameless (runFlat) with scratch register/trip files instead of
+	// pushing an activation record.
+	flat bool
+}
+
+// probThresh converts a branch probability in [0,1] to the 24-bit
+// integer threshold the dispatch loop compares a uniform draw against.
+func probThresh(p float32) int32 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 1 << 24
+	}
+	return int32(p * (1 << 24))
 }
 
 // Program is an executable compilation of an ir.Module. The module is
@@ -90,7 +170,11 @@ const LayoutBase = 0x1000000
 // Compile lowers a module for execution. The module must verify; Compile
 // re-checks the invariants it depends on and returns an error otherwise.
 func Compile(mod *ir.Module) (*Program, error) {
-	mod.Layout(LayoutBase, 16)
+	if end := mod.Layout(LayoutBase, 16); end > math.MaxInt32 {
+		// cinstr stores addresses as int32; an image this large is far
+		// outside anything the kernel generator produces.
+		return nil, fmt.Errorf("interp: image end address %#x exceeds the 31-bit layout budget", end)
+	}
 	p := &Program{
 		mod:    mod,
 		funcs:  make([]cfunc, len(mod.Funcs)),
@@ -129,6 +213,10 @@ func (p *Program) FuncAddr(idx int) int64 { return p.funcs[idx].addr }
 // NumFuncs returns the number of functions in the program.
 func (p *Program) NumFuncs() int { return len(p.funcs) }
 
+// SiteBound returns an exclusive upper bound on the site IDs used by the
+// program's module, suitable for NewResolverSized.
+func (p *Program) SiteBound() int { return int(p.mod.NextSiteID()) }
+
 func (p *Program) compileFunc(f *ir.Function, index int32) (cfunc, error) {
 	cf := cfunc{name: f.Name, index: index, addr: f.Addr, numRegs: f.NumRegs}
 	blockIdx := make(map[string]int32, len(f.Blocks))
@@ -145,12 +233,13 @@ func (p *Program) compileFunc(f *ir.Function, index int32) (cfunc, error) {
 	cf.blocks = make([]cblock, len(f.Blocks))
 	lineSize := int64(64)
 	for bi, b := range f.Blocks {
-		cb := cblock{lineBase: addr &^ (lineSize - 1)}
-		var seg *cinstr
-		flushSeg := func() { seg = nil }
+		cb := cblock{lineBase: int32(addr &^ (lineSize - 1))}
+		var pendCost, pendCount int32
 		appendEvent := func(ci cinstr) {
+			ci.preCost += pendCost
+			ci.preCount += pendCount
+			pendCost, pendCount = 0, 0
 			cb.instrs = append(cb.instrs, ci)
-			flushSeg()
 		}
 		for ii := range b.Instrs {
 			in := &b.Instrs[ii]
@@ -158,20 +247,19 @@ func (p *Program) compileFunc(f *ir.Function, index int32) (cfunc, error) {
 			addr += int64(in.ByteSize())
 			switch in.Op {
 			case ir.OpALU, ir.OpLoad, ir.OpStore:
-				if seg == nil {
-					cb.instrs = append(cb.instrs, cinstr{kind: cSeg})
-					seg = &cb.instrs[len(cb.instrs)-1]
-				}
-				seg.cost += int64(in.Latency())
-				seg.count++
+				pendCost += int32(in.Latency())
+				pendCount++
 			case ir.OpResolve:
-				appendEvent(cinstr{kind: cResolve, addr: iaddr, site: in.Site, orig: in.Orig, reg: in.Reg, cost: int64(in.Latency())})
+				appendEvent(cinstr{kind: cResolve, addr: int32(iaddr), site: in.Site, orig: in.Orig, reg: in.Reg, cost: int32(in.Latency())})
 			case ir.OpCmpFn:
 				tgt, ok := p.byName[in.Callee]
 				if !ok {
 					return cf, fmt.Errorf("interp: %s: cmpfn against unknown function %q", f.Name, in.Callee)
 				}
-				appendEvent(cinstr{kind: cCmpFn, addr: iaddr, reg: in.Reg, callee: tgt})
+				// The compare fuses with its branch (macro-fusion); it
+				// counts as an instruction but its cycle rides on the
+				// branch event.
+				appendEvent(cinstr{kind: cCmpFn, addr: int32(iaddr), reg: in.Reg, callee: tgt, preCount: 1})
 			case ir.OpBr:
 				then, err := lookup(in.Then)
 				if err != nil {
@@ -181,7 +269,7 @@ func (p *Program) compileFunc(f *ir.Function, index int32) (cfunc, error) {
 				if err != nil {
 					return cf, err
 				}
-				ci := cinstr{kind: cBr, addr: iaddr, then: then, els: els, prob: in.Prob, useFlag: in.UseFlag, trip: in.Trip}
+				ci := cinstr{kind: cBr, addr: int32(iaddr), then: then, els: els, cost: probThresh(in.Prob), useFlag: in.UseFlag, trip: in.Trip}
 				if in.Trip > 0 {
 					ci.tripIdx = int32(cf.numTrips)
 					cf.numTrips++
@@ -202,17 +290,19 @@ func (p *Program) compileFunc(f *ir.Function, index int32) (cfunc, error) {
 					}
 					ts[k] = ti
 				}
-				appendEvent(cinstr{kind: cSwitch, addr: iaddr, targets: ts, table: in.JumpTable, def: in.Defense})
+				tbl := int32(len(cf.switchTargets))
+				cf.switchTargets = append(cf.switchTargets, ts)
+				appendEvent(cinstr{kind: cSwitch, addr: int32(iaddr), callee: tbl, table: in.JumpTable, def: in.Defense})
 			case ir.OpCall:
 				tgt, ok := p.byName[in.Callee]
 				if !ok {
 					return cf, fmt.Errorf("interp: %s: call to unknown function %q", f.Name, in.Callee)
 				}
-				appendEvent(cinstr{kind: cCall, addr: iaddr, retAddr: addr, callee: tgt, site: in.Site, orig: in.Orig, args: in.Args})
+				appendEvent(cinstr{kind: cCall, addr: int32(iaddr), els: int32(addr), callee: tgt, site: in.Site, orig: in.Orig, args: int16(in.Args)})
 			case ir.OpICall:
-				appendEvent(cinstr{kind: cICall, addr: iaddr, retAddr: addr, site: in.Site, orig: in.Orig, reg: in.Reg, args: in.Args, def: in.Defense})
+				appendEvent(cinstr{kind: cICall, addr: int32(iaddr), els: int32(addr), site: in.Site, orig: in.Orig, reg: in.Reg, args: int16(in.Args), def: in.Defense})
 			case ir.OpRet:
-				appendEvent(cinstr{kind: cRet, addr: iaddr, def: in.Defense})
+				appendEvent(cinstr{kind: cRet, addr: int32(iaddr), def: in.Defense})
 			case ir.OpIJump:
 				return cf, fmt.Errorf("interp: %s: raw ijump instructions are produced only by lowering and are dispatched via switch", f.Name)
 			default:
@@ -220,85 +310,111 @@ func (p *Program) compileFunc(f *ir.Function, index int32) (cfunc, error) {
 			}
 		}
 		end := addr - 1
-		cb.nLines = int(end/lineSize-cb.lineBase/lineSize) + 1
+		cb.nLines = int32(end/lineSize-int64(cb.lineBase)/lineSize) + 1
+		cb.tailCost, cb.tailCount = pendCost, pendCount
+		cb.segCost, cb.segCount = cb.tailCost, cb.tailCount
+		for ii := range cb.instrs {
+			ci := &cb.instrs[ii]
+			cb.segCost += ci.preCost
+			cb.segCount += ci.preCount
+			if ci.kind == cResolve || ci.kind == cCall || ci.kind == cICall {
+				cb.mayFault = true
+			}
+		}
+		if cb.mayFault {
+			for ii := range cb.instrs {
+				cb.instrs[ii].charged = true
+			}
+		}
 		cf.blocks[bi] = cb
+	}
+	mergeSuperblocks(&cf)
+	cf.flat = len(cf.blocks) > 0
+	for bi := range cf.blocks {
+		for ii := range cf.blocks[bi].instrs {
+			if k := cf.blocks[bi].instrs[ii].kind; k == cCall || k == cICall {
+				cf.flat = false
+			}
+		}
 	}
 	return cf, nil
 }
 
-// Dist is a weighted distribution over function indices, used to decide
-// which target an indirect call site resolves to on a given execution.
-type Dist struct {
-	targets []int32
-	cum     []uint64
-	total   uint64
+// isTerminator reports whether an event ends its block's event list
+// (execution never continues past it within the block).
+func isTerminator(k ckind) bool {
+	return k == cBr || k == cJmp || k == cSwitch || k == cRet
 }
 
-// NewDist builds a distribution from (function index, weight) pairs.
-// Pairs with zero weight are dropped; at least one positive weight is
-// required.
-func NewDist(targets []int, weights []uint64) (*Dist, error) {
-	if len(targets) != len(weights) {
-		return nil, fmt.Errorf("interp: NewDist: %d targets vs %d weights", len(targets), len(weights))
-	}
-	d := &Dist{}
-	var cum uint64
-	for i, t := range targets {
-		if weights[i] == 0 {
-			continue
+// mergeSuperblocks splices the event list of every unconditional-jump
+// target into the jumping block, replacing the cJmp with a cStep event
+// that performs exactly the target's block-entry accounting (step/fuel
+// check, then its batched Straightline or per-event TouchLines). The
+// dispatch loop then runs the whole chain without returning to the
+// block-transition path.
+//
+// The transform is observationally exact: the cStep fires at the same
+// sequence point the target's block entry would (so fuel accounting,
+// chaos-injection draw order and cpu.Model call order are identical),
+// per-event charge flags travel with each segment's events, and blocks
+// remain addressable (branches elsewhere still enter the original
+// target block directly). Chains are cycle-guarded and depth-capped;
+// a malformed target (no terminator) is never merged so fell-through
+// trap semantics keep their per-block tail charges.
+func mergeSuperblocks(cf *cfunc) {
+	const maxChain = 32
+	merged := make([][]cinstr, len(cf.blocks))
+	var expand func(bi int32, visited map[int32]bool, budget int) []cinstr
+	expand = func(bi int32, visited map[int32]bool, budget int) []cinstr {
+		instrs := cf.blocks[bi].instrs
+		t := -1
+		for i := range instrs {
+			if isTerminator(instrs[i].kind) {
+				t = i
+				break
+			}
 		}
 		if t < 0 {
-			return nil, fmt.Errorf("interp: NewDist: invalid target index %d", t)
+			return instrs // malformed: keep fell-through semantics
 		}
-		cum += weights[i]
-		d.targets = append(d.targets, int32(t))
-		d.cum = append(d.cum, cum)
+		instrs = instrs[:t+1]
+		term := &instrs[t]
+		if term.kind != cJmp || budget == 0 {
+			return instrs
+		}
+		tgt := term.then
+		if visited[tgt] {
+			return instrs
+		}
+		visited[tgt] = true
+		tail := expand(tgt, visited, budget-1)
+		if len(tail) == 0 || !isTerminator(tail[len(tail)-1].kind) {
+			return instrs // target chain is malformed; don't merge
+		}
+		tb := &cf.blocks[tgt]
+		step := cinstr{
+			kind:     cStep,
+			preCost:  term.preCost, // the run before the jump, segment A's mode
+			preCount: term.preCount,
+			charged:  term.charged,
+			addr:     tb.lineBase,
+			then:     tb.nLines,
+			cost:     tb.segCost,
+			els:      tb.segCount,
+			useFlag:  tb.mayFault,
+		}
+		out := make([]cinstr, 0, t+1+len(tail))
+		out = append(out, instrs[:t]...)
+		out = append(out, step)
+		return append(out, tail...)
 	}
-	if cum == 0 {
-		return nil, fmt.Errorf("interp: NewDist: no positive weights")
+	for bi := range cf.blocks {
+		visited := map[int32]bool{int32(bi): true}
+		merged[bi] = expand(int32(bi), visited, maxChain)
 	}
-	d.total = cum
-	return d, nil
-}
-
-// Pick samples a function index.
-func (d *Dist) Pick(rng *rand.Rand) int32 {
-	if len(d.targets) == 1 {
-		return d.targets[0]
+	for bi := range cf.blocks {
+		cf.blocks[bi].instrs = merged[bi]
 	}
-	x := rng.Uint64() % d.total
-	i := sort.Search(len(d.cum), func(i int) bool { return d.cum[i] > x })
-	return d.targets[i]
-}
-
-// NumTargets returns the number of distinct targets with positive weight.
-func (d *Dist) NumTargets() int { return len(d.targets) }
-
-// Resolver supplies the target distribution for each original indirect
-// call site. Sites absent from the map cannot be executed indirectly.
-type Resolver struct {
-	dists map[ir.SiteID]*Dist
-}
-
-// NewResolver returns an empty resolver.
-func NewResolver() *Resolver {
-	return &Resolver{dists: make(map[ir.SiteID]*Dist)}
-}
-
-// Set installs the distribution for an original site ID.
-func (r *Resolver) Set(orig ir.SiteID, d *Dist) { r.dists[orig] = d }
-
-// Get returns the distribution for an original site ID.
-func (r *Resolver) Get(orig ir.SiteID) *Dist { return r.dists[orig] }
-
-// Sites returns the site IDs with installed distributions, sorted.
-func (r *Resolver) Sites() []ir.SiteID {
-	out := make([]ir.SiteID, 0, len(r.dists))
-	for id := range r.dists {
-		out = append(out, id)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
 }
 
 // ICallHook lets a runtime mechanism (the JumpSwitches baseline)
@@ -306,6 +422,20 @@ func (r *Resolver) Sites() []ir.SiteID {
 // true if it charged the timing for the dispatch itself.
 type ICallHook interface {
 	Handle(m *cpu.Model, site ir.SiteID, siteAddr, targetAddr, retAddr int64, target int32) bool
+}
+
+// frame is one pooled activation record on the machine's explicit call
+// stack. regs and trips keep their capacity across calls at the same
+// depth, so only the live prefix is re-initialised per call.
+type frame struct {
+	fi       int32
+	bi       int32
+	ii       int32 // instruction index to resume at within the block
+	retAddr  int64
+	flag     bool
+	entering bool // block-entry accounting (fuel, icache, batch) pending
+	regs     []int32
+	trips    []int32
 }
 
 // Machine executes a Program. CPU, Rec and Hook are all optional; a
@@ -330,6 +460,8 @@ type Machine struct {
 
 	// MaxDepth bounds call nesting; MaxSteps bounds total executed
 	// blocks per Run, so broken control flow fails instead of hanging.
+	// Dispatch is iterative, so MaxDepth is limited by memory (one
+	// pooled frame per depth), not by Go stack growth.
 	MaxDepth int
 	MaxSteps int64
 
@@ -347,17 +479,68 @@ type Machine struct {
 	// observable to compare a candidate image against its reference.
 	OnResolve func(orig ir.SiteID, target int32)
 
-	steps  int64
-	frames [][]int32 // register files reused per depth
-	trips  [][]int32 // loop trip counters reused per depth
+	// ExactAccounting forces the per-event cpu.Model charging path even
+	// for blocks eligible for batched block-entry charging. The batched
+	// path is cycle-exact by construction; this knob exists so tests can
+	// prove it (same seed, batched vs exact, identical Cycles/Stats).
+	ExactAccounting bool
+
+	steps int64
+	stack []frame
+	// src is the concrete view of RNG's source and ownRNG the *rand.Rand
+	// NewMachine built around it; the dispatch loop uses src only while
+	// RNG == ownRNG, so replacing RNG disables the fast path instead of
+	// desynchronising the streams.
+	src    *fastSource
+	ownRNG *rand.Rand
+	// leafRegs/leafTrips are the scratch register and trip-counter files
+	// shared by all frameless (runFlat) executions. Call-free bodies
+	// cannot nest, so one scratch file of each suffices at any depth;
+	// both are cleared per invocation, matching a fresh frame.
+	leafRegs  []int32
+	leafTrips []int32
+}
+
+// fastSource is a splitmix64 rand.Source64. Compared with the standard
+// library's lagged-Fibonacci source it has 8 bytes of state instead of
+// ~5KB, seeds in O(1) instead of ~600 feedback steps (machines are
+// created per measurement rep, so seeding is on the hot path), and each
+// draw is three xorshift-multiply rounds with no memory traffic.
+// Deterministic per seed, like any Source.
+type fastSource struct{ s uint64 }
+
+func newFastSource(seed int64) rand.Source64 { return &fastSource{s: uint64(seed)} }
+
+func (f *fastSource) Seed(seed int64) { f.s = uint64(seed) }
+
+func (f *fastSource) Int63() int64 { return int64(f.Uint64() >> 1) }
+
+func (f *fastSource) Uint64() uint64 {
+	f.s += 0x9e3779b97f4a7c15
+	z := f.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
 }
 
 // NewMachine returns a Machine with sensible limits and a deterministic
 // RNG.
+//
+// The machine keeps a concrete reference to the source alongside the
+// *rand.Rand wrapper: the dispatch loop draws through the concrete
+// source (inlinable, no interface dispatch) while RNG remains the
+// public handle. Both views share the same state, so draws through
+// either produce the same stream — rand.Rand.Uint64 forwards straight
+// to the Source64. A caller that replaces RNG simply loses the fast
+// path; execution falls back to drawing through RNG.
 func NewMachine(p *Program, seed int64) *Machine {
+	src := &fastSource{s: uint64(seed)}
+	rng := rand.New(src)
 	return &Machine{
 		Prog:     p,
-		RNG:      rand.New(rand.NewSource(seed)),
+		RNG:      rng,
+		src:      src,
+		ownRNG:   rng,
 		MaxDepth: 256,
 		MaxSteps: 32 << 20,
 	}
@@ -379,39 +562,7 @@ func (mc *Machine) Run(entry string) error {
 		}
 		mc.CPU.DirectCall(entryRetAddr, 0)
 	}
-	return mc.call(int32(idx), 0, entryRetAddr)
-}
-
-func (mc *Machine) regs(depth, n int) []int32 {
-	for len(mc.frames) <= depth {
-		mc.frames = append(mc.frames, nil)
-	}
-	f := mc.frames[depth]
-	if cap(f) < n {
-		f = make([]int32, n)
-		mc.frames[depth] = f
-	}
-	f = f[:n]
-	for i := range f {
-		f[i] = -1
-	}
-	return f
-}
-
-func (mc *Machine) tripCounters(depth, n int) []int32 {
-	for len(mc.trips) <= depth {
-		mc.trips = append(mc.trips, nil)
-	}
-	f := mc.trips[depth]
-	if cap(f) < n {
-		f = make([]int32, n)
-		mc.trips[depth] = f
-	}
-	f = f[:n]
-	for i := range f {
-		f[i] = 0
-	}
-	return f
+	return mc.exec(int32(idx), entryRetAddr)
 }
 
 // trap builds an organic (non-injected) execution trap.
@@ -419,9 +570,12 @@ func trap(site, format string, args ...any) error {
 	return resilience.Faultf(resilience.PhaseExecute, resilience.KindTrap, site, format, args...)
 }
 
-func (mc *Machine) call(fi int32, depth int, retAddr int64) error {
+// pushFrame runs the call prologue — depth and chaos checks, recorder
+// invoke, register/trip-counter initialisation — and installs the frame
+// at the given depth of the pooled stack.
+func (mc *Machine) pushFrame(fi int32, depth int, retAddr int64) error {
 	f := &mc.Prog.funcs[fi]
-	if depth >= mc.MaxDepth || mc.Inject.ExhaustDepth() {
+	if depth >= mc.MaxDepth || (mc.Inject != nil && mc.Inject.ExhaustDepth()) {
 		return resilience.Faultf(resilience.PhaseExecute, resilience.KindDepthExhausted, f.name,
 			"interp: call depth exceeds %d at %s", mc.MaxDepth, f.name)
 	}
@@ -433,53 +587,127 @@ func (mc *Machine) call(fi int32, depth int, retAddr int64) error {
 	if mc.Rec != nil {
 		mc.Rec.invoke(fi)
 	}
-	regs := mc.regs(depth, f.numRegs)
-	var trips []int32
-	if f.numTrips > 0 {
-		trips = mc.tripCounters(depth, f.numTrips)
+	if depth == len(mc.stack) {
+		mc.stack = append(mc.stack, frame{})
 	}
-	bi := int32(0)
-	flag := false
-	for {
-		mc.steps++
-		if mc.steps > mc.MaxSteps || mc.Inject.ExhaustFuel() {
-			return resilience.Faultf(resilience.PhaseExecute, resilience.KindFuelExhausted, f.name,
-				"interp: step budget exhausted in %s", f.name)
+	fr := &mc.stack[depth]
+	fr.fi = fi
+	fr.bi = 0
+	fr.ii = 0
+	fr.retAddr = retAddr
+	fr.flag = false
+	fr.entering = true
+	// Registers hold target indices biased by +1 so that the cleared
+	// value 0 means "unresolved" and initialisation is a memclr rather
+	// than a sentinel-fill loop.
+	if cap(fr.regs) < f.numRegs {
+		fr.regs = make([]int32, f.numRegs)
+	}
+	fr.regs = fr.regs[:f.numRegs]
+	clear(fr.regs)
+	if cap(fr.trips) < f.numTrips {
+		fr.trips = make([]int32, f.numTrips)
+	}
+	fr.trips = fr.trips[:f.numTrips]
+	clear(fr.trips)
+	return nil
+}
+
+// runFlat executes a call-free callee frameless: the exact observable
+// sequence of pushFrame plus a framed execution — depth and chaos
+// checks, recorder invoke, step/fuel at each block entry, segment
+// charges, predictor events, the final Return — without installing an
+// activation record or round-tripping through the dispatch loop's
+// frame switch. Registers and trip counters live in per-machine
+// scratch files, cleared per invocation exactly as a fresh frame's
+// would be; call-free bodies cannot nest, so one scratch file of each
+// is enough. The caller has already charged the call itself.
+func (mc *Machine) runFlat(lf *cfunc, model *cpu.Model, rng *rand.Rand, src *fastSource, retAddr int64, depth int, exact bool) error {
+	inject := mc.Inject
+	if depth >= mc.MaxDepth || (inject != nil && inject.ExhaustDepth()) {
+		return resilience.Faultf(resilience.PhaseExecute, resilience.KindDepthExhausted, lf.name,
+			"interp: call depth exceeds %d at %s", mc.MaxDepth, lf.name)
+	}
+	if inject != nil {
+		if err := inject.Trap(lf.name); err != nil {
+			return err
 		}
-		b := &f.blocks[bi]
-		if mc.CPU != nil {
-			mc.CPU.TouchLines(b.lineBase, b.nLines)
+	}
+	if mc.Rec != nil {
+		mc.Rec.invoke(lf.index)
+	}
+	if len(mc.leafRegs) < lf.numRegs {
+		mc.leafRegs = make([]int32, lf.numRegs+8)
+	}
+	regs := mc.leafRegs[:lf.numRegs]
+	clear(regs)
+	if len(mc.leafTrips) < lf.numTrips {
+		mc.leafTrips = make([]int32, lf.numTrips+8)
+	}
+	trips := mc.leafTrips[:lf.numTrips]
+	clear(trips)
+	res := mc.Res
+	onResolve := mc.OnResolve
+	flag := false
+	bi := int32(0)
+	// The step counter lives in a register for the duration of the body
+	// and is published back to the machine at every exit, so the fuel
+	// check is not a heap read-modify-write per block.
+	steps := mc.steps
+	maxSteps := mc.MaxSteps
+	for {
+		b := &lf.blocks[bi]
+		steps++
+		if steps > maxSteps || (inject != nil && inject.ExhaustFuel()) {
+			mc.steps = steps
+			return resilience.Faultf(resilience.PhaseExecute, resilience.KindFuelExhausted, lf.name,
+				"interp: step budget exhausted in %s", lf.name)
+		}
+		if model != nil {
+			if !b.mayFault && !exact {
+				if b.nLines == 1 {
+					model.Cycles += int64(b.segCost)
+					model.Stats.Instructions += int64(b.segCount)
+					model.TouchLine(int64(b.lineBase))
+				} else {
+					model.Straightline(int64(b.segCost), int64(b.segCount), int64(b.lineBase), int(b.nLines))
+				}
+			} else {
+				model.TouchLines(int64(b.lineBase), int(b.nLines))
+			}
 		}
 		next := int32(-1)
-		for ii := range b.instrs {
-			ci := &b.instrs[ii]
+		instrs := b.instrs
+		for ii := 0; ii < len(instrs); ii++ {
+			ci := &instrs[ii]
+			if (ci.charged || exact) && model != nil && ci.preCount != 0 {
+				model.AddStraightline(int64(ci.preCost), int64(ci.preCount))
+			}
 			switch ci.kind {
-			case cSeg:
-				if mc.CPU != nil {
-					mc.CPU.AddStraightline(ci.cost, ci.count)
-				}
 			case cResolve:
 				var d *Dist
-				if mc.Res != nil {
-					d = mc.Res.Get(ci.orig)
+				if res != nil {
+					d = res.Get(ci.orig)
 				}
 				if d == nil {
-					return trap(f.name, "interp: %s: no target distribution for site %d (orig %d)", f.name, ci.site, ci.orig)
+					mc.steps = steps
+					return trap(lf.name, "interp: %s: no target distribution for site %d (orig %d)", lf.name, ci.site, ci.orig)
 				}
-				regs[ci.reg] = d.Pick(mc.RNG)
-				if mc.OnResolve != nil {
-					mc.OnResolve(ci.orig, regs[ci.reg])
+				var tgt int32
+				if src != nil {
+					tgt = d.pickFast(src)
+				} else {
+					tgt = d.Pick(rng)
 				}
-				if mc.CPU != nil {
-					mc.CPU.AddStraightline(ci.cost, 1)
+				regs[ci.reg] = tgt + 1
+				if onResolve != nil {
+					onResolve(ci.orig, tgt)
+				}
+				if model != nil {
+					model.AddStraightline(int64(ci.cost), 1)
 				}
 			case cCmpFn:
-				flag = regs[ci.reg] == ci.callee
-				if mc.CPU != nil {
-					// The compare fuses with its branch (macro-fusion);
-					// the branch event carries the cycle.
-					mc.CPU.AddStraightline(0, 1)
-				}
+				flag = regs[ci.reg] == ci.callee+1
 			case cBr:
 				var taken bool
 				switch {
@@ -495,10 +723,16 @@ func (mc *Machine) call(fi int32, depth int, retAddr int64) error {
 				case ci.useFlag:
 					taken = flag
 				default:
-					taken = mc.RNG.Float32() < ci.prob
+					var u uint64
+					if src != nil {
+						u = src.Uint64()
+					} else {
+						u = rng.Uint64()
+					}
+					taken = uint32(u>>40) < uint32(ci.cost)
 				}
-				if mc.CPU != nil {
-					mc.CPU.CondBranch(ci.addr, taken)
+				if model != nil {
+					model.CondBranch(int64(ci.addr), taken)
 				}
 				if taken {
 					next = ci.then
@@ -508,66 +742,334 @@ func (mc *Machine) call(fi int32, depth int, retAddr int64) error {
 			case cJmp:
 				next = ci.then
 			case cSwitch:
-				k := mc.RNG.Intn(len(ci.targets))
-				if mc.CPU != nil {
+				targets := lf.switchTargets[ci.callee]
+				var k int
+				if src != nil {
+					k = int(uint64nSrc(src, uint64(len(targets))))
+				} else {
+					k = int(uint64n(rng, uint64(len(targets))))
+				}
+				if model != nil {
 					if ci.table {
-						mc.CPU.IndirectJump(ci.addr, int64(k), ci.def)
+						model.IndirectJump(int64(ci.addr), int64(k), ci.def)
 					} else {
-						// Compare chain: one predicted compare+branch
-						// per skipped case.
-						for j := 0; j <= k && j < len(ci.targets)-1; j++ {
-							mc.CPU.CondBranch(ci.addr+int64(j), j == k)
+						for j := 0; j <= k && j < len(targets)-1; j++ {
+							model.CondBranch(int64(ci.addr)+int64(j), j == k)
 						}
 					}
 				}
-				next = ci.targets[k]
-			case cCall:
-				if mc.Rec != nil {
-					mc.Rec.direct(ci.orig, ci.callee)
-				}
-				if mc.CPU != nil {
-					mc.CPU.DirectCall(ci.retAddr, ci.args)
-				}
-				if err := mc.call(ci.callee, depth+1, ci.retAddr); err != nil {
-					return err
-				}
-			case cICall:
-				tgt := regs[ci.reg]
-				if tgt < 0 {
-					return trap(f.name, "interp: %s: icall through unresolved register r%d (site %d)", f.name, ci.reg, ci.site)
-				}
-				if mc.Rec != nil {
-					mc.Rec.indirect(ci.orig, tgt)
-				}
-				if mc.CPU != nil {
-					handled := false
-					if mc.Hook != nil && ci.def == ir.DefNone {
-						handled = mc.Hook.Handle(mc.CPU, ci.orig, ci.addr, mc.Prog.funcs[tgt].addr, ci.retAddr, tgt)
-					}
-					if !handled {
-						mc.CPU.IndirectCall(ci.addr, mc.Prog.funcs[tgt].addr, ci.retAddr, ci.args, ci.def)
-					} else {
-						// The hook charged dispatch; still push the
-						// return address for backward-edge fidelity.
-						mc.CPU.DirectCall(ci.retAddr, ci.args)
-					}
-				}
-				if err := mc.call(tgt, depth+1, ci.retAddr); err != nil {
-					return err
-				}
+				next = targets[k]
 			case cRet:
-				if mc.CPU != nil {
-					mc.CPU.Return(retAddr, ci.def)
+				if model != nil {
+					model.Return(retAddr, ci.def)
 				}
+				mc.steps = steps
 				return nil
+			case cStep:
+				steps++
+				if steps > maxSteps || (inject != nil && inject.ExhaustFuel()) {
+					mc.steps = steps
+					return resilience.Faultf(resilience.PhaseExecute, resilience.KindFuelExhausted, lf.name,
+						"interp: step budget exhausted in %s", lf.name)
+				}
+				if model != nil {
+					if !ci.useFlag && !exact {
+						if ci.then == 1 {
+							model.Cycles += int64(ci.cost)
+							model.Stats.Instructions += int64(ci.els)
+							model.TouchLine(int64(ci.addr))
+						} else {
+							model.Straightline(int64(ci.cost), int64(ci.els), int64(ci.addr), int(ci.then))
+						}
+					} else {
+						model.TouchLines(int64(ci.addr), int(ci.then))
+					}
+				}
 			}
 			if next >= 0 {
 				break
 			}
 		}
 		if next < 0 {
-			return trap(f.name, "interp: %s: block %d fell through without terminator", f.name, bi)
+			if model != nil && (b.mayFault || exact) && b.tailCount != 0 {
+				model.AddStraightline(int64(b.tailCost), int64(b.tailCount))
+			}
+			mc.steps = steps
+			return trap(lf.name, "interp: %s: block %d fell through without terminator", lf.name, bi)
 		}
 		bi = next
 	}
+}
+
+// exec drives the iterative dispatch loop. Each iteration of the outer
+// loop resumes the top-of-stack frame: calls suspend the caller (saving
+// its resume index) and push the callee; returns pop.
+//
+// Per-frame state (block index, resume index, flag, register/trip
+// slices) is held in locals across the inner block loop — the compiler
+// cannot keep fields of a heap frame in registers across the model's
+// method calls, so the loop spills them back only at suspension points
+// (calls) rather than on every access.
+func (mc *Machine) exec(entry int32, retAddr int64) error {
+	if err := mc.pushFrame(entry, 0, retAddr); err != nil {
+		return err
+	}
+	model := mc.CPU
+	rng := mc.RNG
+	src := mc.src
+	if rng != mc.ownRNG {
+		src = nil // RNG was replaced; draw through the interface
+	}
+	funcs := mc.Prog.funcs
+	res := mc.Res
+	rec := mc.Rec
+	hook := mc.Hook
+	onResolve := mc.OnResolve
+	inject := mc.Inject
+	exact := mc.ExactAccounting
+	// As in runFlat, the step counter stays in a register; it is synced
+	// through mc.steps around runFlat calls (the only other reader) and
+	// reset by Run, so exit paths need no write-back.
+	steps := mc.steps
+	maxSteps := mc.MaxSteps
+	sp := 0
+frames:
+	for sp >= 0 {
+		fr := &mc.stack[sp]
+		f := &funcs[fr.fi]
+		bi := fr.bi
+		flag := fr.flag
+		entering := fr.entering
+		resume := int(fr.ii)
+		regs := fr.regs
+		trips := fr.trips
+		frRetAddr := fr.retAddr
+		for {
+			b := &f.blocks[bi]
+			// Blocks without a fault or suspension point charge all
+			// their straight-line cost in one model call at entry;
+			// the charges are unconditional once the block is entered
+			// and commute with the terminator's predictor events, so
+			// the batch is cycle-exact. mayFault blocks (and the
+			// ExactAccounting test knob) take the per-event path.
+			if entering {
+				resume = 0
+				steps++
+				if steps > maxSteps || (inject != nil && inject.ExhaustFuel()) {
+					return resilience.Faultf(resilience.PhaseExecute, resilience.KindFuelExhausted, f.name,
+						"interp: step budget exhausted in %s", f.name)
+				}
+				if model != nil {
+					if !b.mayFault && !exact {
+						if b.nLines == 1 {
+							model.Cycles += int64(b.segCost)
+							model.Stats.Instructions += int64(b.segCount)
+							model.TouchLine(int64(b.lineBase))
+						} else {
+							model.Straightline(int64(b.segCost), int64(b.segCount), int64(b.lineBase), int(b.nLines))
+						}
+					} else {
+						model.TouchLines(int64(b.lineBase), int(b.nLines))
+					}
+				}
+			}
+			next := int32(-1)
+			instrs := b.instrs
+			for ii := resume; ii < len(instrs); ii++ {
+				ci := &instrs[ii]
+				if (ci.charged || exact) && model != nil && ci.preCount != 0 {
+					model.AddStraightline(int64(ci.preCost), int64(ci.preCount))
+				}
+				switch ci.kind {
+				case cResolve:
+					var d *Dist
+					if res != nil {
+						d = res.Get(ci.orig)
+					}
+					if d == nil {
+						return trap(f.name, "interp: %s: no target distribution for site %d (orig %d)", f.name, ci.site, ci.orig)
+					}
+					var tgt int32
+					if src != nil {
+						tgt = d.pickFast(src)
+					} else {
+						tgt = d.Pick(rng)
+					}
+					regs[ci.reg] = tgt + 1
+					if onResolve != nil {
+						onResolve(ci.orig, tgt)
+					}
+					if model != nil {
+						model.AddStraightline(int64(ci.cost), 1)
+					}
+				case cCmpFn:
+					flag = regs[ci.reg] == ci.callee+1
+				case cBr:
+					var taken bool
+					switch {
+					case ci.trip > 0:
+						cnt := trips[ci.tripIdx]
+						if cnt < ci.trip-1 {
+							trips[ci.tripIdx] = cnt + 1
+							taken = true
+						} else {
+							trips[ci.tripIdx] = 0
+							taken = false
+						}
+					case ci.useFlag:
+						taken = flag
+					default:
+						// Integer comparison against the precompiled
+						// 24-bit threshold: one Uint64 draw, no float
+						// conversion on the hot path.
+						var u uint64
+						if src != nil {
+							u = src.Uint64()
+						} else {
+							u = rng.Uint64()
+						}
+						taken = uint32(u>>40) < uint32(ci.cost)
+					}
+					if model != nil {
+						model.CondBranch(int64(ci.addr), taken)
+					}
+					if taken {
+						next = ci.then
+					} else {
+						next = ci.els
+					}
+				case cJmp:
+					next = ci.then
+				case cSwitch:
+					targets := f.switchTargets[ci.callee]
+					var k int
+					if src != nil {
+						k = int(uint64nSrc(src, uint64(len(targets))))
+					} else {
+						k = int(uint64n(rng, uint64(len(targets))))
+					}
+					if model != nil {
+						if ci.table {
+							model.IndirectJump(int64(ci.addr), int64(k), ci.def)
+						} else {
+							// Compare chain: one predicted compare+branch
+							// per skipped case.
+							for j := 0; j <= k && j < len(targets)-1; j++ {
+								model.CondBranch(int64(ci.addr)+int64(j), j == k)
+							}
+						}
+					}
+					next = targets[k]
+				case cCall:
+					retAddr := int64(ci.els)
+					if rec != nil {
+						rec.direct(ci.orig, ci.callee)
+					}
+					if model != nil {
+						model.DirectCall(retAddr, int32(ci.args))
+					}
+					if lf := &funcs[ci.callee]; lf.flat {
+						mc.steps = steps
+						if err := mc.runFlat(lf, model, rng, src, retAddr, sp+1, exact); err != nil {
+							return err
+						}
+						steps = mc.steps
+						continue
+					}
+					fr.bi = bi
+					fr.ii = int32(ii + 1)
+					fr.flag = flag
+					fr.entering = false
+					if err := mc.pushFrame(ci.callee, sp+1, retAddr); err != nil {
+						return err
+					}
+					sp++
+					continue frames
+				case cICall:
+					tgt := regs[ci.reg] - 1
+					if tgt < 0 {
+						return trap(f.name, "interp: %s: icall through unresolved register r%d (site %d)", f.name, ci.reg, ci.site)
+					}
+					retAddr := int64(ci.els)
+					if rec != nil {
+						rec.indirect(ci.orig, tgt)
+					}
+					if model != nil {
+						handled := false
+						if hook != nil && ci.def == ir.DefNone {
+							handled = hook.Handle(model, ci.orig, int64(ci.addr), funcs[tgt].addr, retAddr, tgt)
+						}
+						if !handled {
+							model.IndirectCall(int64(ci.addr), funcs[tgt].addr, retAddr, int32(ci.args), ci.def)
+						} else {
+							// The hook charged dispatch; still push the
+							// return address for backward-edge fidelity.
+							model.DirectCall(retAddr, int32(ci.args))
+						}
+					}
+					if lf := &funcs[tgt]; lf.flat {
+						mc.steps = steps
+						if err := mc.runFlat(lf, model, rng, src, retAddr, sp+1, exact); err != nil {
+							return err
+						}
+						steps = mc.steps
+						continue
+					}
+					fr.bi = bi
+					fr.ii = int32(ii + 1)
+					fr.flag = flag
+					fr.entering = false
+					if err := mc.pushFrame(tgt, sp+1, retAddr); err != nil {
+						return err
+					}
+					sp++
+					continue frames
+				case cRet:
+					if model != nil {
+						model.Return(frRetAddr, ci.def)
+					}
+					sp--
+					continue frames
+				case cStep:
+					// Superblock seam: the merged jump target's block
+					// entry — same step/fuel sequence point and the
+					// target segment's own batched-or-per-event charge.
+					steps++
+					if steps > maxSteps || (inject != nil && inject.ExhaustFuel()) {
+						return resilience.Faultf(resilience.PhaseExecute, resilience.KindFuelExhausted, f.name,
+							"interp: step budget exhausted in %s", f.name)
+					}
+					if model != nil {
+						if !ci.useFlag && !exact {
+							if ci.then == 1 {
+								// Single-line segment: charge the fields
+								// directly and skip the Straightline call
+								// layer (TouchLine's last-line probe is
+								// the dominant outcome).
+								model.Cycles += int64(ci.cost)
+								model.Stats.Instructions += int64(ci.els)
+								model.TouchLine(int64(ci.addr))
+							} else {
+								model.Straightline(int64(ci.cost), int64(ci.els), int64(ci.addr), int(ci.then))
+							}
+						} else {
+							model.TouchLines(int64(ci.addr), int(ci.then))
+						}
+					}
+				}
+				if next >= 0 {
+					break
+				}
+			}
+			if next < 0 {
+				if model != nil && (b.mayFault || exact) && b.tailCount != 0 {
+					model.AddStraightline(int64(b.tailCost), int64(b.tailCount))
+				}
+				return trap(f.name, "interp: %s: block %d fell through without terminator", f.name, bi)
+			}
+			bi = next
+			entering = true
+		}
+	}
+	return nil
 }

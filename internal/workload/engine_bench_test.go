@@ -1,0 +1,75 @@
+package workload
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/kernel"
+)
+
+func benchRunner(b *testing.B, flavor Flavor) *Runner {
+	b.Helper()
+	k, err := kernel.Generate(kernel.Config{Seed: 3})
+	if err != nil {
+		b.Fatalf("Generate: %v", err)
+	}
+	prog, err := interp.Compile(k.Mod)
+	if err != nil {
+		b.Fatalf("Compile: %v", err)
+	}
+	r, err := NewRunner(k, prog, flavor, 9)
+	if err != nil {
+		b.Fatalf("NewRunner: %v", err)
+	}
+	return r
+}
+
+// BenchmarkMeasureRequest is the headline engine benchmark: the cycles of
+// one application request, measured with the serial driver.
+func BenchmarkMeasureRequest(b *testing.B) {
+	r := benchRunner(b, Nginx)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.MeasureRequest(5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMeasureRequestParallel is BenchmarkMeasureRequest on the
+// sharded driver with GOMAXPROCS workers; on multi-core machines the
+// ratio of the two is the parallel-driver speedup reported in
+// BENCH_engine.json.
+func BenchmarkMeasureRequestParallel(b *testing.B) {
+	r := benchRunner(b, Nginx)
+	r.Workers = runtime.GOMAXPROCS(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.MeasureRequest(5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMeasureAllSerial measures the full LMBench sweep serially.
+func BenchmarkMeasureAllSerial(b *testing.B) {
+	r := benchRunner(b, LMBench)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.MeasureAll(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProfileCollection profiles the Apache mix.
+func BenchmarkProfileCollection(b *testing.B) {
+	r := benchRunner(b, Apache)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Profile(2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sync"
+
+	"repro/internal/cpu"
+	"repro/internal/interp"
+	"repro/internal/kernel"
+)
+
+// This file implements the sharded measurement driver: every repetition
+// of every benchmark is an independent cell with its own derived seed,
+// interpreter machine and cpu.Model, so cells can execute on a bounded
+// worker pool in any order and still merge to exactly the results a
+// one-worker run produces.
+//
+// Determinism contract: a cell's result is a pure function of
+// (Runner config, benchmark name, repetition index). The per-cell seed
+// is derived by hashing (Seed, bench, rep) — never from worker identity
+// or scheduling — and predictor state never crosses cells, so the merge
+// (median per benchmark, benchmarks in spec order) is byte-identical for
+// every worker count.
+//
+// The sharded driver refuses two configurations it cannot replicate per
+// cell, falling back to the legacy serial driver: a chaos injector
+// (whose draw order is serial by definition) and a shared stateful Hook
+// without a NewHook factory.
+
+// sharded reports whether measurement should use the sharded driver.
+func (r *Runner) sharded() bool {
+	return r.Workers > 0 && r.Inject == nil && (r.Hook == nil || r.NewHook != nil)
+}
+
+// repSeed derives the RNG seed for one measurement cell. The derivation
+// depends only on the runner seed, the benchmark name and the repetition
+// index — not on worker count or scheduling.
+func repSeed(base int64, bench string, rep int) int64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(base))
+	h.Write(buf[:])
+	io.WriteString(h, bench)
+	binary.LittleEndian.PutUint64(buf[:], uint64(rep))
+	h.Write(buf[:])
+	return int64(h.Sum64())
+}
+
+// runCells evaluates fn for every index in [0, n) on a pool of at most
+// `workers` goroutines and returns the results in index order. Every
+// cell runs to completion; if any fail, the lowest-index error is
+// returned, so the error too is independent of scheduling.
+func runCells(n, workers int, fn func(i int) (float64, error)) ([]float64, error) {
+	out := make([]float64, n)
+	errs := make([]error, n)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			out[i], errs[i] = fn(i)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					out[i], errs[i] = fn(i)
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+	}
+	return out, nil
+}
+
+// cellMachine builds the fresh machine one cell runs on.
+func (r *Runner) cellMachine(seed int64) *interp.Machine {
+	mc := interp.NewMachine(r.Prog, seed)
+	mc.CPU = cpu.New(r.CPU.P)
+	mc.Res = r.Res
+	mc.RefillRSB = r.RefillRSB
+	if r.NewHook != nil {
+		mc.Hook = r.NewHook()
+	}
+	return mc
+}
+
+// measureBenchCell runs one warmed repetition of one LMBench benchmark
+// and returns its per-operation cycle count.
+func (r *Runner) measureBenchCell(bench string, rep int) (float64, error) {
+	entry, ok := r.Kernel.Entries[bench]
+	if !ok {
+		return 0, fmt.Errorf("workload: unknown benchmark %q", bench)
+	}
+	var spec *kernel.PathSpec
+	for i := range r.Kernel.Specs {
+		if r.Kernel.Specs[i].Name == bench {
+			spec = &r.Kernel.Specs[i]
+		}
+	}
+	ops := 20
+	if spec != nil {
+		ops = int(r.RepCycles / (spec.Cycles + 1))
+		if ops < 4 {
+			ops = 4
+		}
+		if ops > 400 {
+			ops = 400
+		}
+	}
+	mc := r.cellMachine(repSeed(r.Seed, bench, rep))
+	warm := ops / 4
+	if warm < 2 {
+		warm = 2
+	}
+	for i := 0; i < warm; i++ {
+		if err := mc.Run(entry); err != nil {
+			return 0, err
+		}
+	}
+	mc.CPU.Reset()
+	for i := 0; i < ops; i++ {
+		if err := mc.Run(entry); err != nil {
+			return 0, err
+		}
+	}
+	return float64(mc.CPU.Cycles) / float64(ops), nil
+}
+
+func (r *Runner) reps() int {
+	if r.Reps > 0 {
+		return r.Reps
+	}
+	return 5
+}
+
+// measureSharded is the sharded Measure: repetitions fan out as cells,
+// the median merges them.
+func (r *Runner) measureSharded(bench string) (Measurement, error) {
+	reps := r.reps()
+	samples, err := runCells(reps, r.Workers, func(rep int) (float64, error) {
+		return r.measureBenchCell(bench, rep)
+	})
+	if err != nil {
+		return Measurement{}, err
+	}
+	med := median(samples)
+	return Measurement{
+		Bench:  bench,
+		Cycles: med,
+		Micros: med / (r.CPU.P.FreqGHz * 1e3),
+	}, nil
+}
+
+// measureAllSharded fans every (benchmark, repetition) pair out as one
+// cell, so the pool stays busy across benchmark boundaries, then merges
+// medians in spec order.
+func (r *Runner) measureAllSharded() ([]Measurement, error) {
+	specs := r.Kernel.Specs
+	reps := r.reps()
+	vals, err := runCells(len(specs)*reps, r.Workers, func(i int) (float64, error) {
+		sp := specs[i/reps]
+		v, err := r.measureBenchCell(sp.Name, i%reps)
+		if err != nil {
+			return 0, fmt.Errorf("workload: %s: %v", sp.Name, err)
+		}
+		return v, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Measurement, len(specs))
+	for si := range specs {
+		med := median(vals[si*reps : (si+1)*reps])
+		out[si] = Measurement{
+			Bench:  specs[si].Name,
+			Cycles: med,
+			Micros: med / (r.CPU.P.FreqGHz * 1e3),
+		}
+	}
+	return out, nil
+}
+
+// measureRequestCell runs one warmed repetition of the flavor's request
+// script and returns its per-request cycle count.
+func (r *Runner) measureRequestCell(script []string, rep int) (float64, error) {
+	mc := r.cellMachine(repSeed(r.Seed+977, "request:"+r.Flavor.String(), rep))
+	runOnce := func() error {
+		for _, b := range script {
+			if err := mc.Run(r.Kernel.Entries[b]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	const perRep = 30
+	for i := 0; i < 10; i++ { // warm-up
+		if err := runOnce(); err != nil {
+			return 0, err
+		}
+	}
+	mc.CPU.Reset()
+	for i := 0; i < perRep; i++ {
+		if err := runOnce(); err != nil {
+			return 0, err
+		}
+	}
+	return float64(mc.CPU.Cycles) / perRep, nil
+}
+
+// measureRequestSharded is the sharded MeasureRequest.
+func (r *Runner) measureRequestSharded(reps int) (float64, error) {
+	script := Request(r.Flavor)
+	if script == nil {
+		return 0, fmt.Errorf("workload: flavor %v has no request script", r.Flavor)
+	}
+	if reps <= 0 {
+		reps = 5
+	}
+	samples, err := runCells(reps, r.Workers, func(rep int) (float64, error) {
+		return r.measureRequestCell(script, rep)
+	})
+	if err != nil {
+		return 0, err
+	}
+	return median(samples), nil
+}

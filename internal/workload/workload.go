@@ -66,7 +66,7 @@ func TargetWeights(site kernel.Site, flavor Flavor) []uint64 {
 // BuildResolver installs the flavor's distribution for every executable
 // site of the kernel against the given compiled program.
 func BuildResolver(k *kernel.Kernel, prog *interp.Program, flavor Flavor) (*interp.Resolver, error) {
-	res := interp.NewResolver()
+	res := interp.NewResolverSized(prog.SiteBound())
 	for _, site := range k.Sites {
 		weights := TargetWeights(site, flavor)
 		idx := make([]int, len(site.Targets))
@@ -181,6 +181,21 @@ type Runner struct {
 	// RepCycles is the per-round target cycle volume per benchmark,
 	// which determines how many operations each round executes.
 	RepCycles int64
+
+	// Workers selects the measurement driver. Zero (the default) keeps
+	// the legacy serial driver: one machine and one shared CPU model per
+	// benchmark, warmed once, Reset between rounds. Any value >= 1
+	// selects the sharded driver (parallel.go), which gives every
+	// repetition its own derived seed, machine and cpu.Model so
+	// repetitions can run on a bounded worker pool; its results are
+	// identical for every worker count, including 1.
+	Workers int
+	// NewHook builds a fresh ICallHook per measurement repetition for
+	// the sharded driver (stateful hooks such as the JumpSwitches
+	// runtime are not safe to share across workers). When Hook is set
+	// but NewHook is nil, the sharded driver cannot replicate the hook
+	// and the runner falls back to the legacy serial driver.
+	NewHook func() interp.ICallHook
 }
 
 // NewRunner builds a Runner with a fresh CPU model and the flavor's
@@ -218,6 +233,9 @@ type Measurement struct {
 // the whole benchmark — fresh machine, same seeds, so a successful retry
 // is deterministic — with capped exponential backoff.
 func (r *Runner) Measure(bench string) (Measurement, error) {
+	if r.sharded() {
+		return r.measureSharded(bench)
+	}
 	var m Measurement
 	err := resilience.Retry(r.Retry, func() error {
 		var err error
@@ -287,6 +305,9 @@ func (r *Runner) measureOnce(bench string) (Measurement, error) {
 
 // MeasureAll measures every LMBench benchmark in spec order.
 func (r *Runner) MeasureAll() ([]Measurement, error) {
+	if r.sharded() {
+		return r.measureAllSharded()
+	}
 	out := make([]Measurement, 0, len(r.Kernel.Specs))
 	for _, s := range r.Kernel.Specs {
 		m, err := r.Measure(s.Name)
@@ -368,6 +389,9 @@ func (r *Runner) Profile(opsScale int) (*prof.Profile, error) {
 // cycles when computing throughput. Transient faults are retried like
 // Measure's.
 func (r *Runner) MeasureRequest(reps int) (float64, error) {
+	if r.sharded() {
+		return r.measureRequestSharded(reps)
+	}
 	var c float64
 	err := resilience.Retry(r.Retry, func() error {
 		var err error

@@ -227,6 +227,23 @@ type System struct {
 	// inject, when armed, threads chaos faults through profiling and
 	// measurement runs of this system and its images.
 	inject *resilience.Injector
+	// measureWorkers, when positive, routes image measurement through
+	// the sharded parallel driver with that many workers.
+	measureWorkers int
+}
+
+// SetMeasureWorkers selects the measurement driver for this system's
+// images. Zero (the default) keeps the legacy serial driver; n >= 1
+// shards measurement repetitions across up to n workers with derived
+// per-repetition seeds. Sharded results are deterministic — identical
+// for every n >= 1 — but differ numerically from the serial driver's
+// (each repetition warms its own predictors). Measurement under an
+// armed chaos injector stays serial regardless.
+func (s *System) SetMeasureWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	s.measureWorkers = n
 }
 
 // NewSyntheticKernel generates the kernel substrate.
@@ -421,9 +438,16 @@ func (img *Image) runner(w Workload, seed int64) (*workload.Runner, error) {
 	}
 	if img.cfg.JumpSwitches {
 		r.Hook = jumpswitch.New(jumpswitch.DefaultParams())
+		// The JumpSwitches runtime is stateful and not safe to share
+		// across workers; give the sharded driver a per-repetition
+		// factory.
+		r.NewHook = func() interp.ICallHook {
+			return jumpswitch.New(jumpswitch.DefaultParams())
+		}
 	}
 	r.RefillRSB = img.cfg.Defenses.RSBRefill
 	r.Inject = img.sys.inject
+	r.Workers = img.sys.measureWorkers
 	return r, nil
 }
 
