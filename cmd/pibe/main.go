@@ -17,6 +17,22 @@
 //	              [-canary 1] [-regression-budget 0.05] [-state DIR]
 //	              [-profile baseline.txt] [...build flags] [-measure]
 //	pibe bench-engine [-seed N] [-measure-workers N] [-bench-iters N] [-o BENCH_engine.json]
+//	pibe sweep    [-seed N] [-sweep-grid 0,50,90,99,99.9,99.99,99.9999] [-sweep-combos retpoline,all]
+//	              [-sweep-knee 1.1] [-sweep-kernel-scale 1] [-sweep-timings]
+//	              [-measure-workers N] [-o BENCH_sweep.json]
+//
+// Sweep mode evaluates the full ICP×inline budget grid (the same
+// -sweep-grid percentages on both axes) crossed with the named defense
+// combos, prints one aligned geomean-overhead matrix per combo with its
+// knee point (the least aggressive budget pair within -sweep-knee of
+// the combo's best slowdown factor) and writes the machine-readable
+// surface to BENCH_sweep.json. Cells share the suite's singleflight
+// build cache and measure through the sharded deterministic driver, so
+// the JSON is byte-identical for every -measure-workers value ≥ 1
+// (wall-clock build times are recorded only under -sweep-timings, which
+// gives that determinism up). -sweep-kernel-scale S multiplies the cold
+// driver corpus to S×2200 functions and adds S-1 intermediate helper
+// layers, stressing the census tables at realistic kernel scale.
 //
 // Measurement commands accept -measure-workers N (default GOMAXPROCS):
 // with N >= 1 the sharded measurement driver runs repetitions on a
@@ -102,7 +118,37 @@ func main() {
 	measureWorkers := fs.Int("measure-workers", runtime.GOMAXPROCS(0),
 		"measurement worker pool size (0 = legacy serial driver)")
 	benchIters := fs.Int("bench-iters", 3, "minimum iterations per bench-engine benchmark")
+	sweepGrid := fs.String("sweep-grid", "0,50,90,99,99.9,99.99,99.9999",
+		"comma-separated budget grid in percent, applied to both sweep axes")
+	sweepCombos := fs.String("sweep-combos", "retpoline,ret-retpoline,lvi-cfi,all",
+		"comma-separated defense combos to sweep")
+	sweepKnee := fs.Float64("sweep-knee", 1.1,
+		"knee tolerance: least aggressive cell within this factor of the best slowdown")
+	sweepKernelScale := fs.Int("sweep-kernel-scale", 1,
+		"synthesize an S×-scaled kernel (S×2200 cold functions, S-1 helper layers)")
+	sweepTimings := fs.Bool("sweep-timings", false,
+		"record wall-clock build times in BENCH_sweep.json (makes it non-reproducible)")
 	fs.Parse(os.Args[2:])
+
+	if cmd == "sweep" {
+		// The sweep builds its own (possibly scaled) suite; skip the
+		// default system construction below.
+		path := *out
+		if path == "" {
+			path = "BENCH_sweep.json"
+		}
+		check(runSweep(sweepOpts{
+			seed:           *seed,
+			grid:           *sweepGrid,
+			combos:         *sweepCombos,
+			kneeFactor:     *sweepKnee,
+			kernelScale:    *sweepKernelScale,
+			timings:        *sweepTimings,
+			measureWorkers: *measureWorkers,
+			jsonPath:       path,
+		}))
+		return
+	}
 
 	sys, err := pibe.NewSyntheticKernel(pibe.KernelConfig{Seed: *seed})
 	check(err)
@@ -362,7 +408,7 @@ func parseDefenses(s string) pibe.Defenses {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: pibe <profile|build|measure|fleet|top|dump|bench-engine> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: pibe <profile|build|measure|fleet|top|dump|bench-engine|sweep> [flags]")
 	os.Exit(2)
 }
 

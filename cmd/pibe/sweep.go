@@ -1,0 +1,79 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/sweep"
+)
+
+// sweepOpts carries the `pibe sweep` flag values.
+type sweepOpts struct {
+	seed           int64
+	grid           string
+	combos         string
+	kneeFactor     float64
+	kernelScale    int
+	timings        bool
+	measureWorkers int
+	jsonPath       string
+}
+
+// runSweep evaluates the budget grid and writes the text matrices to
+// stdout and the machine-readable report to opts.jsonPath.
+func runSweep(opts sweepOpts) error {
+	grid, err := sweep.ParseGrid(opts.grid)
+	if err != nil {
+		return err
+	}
+	combos, err := sweep.CombosByName(opts.combos)
+	if err != nil {
+		return err
+	}
+	kcfg := sweep.ScaledKernelConfig(opts.seed, opts.kernelScale)
+	start := time.Now()
+	suite, err := bench.NewSuiteKernel(kcfg)
+	if err != nil {
+		return err
+	}
+	// Cell measurement goes through the sharded deterministic driver;
+	// -measure-workers 0 would fall back to the (numerically different)
+	// legacy serial driver, so the sweep pins at least one worker to
+	// keep BENCH_sweep.json byte-identical for every worker count.
+	mw := opts.measureWorkers
+	if mw < 1 {
+		mw = 1
+	}
+	suite.Sys.SetMeasureWorkers(mw)
+	fmt.Fprintf(os.Stderr, "pibe sweep: kernel generated and profiled in %v (%d cells)\n",
+		time.Since(start).Round(time.Millisecond), len(grid)*len(grid)*len(combos))
+
+	rep, err := sweep.Run(suite, sweep.Config{
+		ICPGrid:    grid,
+		InlineGrid: grid,
+		Combos:     combos,
+		KneeFactor: opts.kneeFactor,
+		Timings:    opts.timings,
+	})
+	if err != nil {
+		return err
+	}
+	rep.ColdFuncs = kcfg.ColdFuncs
+	rep.HelperLayers = kcfg.HelperLayers
+
+	for _, t := range rep.Tables() {
+		fmt.Println(t.Render())
+	}
+	data, err := rep.WriteJSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(opts.jsonPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d cells, %d knees) in %v\n",
+		opts.jsonPath, len(rep.Cells), len(rep.Knees), time.Since(start).Round(time.Millisecond))
+	return nil
+}

@@ -6,6 +6,7 @@ package bench
 
 import (
 	"fmt"
+	"os"
 	"runtime"
 	"strings"
 	"sync"
@@ -20,7 +21,7 @@ import (
 //
 // The suite is safe for concurrent use: the table generators fan
 // configuration builds and measurements out across a bounded worker pool
-// (see forEach), and the image/latency caches deduplicate concurrent
+// (see ForEach), and the image/latency caches deduplicate concurrent
 // requests for the same configuration so it is built exactly once no
 // matter how many workers race for it.
 type Suite struct {
@@ -63,11 +64,11 @@ func (s *Suite) claim(key string) (*flight, bool) {
 	return f, true
 }
 
-// forEach runs fn(0) .. fn(n-1) across a bounded pool of workers and
+// ForEach runs fn(0) .. fn(n-1) across a bounded pool of workers and
 // waits for all of them. Every index runs even if an earlier one fails;
 // the returned error is the one with the lowest index, so the outcome
 // is deterministic regardless of scheduling.
-func (s *Suite) forEach(n int, fn func(i int) error) error {
+func (s *Suite) ForEach(n int, fn func(i int) error) error {
 	w := s.Workers
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
@@ -79,12 +80,16 @@ func (s *Suite) forEach(n int, fn func(i int) error) error {
 		w = n
 	}
 	if w <= 1 {
+		// Same contract as the parallel path below: every index runs
+		// even if an earlier one fails (so cache warm-up is identical
+		// for every worker count), and the lowest-index error wins.
+		var first error
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
-				return err
+			if err := fn(i); err != nil && first == nil {
+				first = err
 			}
 		}
-		return nil
+		return first
 	}
 	errs := make([]error, n)
 	next := int64(-1)
@@ -114,7 +119,14 @@ func (s *Suite) forEach(n int, fn func(i int) error) error {
 // NewSuite generates the kernel and collects the LMBench and Apache
 // profiles (the two profiling workloads of the evaluation).
 func NewSuite(seed int64) (*Suite, error) {
-	sys, err := pibe.NewSyntheticKernel(pibe.KernelConfig{Seed: seed})
+	return NewSuiteKernel(pibe.KernelConfig{Seed: seed})
+}
+
+// NewSuiteKernel is NewSuite with an explicit kernel configuration, for
+// harnesses (the budget sweep's -sweep-kernel-scale) that evaluate
+// scaled-up kernels rather than the default calibrated one.
+func NewSuiteKernel(cfg pibe.KernelConfig) (*Suite, error) {
+	sys, err := pibe.NewSyntheticKernel(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -127,7 +139,7 @@ func NewSuite(seed int64) (*Suite, error) {
 		return nil, err
 	}
 	return &Suite{
-		Seed:       seed,
+		Seed:       cfg.Seed,
 		Sys:        sys,
 		ProfLM:     profLM,
 		ProfApache: profAp,
@@ -192,13 +204,20 @@ func (s *Suite) Baseline() ([]pibe.Latency, error) {
 }
 
 // overheads computes per-benchmark relative overheads against the LTO
-// baseline plus their geometric mean (appended last).
+// baseline plus their geometric mean (appended last). A geomean that
+// had to skip or clamp inputs (a zero/failed baseline showing up as
+// ±Inf, an overhead under -99%) is flagged on stderr rather than left
+// to silently misrepresent the row.
 func overheads(base, cfg []pibe.Latency) []float64 {
 	out := make([]float64, 0, len(cfg)+1)
 	for i := range cfg {
 		out = append(out, pibe.Overhead(base[i].Micros, cfg[i].Micros))
 	}
-	out = append(out, pibe.Geomean(out))
+	g, stats := pibe.GeomeanCounted(out)
+	if stats.Degenerate() {
+		fmt.Fprintf(os.Stderr, "bench: warning: geomean over %d overheads degraded: %s\n", len(out), stats)
+	}
+	out = append(out, g)
 	return out
 }
 

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"errors"
 	"strings"
 	"sync"
 	"testing"
@@ -212,5 +213,35 @@ func TestImageCaching(t *testing.T) {
 	}
 	if a != b {
 		t.Error("cache miss for identical name")
+	}
+}
+
+// TestForEachSerialContract: the serial (effective workers == 1) path
+// honors the same contract as the worker pool — every index runs even
+// after an earlier one fails (cache warm-up must be identical for every
+// worker count) and the lowest-index error is the one returned.
+func TestForEachSerialContract(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		var mu sync.Mutex
+		ran := make(map[int]bool)
+		s := &Suite{Workers: workers}
+		err := s.ForEach(5, func(i int) error {
+			mu.Lock()
+			ran[i] = true
+			mu.Unlock()
+			switch i {
+			case 1:
+				return errors.New("early")
+			case 3:
+				return errors.New("late")
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "early" {
+			t.Errorf("workers=%d: err = %v, want the lowest-index error %q", workers, err, "early")
+		}
+		if len(ran) != 5 {
+			t.Errorf("workers=%d: ran %d of 5 indices after a failure: %v", workers, len(ran), ran)
+		}
 	}
 }

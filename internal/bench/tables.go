@@ -90,7 +90,7 @@ func (s *Suite) Table3() (*Table, error) {
 	}
 	baseIdx := indexLat(base)
 	all := make([][]float64, len(cols))
-	if err := s.forEach(len(cols), func(i int) error {
+	if err := s.ForEach(len(cols), func(i int) error {
 		lat, err := s.Latencies(cols[i].name, cols[i].cfg)
 		if err != nil {
 			return err
@@ -181,7 +181,7 @@ func (s *Suite) Table5() (*Table, error) {
 		Notes: []string{"paper geomeans: 149.1% / 133.1% / 28.0% / 15.9% / 12.7% / 10.6%"},
 	}
 	all := make([][]float64, len(cols))
-	if err := s.forEach(len(cols), func(i int) error {
+	if err := s.ForEach(len(cols), func(i int) error {
 		lat, err := s.Latencies(cols[i].name, cols[i].cfg)
 		if err != nil {
 			return err
@@ -230,7 +230,7 @@ func (s *Suite) Table6() (*Table, error) {
 	}
 	type pair struct{ lto, pibe float64 }
 	res := make([]pair, len(rows))
-	if err := s.forEach(len(rows), func(i int) error {
+	if err := s.ForEach(len(rows), func(i int) error {
 		r := rows[i]
 		var ltoCfg pibe.BuildConfig
 		ltoCfg.Defenses = r.d
@@ -307,7 +307,7 @@ var statsBudgets = []float64{0.99, 0.999, 0.999999}
 // warmBudgetImages builds the per-budget images of Tables 8–11 in
 // parallel so the serial per-row loops below only hit the cache.
 func (s *Suite) warmBudgetImages() error {
-	return s.forEach(len(statsBudgets), func(i int) error {
+	return s.ForEach(len(statsBudgets), func(i int) error {
 		_, err := s.budgetImage(statsBudgets[i])
 		return err
 	})
@@ -459,7 +459,7 @@ func (s *Suite) Table12() (*Table, error) {
 			}})
 		}
 	}
-	if err := s.forEach(len(builds), func(i int) error {
+	if err := s.ForEach(len(builds), func(i int) error {
 		_, err := s.Image(builds[i].name, builds[i].cfg)
 		return err
 	}); err != nil {

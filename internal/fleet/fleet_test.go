@@ -509,3 +509,36 @@ func TestActivationFailureRollsBack(t *testing.T) {
 		t.Errorf("rejection reason = %q", r)
 	}
 }
+
+// TestEmptyHotSetOverlapNoDrift pins HotOverlap's empty-set semantics
+// from the fleet's point of view. A freshly started fleet whose
+// baseline and live aggregate are both still empty has seen no weight
+// move anywhere, so the drift statistic must read 1.0 (perfect
+// agreement) — any drift threshold below 1 must NOT fire and trigger a
+// spurious rebuild. Only an asymmetric emptiness (one side has hot
+// weight, the other none) is total disagreement, 0.
+func TestEmptyHotSetOverlapNoDrift(t *testing.T) {
+	empty, other := prof.New(), prof.New()
+	const budget = 0.99
+	if got := prof.HotOverlap(empty, other, budget); got != 1.0 {
+		t.Fatalf("HotOverlap(empty, empty) = %v, want 1.0 (no drift)", got)
+	}
+	// Every sane DriftThreshold is < 1, so the fleet's trigger
+	// condition overlap < threshold must be false for the empty pair.
+	for _, thr := range []float64{0.5, 0.9, 0.999} {
+		if overlap := prof.HotOverlap(empty, other, budget); overlap < thr {
+			t.Errorf("empty-vs-empty overlap %v below drift threshold %v: would spuriously rebuild", overlap, thr)
+		}
+	}
+	nonempty := prof.New()
+	nonempty.AddIndirect(1, "caller", "target", 1000)
+	if got := prof.HotOverlap(empty, nonempty, budget); got != 0 {
+		t.Errorf("HotOverlap(empty, nonempty) = %v, want 0 (total disagreement)", got)
+	}
+	if got := prof.HotOverlap(nonempty, empty, budget); got != 0 {
+		t.Errorf("HotOverlap(nonempty, empty) = %v, want 0 (total disagreement)", got)
+	}
+	if got := prof.HotOverlap(nonempty, nonempty, budget); got != 1.0 {
+		t.Errorf("HotOverlap(p, p) = %v, want 1.0", got)
+	}
+}

@@ -37,18 +37,18 @@ func profileBytes(t *testing.T, p *prof.Profile) []byte {
 func TestStateRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	st := &State{
-		Epoch:           3,
-		Rebuilds:        2,
-		RebuildFailures: 1,
-		Rejections:      4,
-		Partial:         true,
-		Strikes:         2,
-		Cooldown:        3,
-		SeenKinds:       []string{"fuel-exhausted", "trap"},
-		Baseline:        testProfile(1),
-		Aggregate:       testProfile(2),
-		CanarySnap:      testProfile(3),
-		CanaryServed:    1,
+		Epoch:             3,
+		Rebuilds:          2,
+		RebuildFailures:   1,
+		Rejections:        4,
+		Partial:           true,
+		Strikes:           2,
+		Cooldown:          3,
+		SeenKinds:         []string{"fuel-exhausted", "trap"},
+		Baseline:          testProfile(1),
+		Aggregate:         testProfile(2),
+		CanarySnap:        testProfile(3),
+		CanaryServed:      1,
 		CanaryKindsBefore: []string{"trap"},
 		CanaryNewKinds:    []string{"corrupt"},
 	}

@@ -81,6 +81,14 @@ type Config struct {
 	AsmICalls int
 	// AsmJumpTables is the number of assembly jump tables. Default 5.
 	AsmJumpTables int
+	// HelperLayers adds that many layers of intermediate helper
+	// functions between the subsystem helpers and the leaf primitives:
+	// layer k helpers call layer k-1 (layer 0 = the leaves), and the
+	// top layer joins the nested-helper pool that prologues, work
+	// helpers and impls draw from, so call chains get deeper both
+	// statically (census, inliner inheritance) and dynamically. The
+	// default 0 keeps the calibrated kernel byte-identical.
+	HelperLayers int
 }
 
 func (c *Config) fill() {
@@ -154,6 +162,7 @@ func Generate(cfg Config) (*Kernel, error) {
 	g.kernel.Mod = g.mod
 
 	g.buildLeaves()
+	g.buildHelperLayers()
 	g.buildPrologues()
 	for _, spec := range LMBenchSpecs {
 		g.buildSyscall(spec)
@@ -262,6 +271,38 @@ func (g *gen) buildLeaves() {
 		b.SetSubsystem("core")
 		g.helperBody(b, int64(3+g.rng.Intn(4)), "", 0)
 		g.leaves = append(g.leaves, n)
+	}
+}
+
+// buildHelperLayers inserts Config.HelperLayers layers of intermediate
+// helpers between the leaves and everything that nests through them.
+// Layer k's functions each do a little work and call down into layer
+// k-1, so a nested call drawn from the top layer unwinds through the
+// whole chain — HelperLayers extra dynamic returns per draw, and a
+// correspondingly deeper static call graph for the census and the
+// inliner's inheritance heuristic to chew on. With HelperLayers == 0
+// this draws nothing from the RNG, keeping default generation
+// byte-identical to the unscaled kernel.
+func (g *gen) buildHelperLayers() {
+	const perLayer = 12
+	prev := g.leaves
+	for layer := 1; layer <= g.cfg.HelperLayers; layer++ {
+		names := make([]string, perLayer)
+		for j := range names {
+			names[j] = fmt.Sprintf("helper_l%d_%d", layer, j)
+			b := ir.NewFunction(g.mod, names[j], 1)
+			if g.rng.Intn(3) == 0 {
+				b.SetAttrs(ir.AttrInlineHint)
+			}
+			b.SetSubsystem("core")
+			g.helperBody(b, int64(2+g.rng.Intn(3)), prev[g.rng.Intn(len(prev))], 1)
+		}
+		prev = names
+	}
+	if g.cfg.HelperLayers > 0 {
+		// The top layer joins the nested-helper pool; downstream draws
+		// then split between direct leaf calls and deep chains.
+		g.leaves = append(g.leaves, prev...)
 	}
 }
 

@@ -1,6 +1,8 @@
 package kernel
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 
 	"repro/internal/interp"
@@ -186,5 +188,53 @@ func BenchmarkGenerate(b *testing.B) {
 		if _, err := Generate(Config{Seed: int64(i) + 1}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestHelperLayersScaling pins the two claims the sweep's
+// -sweep-kernel-scale relies on: HelperLayers == 0 draws nothing from
+// the RNG (the scaled config's zero value keeps the calibrated kernel
+// byte-identical), and HelperLayers > 0 produces a verifying kernel
+// whose intermediate helper functions exist and enlarge the static call
+// graph the census walks.
+func TestHelperLayersScaling(t *testing.T) {
+	base, err := Generate(Config{Seed: 7})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	zero, err := Generate(Config{Seed: 7, HelperLayers: 0})
+	if err != nil {
+		t.Fatalf("Generate(HelperLayers: 0): %v", err)
+	}
+	if ir.PrintModule(base.Mod) != ir.PrintModule(zero.Mod) {
+		t.Fatal("HelperLayers: 0 changed the default kernel")
+	}
+
+	deep, err := Generate(Config{Seed: 7, HelperLayers: 3})
+	if err != nil {
+		t.Fatalf("Generate(HelperLayers: 3): %v", err)
+	}
+	for layer := 1; layer <= 3; layer++ {
+		found := false
+		for _, f := range deep.Mod.Funcs {
+			if strings.HasPrefix(f.Name, fmt.Sprintf("helper_l%d_", layer)) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no helper_l%d_* functions generated", layer)
+		}
+	}
+	sb, sd := ir.CollectStats(base.Mod), ir.CollectStats(deep.Mod)
+	if sd.Funcs <= sb.Funcs {
+		t.Errorf("deep kernel funcs = %d, want > base %d", sd.Funcs, sb.Funcs)
+	}
+	if sd.DirectCalls <= sb.DirectCalls {
+		t.Errorf("deep kernel direct calls = %d, want > base %d", sd.DirectCalls, sb.DirectCalls)
+	}
+	// The scaled kernel still compiles and verifies end to end.
+	if _, err := interp.Compile(deep.Mod.Clone()); err != nil {
+		t.Fatalf("deep kernel does not compile: %v", err)
 	}
 }

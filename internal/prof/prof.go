@@ -275,6 +275,13 @@ func (p *Profile) HotSet(budget float64) map[string]uint64 {
 // chain even though the target was "covered" (the §8.4 mismatched-
 // profile effect, measured continuously). Bare set membership misses
 // that; weight-mass agreement does not.
+//
+// Empty-set semantics: two empty hot sets agree vacuously — there is no
+// weight anywhere to have moved — so empty-vs-empty is 1.0 (no drift).
+// An empty set against a non-empty one is total disagreement, 0. The
+// distinction matters to the fleet service: a freshly started fleet
+// whose baseline and live aggregate are both still empty must not read
+// as maximal drift and spuriously trigger a rebuild.
 func HotOverlap(live, base *Profile, budget float64) float64 {
 	hl, hb := live.HotSet(budget), base.HotSet(budget)
 	var tl, tb uint64
@@ -283,6 +290,9 @@ func HotOverlap(live, base *Profile, budget float64) float64 {
 	}
 	for _, w := range hb {
 		tb += w
+	}
+	if tl == 0 && tb == 0 {
+		return 1
 	}
 	if tl == 0 || tb == 0 {
 		return 0

@@ -1,0 +1,453 @@
+// Package sweep is the dense budget-grid engine behind `pibe sweep`: it
+// evaluates every cell of an ICP×inline budget grid crossed with the
+// four transient-defense combinations of the paper's evaluation, and
+// reports the full overhead surface instead of the three spot budgets
+// the individual tables use.
+//
+// The paper's headline claim is a curve, not a point — overhead falls
+// from 149.1% to 10.6% as the optimization budgets sweep from 0% to
+// 99.9% under all defenses (PIBE §8, Tables 1–2 and 5) — and the sweep
+// reproduces that trajectory per defense combo, answers "which budget
+// do I pick" with automatic knee-point detection, and emits both
+// aligned text matrices and a machine-readable BENCH_sweep.json.
+//
+// Cells share one bench.Suite, so the singleflight image/latency caches
+// build each configuration exactly once no matter how the grid is
+// fanned out, and measurement inside a cell goes through the sharded
+// deterministic driver when the suite's system has measure workers set.
+// The report is a pure function of (kernel config, grid, combos): cells
+// are assembled in grid order, not completion order, and every float in
+// the JSON comes from the deterministic measurement path, so the
+// emitted bytes are identical for every worker count ≥ 1. Wall-clock
+// build times are the one exception; they are recorded only when
+// Config.Timings is set (and are zero otherwise), which is why the
+// default emission stays byte-reproducible.
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	pibe "repro"
+	"repro/internal/bench"
+)
+
+// DefaultGrid is the default budget grid applied to both axes: the
+// paper's 0-to-99.9999% trajectory densified around the knee region
+// where the curve flattens.
+var DefaultGrid = []float64{0, 0.5, 0.9, 0.99, 0.999, 0.9999, 0.999999}
+
+// Combo names one defense combination of the sweep.
+type Combo struct {
+	Name     string
+	Defenses pibe.Defenses
+}
+
+// DefaultCombos are the four transient-defense combinations the paper
+// evaluates: each Spectre-class defense alone, then all of them.
+func DefaultCombos() []Combo {
+	return []Combo{
+		{"retpoline", pibe.Defenses{Retpolines: true}},
+		{"ret-retpoline", pibe.Defenses{RetRetpolines: true}},
+		{"lvi-cfi", pibe.Defenses{LVICFI: true}},
+		{"all", pibe.AllDefenses},
+	}
+}
+
+// CombosByName resolves a comma-separated combo list ("retpoline,all")
+// against DefaultCombos.
+func CombosByName(s string) ([]Combo, error) {
+	all := DefaultCombos()
+	var out []Combo
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		found := false
+		for _, c := range all {
+			if c.Name == name {
+				out = append(out, c)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("sweep: unknown defense combo %q (have retpoline, ret-retpoline, lvi-cfi, all)", name)
+		}
+	}
+	if len(out) == 0 {
+		return all, nil
+	}
+	return out, nil
+}
+
+// ParseGrid parses a comma-separated budget grid given in percent
+// ("0,50,90,99,99.9"). Values must be fractions of coverage in
+// [0, 100); they are sorted ascending and deduplicated.
+func ParseGrid(s string) ([]float64, error) {
+	var grid []float64
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(tok), "%"))
+		if tok == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(tok, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: bad grid value %q: %v", tok, err)
+		}
+		if math.IsNaN(v) || v < 0 || v >= 100 {
+			return nil, fmt.Errorf("sweep: grid value %v%% outside [0, 100)", v)
+		}
+		// Snap the percent-to-fraction division to 15 significant digits
+		// so "99.9" becomes exactly 0.999 rather than 0.999000...01; the
+		// budgets land verbatim in BENCH_sweep.json and in image cache
+		// keys, where float noise would only confuse.
+		f, _ := strconv.ParseFloat(strconv.FormatFloat(v/100, 'g', 15, 64), 64)
+		grid = append(grid, f)
+	}
+	if len(grid) == 0 {
+		return nil, fmt.Errorf("sweep: empty grid")
+	}
+	sort.Float64s(grid)
+	uniq := grid[:1]
+	for _, v := range grid[1:] {
+		if v != uniq[len(uniq)-1] {
+			uniq = append(uniq, v)
+		}
+	}
+	return uniq, nil
+}
+
+// ScaledKernelConfig maps the -sweep-kernel-scale factor onto a kernel
+// configuration: scale 1 is the default calibrated kernel; scale S
+// multiplies the cold driver corpus (ColdFuncs into the thousands) and
+// adds S-1 helper layers (capped at 4 so hot stacks stay plausible),
+// stressing the census tables at realistic scale.
+func ScaledKernelConfig(seed int64, scale int) pibe.KernelConfig {
+	cfg := pibe.KernelConfig{Seed: seed}
+	if scale <= 1 {
+		return cfg
+	}
+	cfg.ColdFuncs = 2200 * scale
+	layers := scale - 1
+	if layers > 4 {
+		layers = 4
+	}
+	cfg.HelperLayers = layers
+	return cfg
+}
+
+// Config parameterizes one sweep run.
+type Config struct {
+	// ICPGrid and InlineGrid are the budgets swept on each axis, as
+	// fractions (0.999 for 99.9%). Empty selects DefaultGrid.
+	ICPGrid, InlineGrid []float64
+	// Combos are the defense combinations crossed with the grid; empty
+	// selects DefaultCombos.
+	Combos []Combo
+	// KneeFactor is the slowdown-factor tolerance of knee detection:
+	// the knee is the least aggressive cell whose slowdown factor
+	// (1+geomean) is within KneeFactor of the combo's best. Zero means
+	// the default 1.1.
+	KneeFactor float64
+	// Timings records wall-clock build times into the report. Off by
+	// default because wall time is the only non-deterministic field:
+	// without it BENCH_sweep.json is byte-identical across runs and
+	// worker counts.
+	Timings bool
+	// Warnf receives aggregation-degradation warnings (a cell's
+	// geomean skipped non-finite overheads or clamped factors). Nil
+	// logs to stderr.
+	Warnf func(format string, args ...any)
+}
+
+func (c *Config) fill() {
+	if len(c.ICPGrid) == 0 {
+		c.ICPGrid = DefaultGrid
+	}
+	if len(c.InlineGrid) == 0 {
+		c.InlineGrid = DefaultGrid
+	}
+	if len(c.Combos) == 0 {
+		c.Combos = DefaultCombos()
+	}
+	if c.KneeFactor <= 0 {
+		c.KneeFactor = 1.1
+	}
+	if c.Warnf == nil {
+		c.Warnf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+}
+
+// Cell is one evaluated (combo, icp, inline) grid point.
+type Cell struct {
+	Combo        string  `json:"combo"`
+	ICPBudget    float64 `json:"icp_budget"`
+	InlineBudget float64 `json:"inline_budget"`
+	// Geomean is the LMBench geomean overhead versus the LTO baseline.
+	Geomean float64 `json:"geomean_overhead"`
+	// ICPWeightFrac is the fraction of candidate indirect-branch
+	// weight eliminated by promotion; InlineReturnFrac the fraction of
+	// profiled return weight elided by inlining.
+	ICPWeightFrac    float64 `json:"icp_weight_eliminated"`
+	InlineReturnFrac float64 `json:"inline_return_weight_elided"`
+	// GeomeanSkipped/GeomeanClamped count aggregation repairs (see
+	// workload.GeomeanStats); nonzero means this cell's curve point is
+	// not a faithful summary of its per-benchmark overheads.
+	GeomeanSkipped int `json:"geomean_skipped"`
+	GeomeanClamped int `json:"geomean_clamped"`
+	// BuildMS is the wall-clock image build time; recorded only under
+	// Config.Timings (0 otherwise, keeping the report deterministic).
+	BuildMS float64 `json:"build_ms"`
+}
+
+// Knee is the per-combo answer to "which budget do I pick": the least
+// aggressive cell whose slowdown factor is within the knee factor of
+// the combo's best cell.
+type Knee struct {
+	Combo        string  `json:"combo"`
+	ICPBudget    float64 `json:"icp_budget"`
+	InlineBudget float64 `json:"inline_budget"`
+	Geomean      float64 `json:"geomean_overhead"`
+	BestGeomean  float64 `json:"best_geomean"`
+}
+
+// Report is the machine-readable result of one sweep (BENCH_sweep.json).
+type Report struct {
+	Seed         int64     `json:"seed"`
+	ColdFuncs    int       `json:"cold_funcs,omitempty"`
+	HelperLayers int       `json:"helper_layers,omitempty"`
+	ICPGrid      []float64 `json:"icp_grid"`
+	InlineGrid   []float64 `json:"inline_grid"`
+	KneeFactor   float64   `json:"knee_factor"`
+	Combos       []string  `json:"combos"`
+	Cells        []Cell    `json:"cells"`
+	Knees        []Knee    `json:"knees"`
+}
+
+// Run evaluates the full grid against the suite's kernel. Cells fan out
+// across the suite's worker pool (every cell runs even if one fails and
+// the lowest-index error wins, mirroring Suite.ForEach's contract), and
+// the report is assembled in deterministic grid order: combos in config
+// order, then ICP budget, then inline budget.
+func Run(s *bench.Suite, cfg Config) (*Report, error) {
+	cfg.fill()
+	base, err := s.Baseline()
+	if err != nil {
+		return nil, err
+	}
+	type cellKey struct {
+		combo    int
+		icp, inl int
+	}
+	keys := make([]cellKey, 0, len(cfg.Combos)*len(cfg.ICPGrid)*len(cfg.InlineGrid))
+	for ci := range cfg.Combos {
+		for ii := range cfg.ICPGrid {
+			for li := range cfg.InlineGrid {
+				keys = append(keys, cellKey{ci, ii, li})
+			}
+		}
+	}
+	cells := make([]Cell, len(keys))
+	if err := s.ForEach(len(keys), func(i int) error {
+		k := keys[i]
+		combo := cfg.Combos[k.combo]
+		icp, inl := cfg.ICPGrid[k.icp], cfg.InlineGrid[k.inl]
+		name := fmt.Sprintf("sweep-%s-icp%g-inl%g", combo.Name, icp, inl)
+		bc := pibe.BuildConfig{
+			Profile:  s.ProfLM,
+			Defenses: combo.Defenses,
+			Optimize: pibe.OptimizeConfig{ICPBudget: icp, InlineBudget: inl},
+		}
+		start := time.Now()
+		img, err := s.Image(name, bc)
+		if err != nil {
+			return fmt.Errorf("sweep: cell %s: %w", name, err)
+		}
+		buildMS := float64(time.Since(start).Nanoseconds()) / 1e6
+		lat, err := s.Latencies(name, bc)
+		if err != nil {
+			return fmt.Errorf("sweep: cell %s: %w", name, err)
+		}
+		ovs := make([]float64, len(lat))
+		for j := range lat {
+			ovs[j] = pibe.Overhead(base[j].Micros, lat[j].Micros)
+		}
+		g, stats := pibe.GeomeanCounted(ovs)
+		if stats.Degenerate() {
+			cfg.Warnf("sweep: warning: cell %s geomean degraded: %s", name, stats)
+		}
+		c := Cell{
+			Combo:          combo.Name,
+			ICPBudget:      icp,
+			InlineBudget:   inl,
+			Geomean:        g,
+			GeomeanSkipped: stats.Skipped,
+			GeomeanClamped: stats.Clamped,
+		}
+		if cfg.Timings {
+			c.BuildMS = buildMS
+		}
+		if r := img.Opt.ICP; r != nil && r.TotalWeight > 0 {
+			c.ICPWeightFrac = float64(r.PromotedWeight) / float64(r.TotalWeight)
+		}
+		if r := img.Opt.Inline; r != nil {
+			c.InlineReturnFrac = r.ElidedReturnFraction()
+		}
+		cells[i] = c
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Seed:       s.Seed,
+		ICPGrid:    cfg.ICPGrid,
+		InlineGrid: cfg.InlineGrid,
+		KneeFactor: cfg.KneeFactor,
+		Cells:      cells,
+	}
+	for _, c := range cfg.Combos {
+		rep.Combos = append(rep.Combos, c.Name)
+	}
+	rep.Knees = knees(cfg, cells)
+	return rep, nil
+}
+
+// knees finds, per combo, the least aggressive cell whose slowdown
+// factor (1+geomean) is within cfg.KneeFactor of the combo's best
+// (lowest) factor. "Least aggressive" orders cells by max(icp, inline)
+// ascending, then icp+inline, then geomean, then (icp, inline) — so the
+// knee is the cheapest budget pair that already buys (nearly) the full
+// win, the answer to the paper's "which budget do I pick". Factors
+// rather than raw geomeans keep the comparison meaningful when the best
+// overhead is negative (the PGO-only combos can beat the LTO baseline).
+func knees(cfg Config, cells []Cell) []Knee {
+	var out []Knee
+	for _, combo := range cfg.Combos {
+		best, bestGeomean := math.Inf(1), math.Inf(1)
+		for _, c := range cells {
+			if c.Combo == combo.Name && 1+c.Geomean < best {
+				best, bestGeomean = 1+c.Geomean, c.Geomean
+			}
+		}
+		if math.IsInf(best, 1) {
+			continue
+		}
+		kneeIdx := -1
+		better := func(a, b Cell) bool {
+			am, bm := math.Max(a.ICPBudget, a.InlineBudget), math.Max(b.ICPBudget, b.InlineBudget)
+			if am != bm {
+				return am < bm
+			}
+			as, bs := a.ICPBudget+a.InlineBudget, b.ICPBudget+b.InlineBudget
+			if as != bs {
+				return as < bs
+			}
+			if a.Geomean != b.Geomean {
+				return a.Geomean < b.Geomean
+			}
+			if a.ICPBudget != b.ICPBudget {
+				return a.ICPBudget < b.ICPBudget
+			}
+			return a.InlineBudget < b.InlineBudget
+		}
+		for i, c := range cells {
+			if c.Combo != combo.Name || 1+c.Geomean > cfg.KneeFactor*best {
+				continue
+			}
+			if kneeIdx < 0 || better(c, cells[kneeIdx]) {
+				kneeIdx = i
+			}
+		}
+		if kneeIdx >= 0 {
+			k := cells[kneeIdx]
+			out = append(out, Knee{
+				Combo:        k.Combo,
+				ICPBudget:    k.ICPBudget,
+				InlineBudget: k.InlineBudget,
+				Geomean:      k.Geomean,
+				BestGeomean:  bestGeomean,
+			})
+		}
+	}
+	return out
+}
+
+// WriteJSON marshals the report as indented JSON (a trailing newline
+// included). Marshaling is deterministic: field order is fixed by the
+// struct definitions and cells are in grid order.
+func (r *Report) WriteJSON() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// Tables renders one aligned text matrix per combo: rows are ICP
+// budgets, columns inline budgets, cells the geomean overhead. The
+// combo's knee cell is marked with '*' and restated in the notes.
+func (r *Report) Tables() []*bench.Table {
+	idx := make(map[string]Cell, len(r.Cells))
+	for _, c := range r.Cells {
+		idx[fmt.Sprintf("%s/%g/%g", c.Combo, c.ICPBudget, c.InlineBudget)] = c
+	}
+	kneeOf := make(map[string]Knee, len(r.Knees))
+	for _, k := range r.Knees {
+		kneeOf[k.Combo] = k
+	}
+	var out []*bench.Table
+	for _, combo := range r.Combos {
+		t := &bench.Table{
+			ID:     "sweep-" + combo,
+			Title:  fmt.Sprintf("Budget sweep, %s defenses: LMBench geomean overhead (icp ↓ × inline →)", combo),
+			Header: []string{"icp \\ inline"},
+		}
+		for _, inl := range r.InlineGrid {
+			t.Header = append(t.Header, BudgetLabel(inl))
+		}
+		knee, hasKnee := kneeOf[combo]
+		for _, icp := range r.ICPGrid {
+			row := []string{BudgetLabel(icp)}
+			for _, inl := range r.InlineGrid {
+				c, ok := idx[fmt.Sprintf("%s/%g/%g", combo, icp, inl)]
+				if !ok {
+					row = append(row, "n/a")
+					continue
+				}
+				cell := fmt.Sprintf("%+.1f%%", 100*c.Geomean)
+				if hasKnee && knee.ICPBudget == icp && knee.InlineBudget == inl {
+					cell += "*"
+				}
+				row = append(row, cell)
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		if hasKnee {
+			t.Notes = append(t.Notes, fmt.Sprintf(
+				"knee (*): icp %s × inline %s at %+.1f%% — least aggressive cell within %.2fx of the best %+.1f%%",
+				BudgetLabel(knee.ICPBudget), BudgetLabel(knee.InlineBudget),
+				100*knee.Geomean, r.KneeFactor, 100*knee.BestGeomean))
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// BudgetLabel renders a budget fraction the way the paper writes it
+// ("99.9%").
+func BudgetLabel(b float64) string {
+	v := strconv.FormatFloat(b*100, 'f', 6, 64)
+	v = strings.TrimRight(v, "0")
+	v = strings.TrimRight(v, ".")
+	return v + "%"
+}

@@ -1,0 +1,227 @@
+package sweep
+
+import (
+	"bytes"
+	"math"
+	"runtime"
+	"strings"
+	"testing"
+
+	pibe "repro"
+	"repro/internal/bench"
+)
+
+func TestParseGrid(t *testing.T) {
+	got, err := ParseGrid(" 99.9, 0, 50%, 99.9 ")
+	if err != nil {
+		t.Fatalf("ParseGrid: %v", err)
+	}
+	// Sorted, deduplicated, and snapped: 99.9/100 is exactly 0.999, not
+	// 0.999000...01 float noise.
+	want := []float64{0, 0.5, 0.999}
+	if len(got) != len(want) {
+		t.Fatalf("ParseGrid = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("ParseGrid[%d] = %v, want exactly %v", i, got[i], want[i])
+		}
+	}
+	for _, bad := range []string{"", ",,", "100", "-1", "99.9,abc", "nan"} {
+		if _, err := ParseGrid(bad); err == nil {
+			t.Errorf("ParseGrid(%q) accepted, want error", bad)
+		}
+	}
+}
+
+func TestCombosByName(t *testing.T) {
+	got, err := CombosByName("retpoline, all")
+	if err != nil {
+		t.Fatalf("CombosByName: %v", err)
+	}
+	if len(got) != 2 || got[0].Name != "retpoline" || got[1].Name != "all" {
+		t.Fatalf("CombosByName = %+v", got)
+	}
+	if !got[1].Defenses.Retpolines || !got[1].Defenses.LVICFI {
+		t.Errorf("combo 'all' defenses = %+v, want all enabled", got[1].Defenses)
+	}
+	if all, err := CombosByName(""); err != nil || len(all) != 4 {
+		t.Errorf("CombosByName(empty) = %d combos, %v; want the 4 defaults", len(all), err)
+	}
+	if _, err := CombosByName("retpoline,bogus"); err == nil {
+		t.Error("CombosByName accepted unknown combo")
+	}
+}
+
+func TestScaledKernelConfig(t *testing.T) {
+	if cfg := ScaledKernelConfig(7, 1); cfg != (pibe.KernelConfig{Seed: 7}) {
+		t.Errorf("scale 1 = %+v, want the default kernel config", cfg)
+	}
+	cfg := ScaledKernelConfig(7, 3)
+	if cfg.ColdFuncs != 6600 || cfg.HelperLayers != 2 {
+		t.Errorf("scale 3 = %+v, want ColdFuncs 6600, HelperLayers 2", cfg)
+	}
+	if cfg := ScaledKernelConfig(7, 10); cfg.HelperLayers != 4 {
+		t.Errorf("scale 10 HelperLayers = %d, want the cap 4", cfg.HelperLayers)
+	}
+}
+
+// TestKneeSelection drives the knee detector over hand-built cells:
+// within the default 1.1x factor tolerance the least aggressive
+// qualifying budget pair wins; tightening the tolerance moves the knee
+// to the best cell; negative best overheads (PGO beating the baseline)
+// compare as slowdown factors, not raw geomeans.
+func TestKneeSelection(t *testing.T) {
+	cfg := Config{
+		Combos:     []Combo{{Name: "c"}},
+		KneeFactor: 1.1,
+	}
+	cells := []Cell{
+		{Combo: "c", ICPBudget: 0, InlineBudget: 0, Geomean: 1.00},
+		{Combo: "c", ICPBudget: 0.5, InlineBudget: 0.5, Geomean: 0.05},
+		{Combo: "c", ICPBudget: 0.999, InlineBudget: 0.999, Geomean: 0.02},
+	}
+	ks := knees(cfg, cells)
+	if len(ks) != 1 {
+		t.Fatalf("knees = %+v, want 1", ks)
+	}
+	// 1.05 <= 1.1 * 1.02, so the cheaper 50% pair is the knee.
+	if ks[0].ICPBudget != 0.5 || ks[0].InlineBudget != 0.5 || ks[0].BestGeomean != 0.02 {
+		t.Errorf("knee = %+v, want the 50%%/50%% cell with best 0.02", ks[0])
+	}
+
+	cfg.KneeFactor = 1.01 // 1.05 > 1.01 * 1.02: only the best qualifies
+	ks = knees(cfg, cells)
+	if len(ks) != 1 || ks[0].ICPBudget != 0.999 {
+		t.Errorf("tight knee = %+v, want the 99.9%% cell", ks)
+	}
+
+	neg := []Cell{
+		{Combo: "c", ICPBudget: 0, InlineBudget: 0, Geomean: 0.30},
+		{Combo: "c", ICPBudget: 0.5, InlineBudget: 0, Geomean: -0.02},
+		{Combo: "c", ICPBudget: 0.999, InlineBudget: 0.999, Geomean: -0.06},
+	}
+	cfg.KneeFactor = 1.1
+	ks = knees(cfg, neg)
+	// Factor 0.98 <= 1.1 * 0.94: the half-budget cell already buys the win.
+	if len(ks) != 1 || ks[0].ICPBudget != 0.5 || ks[0].InlineBudget != 0 {
+		t.Errorf("negative-overhead knee = %+v, want the 50%%/0%% cell", ks)
+	}
+	if math.Abs(ks[0].BestGeomean-(-0.06)) > 1e-12 {
+		t.Errorf("BestGeomean = %v, want -0.06", ks[0].BestGeomean)
+	}
+}
+
+func TestBudgetLabelSweep(t *testing.T) {
+	cases := map[float64]string{
+		0:        "0%",
+		0.5:      "50%",
+		0.999:    "99.9%",
+		0.999999: "99.9999%",
+	}
+	for in, want := range cases {
+		if got := BudgetLabel(in); got != want {
+			t.Errorf("BudgetLabel(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func newSweepSuite(t *testing.T, measureWorkers int) *bench.Suite {
+	t.Helper()
+	s, err := bench.NewSuiteKernel(pibe.KernelConfig{Seed: 5, ColdFuncs: 300})
+	if err != nil {
+		t.Fatalf("NewSuiteKernel: %v", err)
+	}
+	s.Sys.SetMeasureWorkers(measureWorkers)
+	return s
+}
+
+// TestSweepSmallGridDeterministicAndMonotone is the acceptance test of
+// the sweep engine: the same seed and grid produce byte-identical
+// BENCH_sweep.json for -measure-workers 1, 2 and GOMAXPROCS (each on a
+// fresh suite, so nothing is cached between runs), and within each
+// defense combo the fully-budgeted diagonal cell is strictly cheaper
+// than the unoptimized origin cell — the paper's overhead trajectory in
+// miniature.
+func TestSweepSmallGridDeterministicAndMonotone(t *testing.T) {
+	grid := []float64{0, 0.999}
+	combos, err := CombosByName("retpoline,all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	workerCounts := []int{1, 2, runtime.GOMAXPROCS(0)}
+
+	var first *Report
+	var firstJSON []byte
+	for _, w := range workerCounts {
+		s := newSweepSuite(t, w)
+		s.Workers = w // vary the cell fan-out too, not just measurement
+		rep, err := Run(s, Config{
+			ICPGrid:    grid,
+			InlineGrid: grid,
+			Combos:     combos,
+			Warnf:      t.Logf,
+		})
+		if err != nil {
+			t.Fatalf("Run(workers=%d): %v", w, err)
+		}
+		data, err := rep.WriteJSON()
+		if err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		if first == nil {
+			first, firstJSON = rep, data
+			continue
+		}
+		if !bytes.Equal(firstJSON, data) {
+			t.Fatalf("BENCH_sweep.json differs between workers=%d and workers=%d", workerCounts[0], w)
+		}
+	}
+
+	if len(first.Cells) != len(combos)*len(grid)*len(grid) {
+		t.Fatalf("cells = %d, want %d", len(first.Cells), len(combos)*len(grid)*len(grid))
+	}
+	cellAt := func(combo string, icp, inl float64) Cell {
+		for _, c := range first.Cells {
+			if c.Combo == combo && c.ICPBudget == icp && c.InlineBudget == inl {
+				return c
+			}
+		}
+		t.Fatalf("missing cell %s/%v/%v", combo, icp, inl)
+		return Cell{}
+	}
+	for _, combo := range combos {
+		origin := cellAt(combo.Name, 0, 0)
+		full := cellAt(combo.Name, 0.999, 0.999)
+		if !(full.Geomean < origin.Geomean) {
+			t.Errorf("%s: geomean at 99.9%%/99.9%% = %v, want < origin %v",
+				combo.Name, full.Geomean, origin.Geomean)
+		}
+		if origin.ICPWeightFrac != 0 || origin.InlineReturnFrac != 0 {
+			t.Errorf("%s origin eliminated fractions = %v/%v, want 0/0",
+				combo.Name, origin.ICPWeightFrac, origin.InlineReturnFrac)
+		}
+		if full.ICPWeightFrac < 0.9 {
+			t.Errorf("%s full-budget ICP weight eliminated = %v, want >= 0.9",
+				combo.Name, full.ICPWeightFrac)
+		}
+		if full.BuildMS != 0 {
+			t.Errorf("%s BuildMS = %v, want 0 without Config.Timings", combo.Name, full.BuildMS)
+		}
+	}
+	if len(first.Knees) != len(combos) {
+		t.Fatalf("knees = %+v, want one per combo", first.Knees)
+	}
+
+	// The rendered matrices mark each combo's knee and restate it.
+	var rendered strings.Builder
+	for _, tab := range first.Tables() {
+		rendered.WriteString(tab.Render())
+	}
+	out := rendered.String()
+	for _, want := range []string{"sweep-retpoline", "sweep-all", "*", "knee (*)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered tables missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -206,12 +206,12 @@ func NewRunner(k *kernel.Kernel, prog *interp.Program, flavor Flavor, seed int64
 		return nil, err
 	}
 	return &Runner{
-		Kernel:    k,
-		Prog:      prog,
-		Res:       res,
-		CPU:       cpu.New(cpu.DefaultParams()),
-		Flavor:    flavor,
-		Seed:      seed,
+		Kernel: k,
+		Prog:   prog,
+		Res:    res,
+		CPU:    cpu.New(cpu.DefaultParams()),
+		Flavor: flavor,
+		Seed:   seed,
 		// Seed the backoff jitter per runner so concurrent collectors
 		// hitting the same transient fault desynchronize their retries.
 		Retry:     resilience.RetryPolicy{Seed: seed},
@@ -465,22 +465,53 @@ func median(xs []float64) float64 {
 // non-finite inputs (NaN, ±Inf — e.g. an overhead computed against a
 // zero or failed baseline measurement) are skipped rather than allowed
 // to poison the whole aggregate. If every input is non-finite the
-// result is 0.
+// result is 0. Callers that must not lose that degradation silently
+// (sweeps over hundreds of cells, where a flattened curve is
+// indistinguishable from a real one) should use GeomeanCounted and
+// check the returned stats.
 func Geomean(overheads []float64) float64 {
+	g, _ := GeomeanCounted(overheads)
+	return g
+}
+
+// GeomeanStats reports how many Geomean inputs were silently repaired:
+// Skipped counts non-finite entries (NaN, ±Inf) dropped from the
+// aggregate, Clamped counts factors below the 0.01 floor (overheads
+// under -99%) raised to it. Either being nonzero means the geomean no
+// longer faithfully summarizes its inputs.
+type GeomeanStats struct {
+	Skipped int
+	Clamped int
+}
+
+// Degenerate reports whether any input was skipped or clamped.
+func (s GeomeanStats) Degenerate() bool { return s.Skipped > 0 || s.Clamped > 0 }
+
+func (s GeomeanStats) String() string {
+	return fmt.Sprintf("%d non-finite skipped, %d clamped to the 0.01 factor floor", s.Skipped, s.Clamped)
+}
+
+// GeomeanCounted is Geomean plus an account of the entries it skipped
+// (non-finite) or clamped (factor floor), so aggregation-layer
+// degradation is observable instead of silently flattening curves.
+func GeomeanCounted(overheads []float64) (float64, GeomeanStats) {
+	var stats GeomeanStats
 	prod, n := 1.0, 0
 	for _, o := range overheads {
 		f := 1 + o
 		if math.IsNaN(f) || math.IsInf(f, 0) {
+			stats.Skipped++
 			continue
 		}
 		if f < 0.01 {
 			f = 0.01
+			stats.Clamped++
 		}
 		prod *= f
 		n++
 	}
 	if n == 0 {
-		return 0
+		return 0, stats
 	}
-	return math.Pow(prod, 1/float64(n)) - 1
+	return math.Pow(prod, 1/float64(n)) - 1, stats
 }

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"repro/internal/interp"
@@ -215,5 +216,42 @@ func TestGeomeanDefined(t *testing.T) {
 	}
 	if got := Geomean([]float64{0.25}); math.IsNaN(got) || got != 0.25 {
 		t.Errorf("Geomean(single) = %v, want 0.25", got)
+	}
+}
+
+// TestGeomeanCounted: the counting variant accounts for every silent
+// repair the plain Geomean makes — non-finite entries skipped, sub-floor
+// factors clamped — so sweep-scale callers can tell a genuinely flat
+// curve from one flattened by aggregation damage.
+func TestGeomeanCounted(t *testing.T) {
+	g, stats := GeomeanCounted([]float64{0.10, 0.20})
+	if stats.Degenerate() || stats.Skipped != 0 || stats.Clamped != 0 {
+		t.Errorf("clean inputs reported degenerate: %+v", stats)
+	}
+	if want := Geomean([]float64{0.10, 0.20}); g != want {
+		t.Errorf("GeomeanCounted = %v, Geomean = %v; want identical", g, want)
+	}
+
+	// One NaN and one +Inf skipped, one -99.5% overhead clamped to the
+	// 0.01 factor floor; the two healthy entries still aggregate.
+	g, stats = GeomeanCounted([]float64{0.10, math.NaN(), -0.995, math.Inf(1), 0.10})
+	if stats.Skipped != 2 || stats.Clamped != 1 {
+		t.Errorf("stats = %+v, want Skipped 2, Clamped 1", stats)
+	}
+	if !stats.Degenerate() {
+		t.Error("Degenerate() = false with skipped and clamped entries")
+	}
+	want := math.Pow(1.1*0.01*1.1, 1.0/3) - 1
+	if math.Abs(g-want) > 1e-12 {
+		t.Errorf("GeomeanCounted = %v, want %v (clamped factor included)", g, want)
+	}
+	if s := stats.String(); !strings.Contains(s, "2 non-finite") || !strings.Contains(s, "1 clamped") {
+		t.Errorf("stats.String() = %q, want the skip and clamp counts", s)
+	}
+
+	// All-degenerate input: result 0, everything counted.
+	g, stats = GeomeanCounted([]float64{math.Inf(-1), math.NaN()})
+	if g != 0 || stats.Skipped != 2 {
+		t.Errorf("all-skipped = (%v, %+v), want (0, Skipped 2)", g, stats)
 	}
 }

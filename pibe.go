@@ -97,6 +97,11 @@ type KernelConfig struct {
 	// ColdFuncs scales the never-executed driver corpus; zero means the
 	// default (2200).
 	ColdFuncs int
+	// HelperLayers adds that many layers of intermediate helper
+	// functions between the subsystem helpers and the leaf primitives,
+	// deepening hot call chains and the static census; zero keeps the
+	// default calibrated kernel.
+	HelperLayers int
 }
 
 // OptimizeConfig selects PIBE's profile-guided transformations.
@@ -249,7 +254,7 @@ func (s *System) SetMeasureWorkers(n int) {
 // NewSyntheticKernel generates the kernel substrate.
 func NewSyntheticKernel(cfg KernelConfig) (sys *System, err error) {
 	defer resilience.RecoverPanic(&err, resilience.PhaseBuild, "NewSyntheticKernel")
-	k, err := kernel.Generate(kernel.Config{Seed: cfg.Seed, ColdFuncs: cfg.ColdFuncs})
+	k, err := kernel.Generate(kernel.Config{Seed: cfg.Seed, ColdFuncs: cfg.ColdFuncs, HelperLayers: cfg.HelperLayers})
 	if err != nil {
 		return nil, err
 	}
@@ -873,9 +878,28 @@ func CPUFrequencyGHz() float64 { return cpu.DefaultParams().FreqGHz }
 // Geomean aggregates relative overheads the way the paper's tables do.
 func Geomean(overheads []float64) float64 { return workload.Geomean(overheads) }
 
-// Overhead returns (new-base)/base.
+// GeomeanStats reports how many Geomean inputs were skipped (non-finite)
+// or clamped (factor floor); see workload.GeomeanStats.
+type GeomeanStats = workload.GeomeanStats
+
+// GeomeanCounted is Geomean plus an account of skipped and clamped
+// entries, for callers (sweeps, long table runs) that must not let
+// aggregation-layer degradation silently flatten their curves.
+func GeomeanCounted(overheads []float64) (float64, GeomeanStats) {
+	return workload.GeomeanCounted(overheads)
+}
+
+// Overhead returns the relative overhead (new-base)/base. A zero
+// baseline is an infinite regression, not a free lunch: Overhead(0, new)
+// is +Inf for new > 0 and 0 only when both measurements are zero.
+// Geomean skips the resulting Inf (and GeomeanCounted counts it), so a
+// broken baseline surfaces as a skipped entry instead of silently
+// reading as "no overhead".
 func Overhead(base, new float64) float64 {
 	if base == 0 {
+		if new > 0 {
+			return math.Inf(1)
+		}
 		return 0
 	}
 	return (new - base) / base

@@ -2,6 +2,7 @@ package pibe_test
 
 import (
 	"bytes"
+	"math"
 	"testing"
 
 	pibe "repro"
@@ -295,5 +296,35 @@ func TestHeadlineShapeAcrossSeeds(t *testing.T) {
 					100*full, 100*noopt)
 			}
 		})
+	}
+}
+
+// TestOverheadZeroBase: a zero baseline is an infinite regression, not a
+// free lunch. Overhead(0, new>0) must be +Inf — not the old silent 0,
+// which reported a benchmark whose baseline measurement failed or
+// returned zero as having "no overhead" — and only the doubly-degenerate
+// Overhead(0, 0) is 0. Geomean then skips the Inf (GeomeanCounted
+// counts it), so the broken baseline surfaces as a skipped entry rather
+// than flattening the aggregate.
+func TestOverheadZeroBase(t *testing.T) {
+	if got := pibe.Overhead(0, 12.5); !math.IsInf(got, 1) {
+		t.Errorf("Overhead(0, 12.5) = %v, want +Inf", got)
+	}
+	if got := pibe.Overhead(0, 0); got != 0 {
+		t.Errorf("Overhead(0, 0) = %v, want 0", got)
+	}
+	if got := pibe.Overhead(10, 15); got != 0.5 {
+		t.Errorf("Overhead(10, 15) = %v, want 0.5", got)
+	}
+
+	// End to end through the aggregate: the Inf from a zero baseline is
+	// skipped and counted, leaving the healthy entries' geomean.
+	ovs := []float64{pibe.Overhead(0, 12.5), pibe.Overhead(10, 11), pibe.Overhead(10, 11)}
+	g, stats := pibe.GeomeanCounted(ovs)
+	if stats.Skipped != 1 || stats.Clamped != 0 {
+		t.Errorf("stats = %+v, want exactly the one Inf skipped", stats)
+	}
+	if math.Abs(g-0.1) > 1e-12 {
+		t.Errorf("geomean = %v, want 0.1 from the finite entries", g)
 	}
 }
