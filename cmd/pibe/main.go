@@ -19,7 +19,10 @@
 //	pibe bench-engine [-seed N] [-measure-workers N] [-bench-iters N] [-o BENCH_engine.json]
 //	pibe sweep    [-seed N] [-sweep-grid 0,50,90,99,99.9,99.99,99.9999] [-sweep-combos retpoline,all]
 //	              [-sweep-knee 1.1] [-sweep-kernel-scale 1] [-sweep-timings]
-//	              [-measure-workers N] [-o BENCH_sweep.json]
+//	              [-state sweep.state] [-sweep-shards N -sweep-shard I]
+//	              [-chaos RATE] [-measure-workers N] [-o BENCH_sweep.json]
+//	pibe sweep-merge [-o BENCH_sweep.json] state-file...
+//	pibe sweep-diff  A.json B.json
 //
 // Sweep mode evaluates the full ICP×inline budget grid (the same
 // -sweep-grid percentages on both axes) crossed with the named defense
@@ -33,6 +36,18 @@
 // gives that determinism up). -sweep-kernel-scale S multiplies the cold
 // driver corpus to S×2200 functions and adds S-1 intermediate helper
 // layers, stressing the census tables at realistic kernel scale.
+//
+// Sweeps are crash-safe and degrade gracefully. With -state FILE every
+// completed cell is appended to a fingerprint-gated, torn-write-tolerant
+// state file; rerunning with the same flags resumes past completed cells
+// and emits a BENCH_sweep.json byte-identical to an uninterrupted run's
+// (a state file from different flags is rejected). A cell that keeps
+// failing after retries is reported as FAIL with its structured fault and
+// excluded from knee detection instead of aborting the sweep.
+// -sweep-shards N -sweep-shard I restricts one process to every Nth grid
+// cell; `pibe sweep-merge` combines the shard state files into the
+// canonical report, and `pibe sweep-diff A.json B.json` compares two
+// sweep surfaces cell by cell and reports knee migration.
 //
 // Measurement commands accept -measure-workers N (default GOMAXPROCS):
 // with N >= 1 the sharded measurement driver runs repetitions on a
@@ -110,7 +125,7 @@ func main() {
 	fleetDecay := fs.Float64("fleet-decay", 0.5, "per-epoch count decay factor (1 disables)")
 	canary := fs.Int("canary", 1, "epochs a rebuilt candidate serves before the promotion decision")
 	regressionBudget := fs.Float64("regression-budget", 0.05, "canary latency regression tolerated vs the incumbent")
-	stateDir := fs.String("state", "", "checkpoint directory for crash-safe fleet state (resumes if present)")
+	stateDir := fs.String("state", "", "crash-safe state: fleet checkpoint directory, or sweep state file (resumes if present)")
 	chaosRate := fs.Float64("chaos", 0, "fault-injection rate (0 disables chaos mode)")
 	chaosSeed := fs.Int64("chaos-seed", 1, "fault-injection seed")
 	chaosMax := fs.Int("chaos-max", 0, "cap on total injected faults (0 = unlimited)")
@@ -128,25 +143,42 @@ func main() {
 		"synthesize an S×-scaled kernel (S×2200 cold functions, S-1 helper layers)")
 	sweepTimings := fs.Bool("sweep-timings", false,
 		"record wall-clock build times in BENCH_sweep.json (makes it non-reproducible)")
+	sweepShards := fs.Int("sweep-shards", 1,
+		"partition the sweep grid across this many cooperating processes")
+	sweepShard := fs.Int("sweep-shard", 0,
+		"this process's shard index in [0, -sweep-shards)")
 	fs.Parse(os.Args[2:])
 
-	if cmd == "sweep" {
-		// The sweep builds its own (possibly scaled) suite; skip the
-		// default system construction below.
+	if cmd == "sweep" || cmd == "sweep-merge" || cmd == "sweep-diff" {
+		// The sweep family builds its own (possibly scaled) suite or
+		// reads prior state; skip the default system construction below.
 		path := *out
 		if path == "" {
 			path = "BENCH_sweep.json"
 		}
-		check(runSweep(sweepOpts{
-			seed:           *seed,
-			grid:           *sweepGrid,
-			combos:         *sweepCombos,
-			kneeFactor:     *sweepKnee,
-			kernelScale:    *sweepKernelScale,
-			timings:        *sweepTimings,
-			measureWorkers: *measureWorkers,
-			jsonPath:       path,
-		}))
+		switch cmd {
+		case "sweep":
+			check(runSweep(sweepOpts{
+				seed:           *seed,
+				grid:           *sweepGrid,
+				combos:         *sweepCombos,
+				kneeFactor:     *sweepKnee,
+				kernelScale:    *sweepKernelScale,
+				timings:        *sweepTimings,
+				measureWorkers: *measureWorkers,
+				jsonPath:       path,
+				statePath:      *stateDir,
+				shards:         *sweepShards,
+				shard:          *sweepShard,
+				chaosRate:      *chaosRate,
+				chaosSeed:      *chaosSeed,
+				chaosMax:       *chaosMax,
+			}))
+		case "sweep-merge":
+			check(runSweepMerge(fs.Args(), path))
+		case "sweep-diff":
+			check(runSweepDiff(fs.Args()))
+		}
 		return
 	}
 
@@ -408,7 +440,7 @@ func parseDefenses(s string) pibe.Defenses {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: pibe <profile|build|measure|fleet|top|dump|bench-engine|sweep> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: pibe <profile|build|measure|fleet|top|dump|bench-engine|sweep|sweep-merge|sweep-diff> [flags]")
 	os.Exit(2)
 }
 

@@ -5,6 +5,7 @@ import (
 	"os"
 	"time"
 
+	pibe "repro"
 	"repro/internal/bench"
 	"repro/internal/sweep"
 )
@@ -19,10 +20,19 @@ type sweepOpts struct {
 	timings        bool
 	measureWorkers int
 	jsonPath       string
+	statePath      string
+	shards, shard  int
+	chaosRate      float64
+	chaosSeed      int64
+	chaosMax       int
 }
 
 // runSweep evaluates the budget grid and writes the text matrices to
-// stdout and the machine-readable report to opts.jsonPath.
+// stdout and the machine-readable report to opts.jsonPath. With -state
+// it checkpoints each completed cell and resumes an interrupted sweep;
+// with -sweep-shards/-sweep-shard it evaluates only this process's
+// share of the grid (combine the shard state files with `pibe
+// sweep-merge`).
 func runSweep(opts sweepOpts) error {
 	grid, err := sweep.ParseGrid(opts.grid)
 	if err != nil {
@@ -50,18 +60,35 @@ func runSweep(opts sweepOpts) error {
 	fmt.Fprintf(os.Stderr, "pibe sweep: kernel generated and profiled in %v (%d cells)\n",
 		time.Since(start).Round(time.Millisecond), len(grid)*len(grid)*len(combos))
 
+	// Chaos arms after the suite exists (profile collection stays clean)
+	// and after the baseline is pre-measured, so injected faults land on
+	// grid cells — which degrade per-cell — rather than sinking the
+	// whole sweep in setup.
+	if opts.chaosRate > 0 {
+		if _, err := suite.Baseline(); err != nil {
+			return err
+		}
+		inject := suite.Sys.InjectFaults(opts.chaosSeed, pibe.UniformFaultRates(opts.chaosRate), opts.chaosMax)
+		defer func() {
+			fmt.Fprintf(os.Stderr, "pibe sweep: chaos: injected faults: %s\n", inject.Summary())
+		}()
+	}
+
 	rep, err := sweep.Run(suite, sweep.Config{
-		ICPGrid:    grid,
-		InlineGrid: grid,
-		Combos:     combos,
-		KneeFactor: opts.kneeFactor,
-		Timings:    opts.timings,
+		ICPGrid:      grid,
+		InlineGrid:   grid,
+		Combos:       combos,
+		KneeFactor:   opts.kneeFactor,
+		Timings:      opts.timings,
+		ColdFuncs:    kcfg.ColdFuncs,
+		HelperLayers: kcfg.HelperLayers,
+		StatePath:    opts.statePath,
+		Shards:       opts.shards,
+		Shard:        opts.shard,
 	})
 	if err != nil {
 		return err
 	}
-	rep.ColdFuncs = kcfg.ColdFuncs
-	rep.HelperLayers = kcfg.HelperLayers
 
 	for _, t := range rep.Tables() {
 		fmt.Println(t.Render())
@@ -73,7 +100,81 @@ func runSweep(opts sweepOpts) error {
 	if err := os.WriteFile(opts.jsonPath, data, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s (%d cells, %d knees) in %v\n",
-		opts.jsonPath, len(rep.Cells), len(rep.Knees), time.Since(start).Round(time.Millisecond))
+	status := ""
+	if rep.FailedCells > 0 {
+		status = fmt.Sprintf(", %d FAILED", rep.FailedCells)
+	}
+	if opts.shards > 1 {
+		status += fmt.Sprintf(" [shard %d/%d — merge the shard state files with 'pibe sweep-merge']",
+			opts.shard, opts.shards)
+	}
+	fmt.Printf("wrote %s (%d cells%s, %d knees) in %v\n",
+		opts.jsonPath, len(rep.Cells), status, len(rep.Knees), time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// runSweepMerge combines the state files of a sharded or interrupted
+// sweep into the canonical report (`pibe sweep-merge A.state B.state`).
+func runSweepMerge(paths []string, jsonPath string) error {
+	if len(paths) == 0 {
+		return fmt.Errorf("sweep-merge: usage: pibe sweep-merge [-o BENCH_sweep.json] state-file...")
+	}
+	rep, info, err := sweep.Merge(paths)
+	if err != nil {
+		return err
+	}
+	for _, w := range info.Warnings {
+		fmt.Fprintf(os.Stderr, "pibe sweep-merge: warning: %s\n", w)
+	}
+	if len(info.Missing) > 0 {
+		fmt.Fprintf(os.Stderr, "pibe sweep-merge: warning: %d cells missing (no shard completed them): %v\n",
+			len(info.Missing), info.Missing)
+	}
+	for _, t := range rep.Tables() {
+		fmt.Println(t.Render())
+	}
+	data, err := rep.WriteJSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("merged %d state files -> %s (%d cells, %d failed, %d missing, %d knees)\n",
+		info.Files, jsonPath, len(rep.Cells), info.Failed, len(info.Missing), len(rep.Knees))
+	return nil
+}
+
+// runSweepDiff compares two BENCH_sweep.json surfaces
+// (`pibe sweep-diff A.json B.json`), printing per-cell overhead deltas
+// and knee migration per combo.
+func runSweepDiff(paths []string) error {
+	if len(paths) != 2 {
+		return fmt.Errorf("sweep-diff: usage: pibe sweep-diff A.json B.json")
+	}
+	a, err := sweep.ReadReport(paths[0])
+	if err != nil {
+		return err
+	}
+	b, err := sweep.ReadReport(paths[1])
+	if err != nil {
+		return err
+	}
+	d := sweep.Diff(a, b)
+	fmt.Printf("sweep diff: A=%s  B=%s  max |delta| %.2fpp\n\n", paths[0], paths[1], 100*d.MaxAbsDelta)
+	for _, t := range d.Tables(a, b) {
+		fmt.Println(t.Render())
+	}
+	moved := 0
+	for _, k := range d.Knees {
+		if k.Moved {
+			moved++
+		}
+	}
+	if moved > 0 {
+		fmt.Printf("%d of %d knees moved\n", moved, len(d.Knees))
+	} else {
+		fmt.Printf("all %d knees unchanged\n", len(d.Knees))
+	}
 	return nil
 }

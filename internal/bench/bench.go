@@ -163,7 +163,7 @@ func (s *Suite) Image(name string, cfg pibe.BuildConfig) (*pibe.Image, error) {
 	defer close(f.done)
 	f.img, f.err = s.Sys.Build(cfg)
 	if f.err != nil {
-		f.err = fmt.Errorf("bench: build %s: %v", name, f.err)
+		f.err = fmt.Errorf("bench: build %s: %w", name, f.err)
 	}
 	return f.img, f.err
 }
@@ -185,14 +185,14 @@ func (s *Suite) Latencies(name string, cfg pibe.BuildConfig) ([]pibe.Latency, er
 		f.err = err
 		return nil, err
 	}
-	f.err = resilience.Retry(resilience.DefaultRetry(), func() error {
+	f.err = resilience.Retry(nil, resilience.DefaultRetry(), func() error {
 		var merr error
 		f.lat, merr = img.MeasureLMBench(pibe.LMBench)
 		return merr
 	})
 	if f.err != nil {
 		f.lat = nil
-		f.err = fmt.Errorf("bench: measure %s: %v", name, f.err)
+		f.err = fmt.Errorf("bench: measure %s: %w", name, f.err)
 	}
 	return f.lat, f.err
 }

@@ -1,0 +1,398 @@
+// Package ckpt is the shared crash-safe checkpoint container of the
+// reproduction: named, CRC-framed byte sections in a line-oriented,
+// versioned file, written either atomically (temp file + sync + rename,
+// for whole-state checkpoints like the fleet service's) or incrementally
+// (an Appender that syncs after every record, for per-unit checkpoints
+// like the sweep's per-cell state file).
+//
+// The format:
+//
+//	pibe-checkpoint v1
+//	sec meta 42 1a2b3c4d
+//	<42 raw payload bytes>
+//	sec baseline 1337 deadbeef
+//	<1337 raw payload bytes>
+//	end 2
+//
+// A torn or bit-flipped file is detected and salvaged section by
+// section: ReadSectionsLenient keeps every section whose frame and CRC
+// are intact and reports exactly what was lost. The container carries no
+// semantics of its own — callers gate resume on their own content hashes
+// (the fleet's baseline hash, the sweep's config fingerprint) stored
+// inside a section.
+package ckpt
+
+import (
+	"bufio"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+const checkpointMagic = "pibe-checkpoint v1"
+
+// Section is one named, CRC-framed payload of a checkpoint file.
+type Section struct {
+	Name string
+	Data []byte
+}
+
+// WriteSections serializes the sections in order. Names must be non-empty
+// and free of whitespace so the frame lines stay parseable.
+func WriteSections(w io.Writer, secs []Section) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%s\n", checkpointMagic); err != nil {
+		return err
+	}
+	for _, s := range secs {
+		if err := writeSection(bw, s); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(bw, "end %d\n", len(secs)); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// writeSection emits one framed section.
+func writeSection(w io.Writer, s Section) error {
+	if s.Name == "" || strings.ContainsAny(s.Name, " \t\n\r") {
+		return fmt.Errorf("ckpt: checkpoint section name %q is empty or contains whitespace", s.Name)
+	}
+	crc := crc32.ChecksumIEEE(s.Data)
+	if _, err := fmt.Fprintf(w, "sec %s %d %08x\n", s.Name, len(s.Data), crc); err != nil {
+		return err
+	}
+	if _, err := w.Write(s.Data); err != nil {
+		return err
+	}
+	_, err := w.Write([]byte{'\n'})
+	return err
+}
+
+// Salvage summarizes what a lenient checkpoint read kept and lost.
+type Salvage struct {
+	// Kept counts sections whose frame and CRC were intact.
+	Kept int
+	// Dropped counts sections discarded for a CRC mismatch.
+	Dropped int
+	// Truncated records a torn tail: a frame or payload cut short.
+	Truncated bool
+	// BadMagic records a missing or wrong header line.
+	BadMagic bool
+	// MissingEnd records an absent or inconsistent end record (a write
+	// that never completed, even if every kept section is intact).
+	MissingEnd bool
+	// Errs holds the first few salvage reasons, capped.
+	Errs []string
+}
+
+// Clean reports whether the checkpoint parsed without any degradation.
+func (s *Salvage) Clean() bool {
+	return s.Dropped == 0 && !s.Truncated && !s.BadMagic && !s.MissingEnd
+}
+
+func (s *Salvage) String() string {
+	out := fmt.Sprintf("ckpt: checkpoint salvaged %d sections (%d dropped)", s.Kept, s.Dropped)
+	if s.Truncated {
+		out += ", truncated"
+	}
+	if s.BadMagic {
+		out += ", bad magic"
+	}
+	if s.MissingEnd {
+		out += ", missing end"
+	}
+	return out
+}
+
+// ReadSections parses a checkpoint serialized by WriteSections. It is
+// strict: any framing damage, CRC mismatch, missing end record or
+// trailing garbage fails the whole read.
+func ReadSections(r io.Reader) ([]Section, error) {
+	secs, sal, err := readSections(r, false)
+	if err != nil {
+		return nil, err
+	}
+	if !sal.Clean() {
+		return nil, fmt.Errorf("ckpt: checkpoint damaged: %s", sal)
+	}
+	return secs, nil
+}
+
+// ReadSectionsLenient parses a checkpoint, keeping every section whose
+// frame and CRC survive and reporting what was lost. Torn writes salvage
+// to the intact prefix. The error is non-nil only when the underlying
+// reader fails; the sections and salvage summary are valid even then.
+func ReadSectionsLenient(r io.Reader) ([]Section, *Salvage, error) {
+	return readSections(r, true)
+}
+
+func readSections(r io.Reader, lenient bool) ([]Section, *Salvage, error) {
+	br := bufio.NewReader(r)
+	sal := &Salvage{}
+	note := func(format string, args ...any) {
+		if len(sal.Errs) < 8 {
+			sal.Errs = append(sal.Errs, fmt.Sprintf(format, args...))
+		}
+	}
+	fail := func(err error) ([]Section, *Salvage, error) {
+		if lenient {
+			return nil, sal, nil
+		}
+		return nil, sal, err
+	}
+	header, err := readLine(br)
+	if err != nil {
+		sal.BadMagic, sal.MissingEnd = true, true
+		note("missing header: %v", err)
+		return fail(fmt.Errorf("ckpt: checkpoint missing header: %w", err))
+	}
+	if header != checkpointMagic {
+		sal.BadMagic, sal.MissingEnd = true, true
+		note("bad magic %q", header)
+		return fail(fmt.Errorf("ckpt: checkpoint bad magic %q", header))
+	}
+	var secs []Section
+	for {
+		line, err := readLine(br)
+		if err != nil {
+			// Ran out before the end record: a write torn between frames.
+			sal.Truncated, sal.MissingEnd = true, true
+			note("torn between sections: %v", err)
+			if lenient {
+				return secs, sal, nil
+			}
+			return nil, sal, fmt.Errorf("ckpt: checkpoint torn (no end record)")
+		}
+		fields := strings.Fields(line)
+		switch {
+		case len(fields) == 4 && fields[0] == "sec":
+			name := fields[1]
+			size, err1 := strconv.ParseInt(fields[2], 10, 63)
+			want, err2 := strconv.ParseUint(fields[3], 16, 32)
+			if err1 != nil || err2 != nil || size < 0 {
+				sal.Truncated, sal.MissingEnd = true, true
+				note("malformed frame %q", line)
+				if lenient {
+					return secs, sal, nil
+				}
+				return nil, sal, fmt.Errorf("ckpt: checkpoint malformed frame %q", line)
+			}
+			data := make([]byte, size)
+			if _, err := io.ReadFull(br, data); err != nil {
+				sal.Truncated, sal.MissingEnd = true, true
+				note("section %s payload torn: %v", name, err)
+				if lenient {
+					return secs, sal, nil
+				}
+				return nil, sal, fmt.Errorf("ckpt: checkpoint section %s payload torn", name)
+			}
+			if b, err := br.ReadByte(); err != nil || b != '\n' {
+				sal.Truncated, sal.MissingEnd = true, true
+				note("section %s frame not newline-terminated", name)
+				if lenient {
+					return secs, sal, nil
+				}
+				return nil, sal, fmt.Errorf("ckpt: checkpoint section %s frame not newline-terminated", name)
+			}
+			if got := crc32.ChecksumIEEE(data); uint64(got) != want {
+				// The frame is intact, so the damage is contained: drop just
+				// this section and keep scanning.
+				sal.Dropped++
+				note("section %s crc mismatch: got %08x want %08x", name, got, want)
+				if !lenient {
+					return nil, sal, fmt.Errorf("ckpt: checkpoint section %s crc mismatch", name)
+				}
+				continue
+			}
+			secs = append(secs, Section{Name: name, Data: data})
+			sal.Kept++
+		case len(fields) == 2 && fields[0] == "end":
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n != sal.Kept+sal.Dropped {
+				sal.MissingEnd = true
+				note("end record %q inconsistent with %d sections", line, sal.Kept+sal.Dropped)
+				if !lenient {
+					return nil, sal, fmt.Errorf("ckpt: checkpoint end record %q inconsistent", line)
+				}
+			}
+			if _, err := br.ReadByte(); err != io.EOF {
+				note("trailing bytes after end record")
+				if !lenient {
+					return nil, sal, fmt.Errorf("ckpt: checkpoint has trailing bytes after end record")
+				}
+			}
+			return secs, sal, nil
+		default:
+			sal.Truncated, sal.MissingEnd = true, true
+			note("unknown frame %q", line)
+			if lenient {
+				return secs, sal, nil
+			}
+			return nil, sal, fmt.Errorf("ckpt: checkpoint unknown frame %q", line)
+		}
+	}
+}
+
+// readLine reads one newline-terminated line, rejecting unterminated
+// tails (a torn write).
+func readLine(br *bufio.Reader) (string, error) {
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return "", fmt.Errorf("unterminated line: %w", err)
+	}
+	return strings.TrimSuffix(line, "\n"), nil
+}
+
+// SaveAtomic checkpoints secs into path atomically: the sections are
+// framed and CRC-guarded, written to a temporary file in the same
+// directory, synced, and renamed into place — a crash at any point
+// leaves either the previous checkpoint or a salvageable new one, never
+// a half-written hole where the old state used to be.
+func SaveAtomic(path string, secs []Section) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("ckpt: checkpoint temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := WriteSections(tmp, secs); err != nil {
+		tmp.Close()
+		return fmt.Errorf("ckpt: checkpoint write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("ckpt: checkpoint sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("ckpt: checkpoint close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("ckpt: checkpoint rename: %w", err)
+	}
+	return nil
+}
+
+// Load reads the checkpoint at path leniently. A missing file returns
+// (nil, nil, nil) — a fresh start; any other open failure is an error.
+func Load(path string) ([]Section, *Salvage, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil, nil
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("ckpt: open checkpoint: %w", err)
+	}
+	defer f.Close()
+	secs, sal, err := ReadSectionsLenient(f)
+	if err != nil {
+		return nil, sal, fmt.Errorf("ckpt: read checkpoint: %w", err)
+	}
+	return secs, sal, nil
+}
+
+// An Appender grows a checkpoint one section at a time, fsyncing after
+// every Append so a completed unit of work survives any later crash. The
+// end record is rewritten in place on each append, so a quiescent file is
+// a strictly valid checkpoint; a crash mid-append leaves an intact prefix
+// that ReadSectionsLenient salvages (the torn tail loses at most the
+// section being written).
+type Appender struct {
+	f   *os.File
+	off int64 // where the next section frame starts (over the end record)
+	n   int   // sections on disk
+}
+
+// CreateAppender starts a fresh incremental checkpoint at path,
+// truncating whatever was there, and writes the prelude sections (the
+// caller's config/fingerprint gate) before returning.
+func CreateAppender(path string, prelude ...Section) (*Appender, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: create appender: %w", err)
+	}
+	header := checkpointMagic + "\nend 0\n"
+	if _, err := f.WriteAt([]byte(header), 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("ckpt: appender header: %w", err)
+	}
+	a := &Appender{f: f, off: int64(len(checkpointMagic) + 1)}
+	if err := a.Append(prelude...); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return a, nil
+}
+
+// ResumeAppender compacts a (possibly torn) incremental checkpoint back
+// to the given salvaged sections — rewritten atomically, so a crash
+// during compaction cannot lose previously durable sections — and
+// reopens it for appending.
+func ResumeAppender(path string, secs []Section) (*Appender, error) {
+	if err := SaveAtomic(path, secs); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: reopen appender: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("ckpt: appender stat: %w", err)
+	}
+	end := fmt.Sprintf("end %d\n", len(secs))
+	a := &Appender{f: f, off: st.Size() - int64(len(end)), n: len(secs)}
+	return a, nil
+}
+
+// Append frames and durably writes the given sections: payloads first,
+// then the refreshed end record, then one fsync. Safe only from one
+// goroutine at a time; callers appending from a worker pool must
+// serialize (the sweep holds a mutex around it).
+func (a *Appender) Append(secs ...Section) error {
+	if len(secs) == 0 {
+		return nil
+	}
+	var block strings.Builder
+	for _, s := range secs {
+		if err := writeSection(&block, s); err != nil {
+			return err
+		}
+	}
+	block.WriteString(fmt.Sprintf("end %d\n", a.n+len(secs)))
+	data := []byte(block.String())
+	if _, err := a.f.WriteAt(data, a.off); err != nil {
+		return fmt.Errorf("ckpt: append: %w", err)
+	}
+	newLen := a.off + int64(len(data))
+	// The old end record is overwritten by the new sections; trim any
+	// leftover tail in the (theoretical) case the file shrank.
+	if err := a.f.Truncate(newLen); err != nil {
+		return fmt.Errorf("ckpt: append truncate: %w", err)
+	}
+	if err := a.f.Sync(); err != nil {
+		return fmt.Errorf("ckpt: append sync: %w", err)
+	}
+	a.n += len(secs)
+	a.off = newLen - int64(len(fmt.Sprintf("end %d\n", a.n)))
+	return nil
+}
+
+// Sections reports how many sections are durably on disk.
+func (a *Appender) Sections() int { return a.n }
+
+// Close syncs and closes the underlying file.
+func (a *Appender) Close() error {
+	if err := a.f.Sync(); err != nil {
+		a.f.Close()
+		return err
+	}
+	return a.f.Close()
+}

@@ -3,12 +3,12 @@ package fleet
 import (
 	"bytes"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 
+	"repro/internal/ckpt"
 	"repro/internal/prof"
 )
 
@@ -18,8 +18,8 @@ const StateFile = "fleet-checkpoint"
 // State is everything a fleet service needs to resume mid-loop after a
 // crash: the epoch counter, the run counters, the promotion-pipeline
 // state (strikes, cool-down, an in-flight canary) and the aggregate and
-// baseline profiles. It round-trips through the CRC-framed checkpoint
-// container (prof.WriteSections) via SaveState / LoadState.
+// baseline profiles. It round-trips through the shared CRC-framed
+// checkpoint container (internal/ckpt) via SaveState / LoadState.
 type State struct {
 	// Epoch is the number of fully completed epochs; a resumed run
 	// continues at this index.
@@ -83,37 +83,21 @@ func SaveState(dir string, st *State) error {
 			fmt.Fprintf(&meta, "canary-new-kinds %s\n", strings.Join(st.CanaryNewKinds, " "))
 		}
 	}
-	secs := []prof.Section{{Name: "meta", Data: meta.Bytes()}}
+	secs := []ckpt.Section{{Name: "meta", Data: meta.Bytes()}}
 	add := func(name string, p *prof.Profile) {
 		if p == nil {
 			return
 		}
 		var buf bytes.Buffer
 		p.WriteTo(&buf)
-		secs = append(secs, prof.Section{Name: name, Data: buf.Bytes()})
+		secs = append(secs, ckpt.Section{Name: name, Data: buf.Bytes()})
 	}
 	add("baseline", st.Baseline)
 	add("aggregate", st.Aggregate)
 	add("canary", st.CanarySnap)
 
-	tmp, err := os.CreateTemp(dir, StateFile+".tmp-*")
-	if err != nil {
-		return fmt.Errorf("fleet: checkpoint temp file: %w", err)
-	}
-	defer os.Remove(tmp.Name())
-	if err := prof.WriteSections(tmp, secs); err != nil {
-		tmp.Close()
-		return fmt.Errorf("fleet: checkpoint write: %w", err)
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return fmt.Errorf("fleet: checkpoint sync: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("fleet: checkpoint close: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), filepath.Join(dir, StateFile)); err != nil {
-		return fmt.Errorf("fleet: checkpoint rename: %w", err)
+	if err := ckpt.SaveAtomic(filepath.Join(dir, StateFile), secs); err != nil {
+		return fmt.Errorf("fleet: %w", err)
 	}
 	return nil
 }
@@ -124,18 +108,13 @@ func SaveState(dir string, st *State) error {
 // restarts collection from an empty aggregate at the checkpointed
 // epoch). A missing file returns (nil, nil, nil) — a fresh start. The
 // error is non-nil only when no usable state could be recovered at all.
-func LoadState(dir string) (*State, *prof.SectionSalvage, error) {
-	f, err := os.Open(filepath.Join(dir, StateFile))
-	if os.IsNotExist(err) {
+func LoadState(dir string) (*State, *ckpt.Salvage, error) {
+	secs, sal, err := ckpt.Load(filepath.Join(dir, StateFile))
+	if err != nil {
+		return nil, sal, fmt.Errorf("fleet: %w", err)
+	}
+	if secs == nil && sal == nil {
 		return nil, nil, nil
-	}
-	if err != nil {
-		return nil, nil, fmt.Errorf("fleet: open checkpoint: %w", err)
-	}
-	defer f.Close()
-	secs, sal, err := prof.ReadSectionsLenient(f)
-	if err != nil {
-		return nil, sal, fmt.Errorf("fleet: read checkpoint: %w", err)
 	}
 	byName := make(map[string][]byte, len(secs))
 	for _, s := range secs {

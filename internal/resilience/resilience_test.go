@@ -2,6 +2,7 @@ package resilience
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -171,7 +172,7 @@ func TestRetryAbsorbsTransients(t *testing.T) {
 		Jitter: -1, // exact doubling, no perturbation
 		Sleep:  func(d time.Duration) { slept = append(slept, d) }}
 	calls := 0
-	err := Retry(p, func() error {
+	err := Retry(nil, p, func() error {
 		calls++
 		if calls < 4 {
 			return Fault(PhaseMeasure, KindTransient, "read", errors.New("flake"))
@@ -237,10 +238,48 @@ func TestRetryStepsShape(t *testing.T) {
 	}
 }
 
+// TestRetryContextCancel: cancellation aborts the backoff sleep promptly
+// (well before the 10s capped delay would elapse) and surfaces the last
+// attempt's structured fault rather than swallowing it into ctx.Err().
+func TestRetryContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := RetryPolicy{MaxAttempts: 5, BaseDelay: 10 * time.Second, MaxDelay: 10 * time.Second, Jitter: -1}
+	calls := 0
+	start := time.Now()
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	err := Retry(ctx, p, func() error {
+		calls++
+		return Fault(PhaseMeasure, KindTransient, "b", errors.New("flaky"))
+	})
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancelled Retry slept %v, want a prompt abort", elapsed)
+	}
+	if calls != 1 {
+		t.Fatalf("cancelled mid-backoff but f ran %d times", calls)
+	}
+	if !IsTransient(err) {
+		t.Fatalf("cancellation swallowed the fault: %v", err)
+	}
+
+	// An already-cancelled context still runs f once (the attempt is free;
+	// only the backoff is abortable) but never sleeps.
+	calls = 0
+	err = Retry(ctx, RetryPolicy{MaxAttempts: 4, Sleep: func(time.Duration) { t.Fatal("slept under a dead context") }}, func() error {
+		calls++
+		return Fault(PhaseMeasure, KindTransient, "b", errors.New("flaky"))
+	})
+	if calls != 1 || !IsTransient(err) {
+		t.Fatalf("dead-context Retry: %d calls, err %v", calls, err)
+	}
+}
+
 func TestRetryStopsOnNonTransient(t *testing.T) {
 	calls := 0
 	hard := Fault(PhaseExecute, KindTrap, "f", errors.New("hard"))
-	err := Retry(RetryPolicy{Sleep: func(time.Duration) {}}, func() error {
+	err := Retry(nil, RetryPolicy{Sleep: func(time.Duration) {}}, func() error {
 		calls++
 		return hard
 	})
@@ -251,7 +290,7 @@ func TestRetryStopsOnNonTransient(t *testing.T) {
 
 func TestRetryExhaustsAttempts(t *testing.T) {
 	calls := 0
-	err := Retry(RetryPolicy{MaxAttempts: 3, Sleep: func(time.Duration) {}}, func() error {
+	err := Retry(nil, RetryPolicy{MaxAttempts: 3, Sleep: func(time.Duration) {}}, func() error {
 		calls++
 		return Fault(PhaseMeasure, KindTransient, "b", errors.New("always"))
 	})

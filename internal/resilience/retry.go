@@ -1,6 +1,7 @@
 package resilience
 
 import (
+	"context"
 	"math/rand"
 	"time"
 )
@@ -94,18 +95,46 @@ func (p RetryPolicy) Steps(attempt int) int {
 // Retry runs f, retrying with capped exponential backoff while it fails
 // with a transient fault (IsTransient). Any other error — or transient
 // failure persisting through MaxAttempts — is returned as-is.
-func Retry(p RetryPolicy, f func() error) error {
-	p = p.withDefaults()
-	sleep := p.Sleep
-	if sleep == nil {
-		sleep = time.Sleep
+//
+// Cancelling ctx aborts the backoff sleep promptly and stops retrying:
+// the last attempt's error is returned (never swallowed by ctx.Err()),
+// so callers still see the structured fault that was being retried. A
+// nil ctx behaves like context.Background(). The Sleep test hook, when
+// set, bypasses the cancellable timer but is still skipped when ctx is
+// already cancelled.
+func Retry(ctx context.Context, p RetryPolicy, f func() error) error {
+	if ctx == nil {
+		ctx = context.Background()
 	}
+	p = p.withDefaults()
 	var err error
 	for attempt := 1; ; attempt++ {
 		err = f()
 		if err == nil || !IsTransient(err) || attempt >= p.MaxAttempts {
 			return err
 		}
-		sleep(p.DelayAt(attempt))
+		if !sleepCtx(ctx, p.DelayAt(attempt), p.Sleep) {
+			return err
+		}
+	}
+}
+
+// sleepCtx sleeps for d, returning early (false) when ctx is cancelled.
+// A non-nil test hook replaces the timer but not the cancellation check.
+func sleepCtx(ctx context.Context, d time.Duration, hook func(time.Duration)) bool {
+	if ctx.Err() != nil {
+		return false
+	}
+	if hook != nil {
+		hook(d)
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
 	}
 }

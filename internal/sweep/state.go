@@ -1,0 +1,374 @@
+package sweep
+
+// Crash-safe sweep state. The state file is an internal/ckpt container:
+// one "sweep-config" section holding the canonical sweep configuration
+// plus its FNV-64a fingerprint, followed by one "cell-<i>" section per
+// completed grid cell (i is the global grid index), appended and
+// fsynced as cells finish. Because ckpt's appender keeps the container
+// strictly valid between appends and a torn tail salvages to the intact
+// prefix, a SIGKILL at any point loses at most the cells in flight.
+//
+// Resume is fingerprint-gated: the stored hash must match the hash the
+// resuming run computes from its own flags, otherwise the file is
+// rejected — silently mixing cells from two different sweeps would
+// produce a report that looks valid and is wrong. Shards are
+// deliberately excluded from the fingerprint so the state files of a
+// sharded sweep (same grid, different -sweep-shard) agree on the hash
+// and Merge can verify they belong together.
+//
+// Cells are stored as their canonical JSON. Go's float64 JSON encoding
+// round-trips exactly (shortest representation that re-parses to the
+// same bits), which is what makes a resumed or merged report
+// byte-identical to an uninterrupted single-process run's.
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/ckpt"
+)
+
+const stateConfigSection = "sweep-config"
+
+// stateMeta is the parsed "sweep-config" section.
+type stateMeta struct {
+	Hash         string
+	Seed         int64
+	ColdFuncs    int
+	HelperLayers int
+	KneeFactor   float64
+	Timings      bool
+	ICPGrid      []float64
+	InlineGrid   []float64
+	Combos       []string
+	Cells        int
+}
+
+func formatGrid(g []float64) string {
+	parts := make([]string, len(g))
+	for i, v := range g {
+		// 'g'/-1 is the shortest representation that parses back to the
+		// same float64, so the grid survives the state file exactly.
+		parts[i] = strconv.FormatFloat(v, 'g', -1, 64)
+	}
+	return strings.Join(parts, ",")
+}
+
+func parseGridLine(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	g := make([]float64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, err
+		}
+		g[i] = v
+	}
+	return g, nil
+}
+
+// statePayload renders the canonical configuration text the fingerprint
+// covers: everything that determines the meaning of a cell index and
+// the bytes of the final report — except the shard assignment, which
+// must differ between the state files Merge later combines.
+func statePayload(seed int64, cfg *Config, totalCells int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed %d\n", seed)
+	fmt.Fprintf(&b, "cold-funcs %d\n", cfg.ColdFuncs)
+	fmt.Fprintf(&b, "helper-layers %d\n", cfg.HelperLayers)
+	fmt.Fprintf(&b, "knee-factor %s\n", strconv.FormatFloat(cfg.KneeFactor, 'g', -1, 64))
+	fmt.Fprintf(&b, "timings %t\n", cfg.Timings)
+	fmt.Fprintf(&b, "icp-grid %s\n", formatGrid(cfg.ICPGrid))
+	fmt.Fprintf(&b, "inline-grid %s\n", formatGrid(cfg.InlineGrid))
+	names := make([]string, len(cfg.Combos))
+	for i, c := range cfg.Combos {
+		names[i] = c.Name
+	}
+	fmt.Fprintf(&b, "combos %s\n", strings.Join(names, ","))
+	fmt.Fprintf(&b, "cells %d\n", totalCells)
+	return b.String()
+}
+
+// stateHash fingerprints the configuration: FNV-64a over the canonical
+// payload, 16 hex digits (the same shape prof.Profile.Hash uses).
+func stateHash(seed int64, cfg *Config, totalCells int) string {
+	h := fnv.New64a()
+	h.Write([]byte(statePayload(seed, cfg, totalCells)))
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+func stateConfigData(seed int64, cfg *Config, totalCells int) []byte {
+	payload := statePayload(seed, cfg, totalCells)
+	return []byte("hash " + stateHash(seed, cfg, totalCells) + "\n" + payload)
+}
+
+func cellSectionName(i int) string { return fmt.Sprintf("cell-%d", i) }
+
+// parseState decodes the sections of a loaded state file. It is
+// lenient the way resume wants: a missing or garbled config section
+// returns a nil meta (the caller decides that is fatal), an
+// unparseable or out-of-range cell section is dropped with a warning,
+// and duplicate cell sections resolve last-writer-wins — a resumed run
+// re-appends a failed cell's fresh result after the stale one.
+func parseState(secs []ckpt.Section) (*stateMeta, map[int]Cell, []string) {
+	var meta *stateMeta
+	var warns []string
+	type pending struct {
+		idx  int
+		cell Cell
+	}
+	var cells []pending
+	for _, sec := range secs {
+		switch {
+		case sec.Name == stateConfigSection:
+			m := &stateMeta{}
+			ok := true
+			for _, line := range strings.Split(strings.TrimRight(string(sec.Data), "\n"), "\n") {
+				key, val, _ := strings.Cut(line, " ")
+				var err error
+				switch key {
+				case "hash":
+					m.Hash = val
+				case "seed":
+					m.Seed, err = strconv.ParseInt(val, 10, 64)
+				case "cold-funcs":
+					m.ColdFuncs, err = strconv.Atoi(val)
+				case "helper-layers":
+					m.HelperLayers, err = strconv.Atoi(val)
+				case "knee-factor":
+					m.KneeFactor, err = strconv.ParseFloat(val, 64)
+				case "timings":
+					m.Timings, err = strconv.ParseBool(val)
+				case "icp-grid":
+					m.ICPGrid, err = parseGridLine(val)
+				case "inline-grid":
+					m.InlineGrid, err = parseGridLine(val)
+				case "combos":
+					m.Combos = strings.Split(val, ",")
+				case "cells":
+					m.Cells, err = strconv.Atoi(val)
+				}
+				if err != nil {
+					warns = append(warns, fmt.Sprintf("state config line %q: %v", line, err))
+					ok = false
+				}
+			}
+			if !ok || m.Hash == "" || m.Cells <= 0 {
+				warns = append(warns, "state config section unusable")
+				continue
+			}
+			meta = m
+		case strings.HasPrefix(sec.Name, "cell-"):
+			idx, err := strconv.Atoi(strings.TrimPrefix(sec.Name, "cell-"))
+			if err != nil || idx < 0 {
+				warns = append(warns, fmt.Sprintf("dropping state section %q: bad cell index", sec.Name))
+				continue
+			}
+			var c Cell
+			if err := json.Unmarshal(sec.Data, &c); err != nil {
+				warns = append(warns, fmt.Sprintf("dropping state cell %d: %v", idx, err))
+				continue
+			}
+			cells = append(cells, pending{idx, c})
+		default:
+			warns = append(warns, fmt.Sprintf("dropping unknown state section %q", sec.Name))
+		}
+	}
+	out := make(map[int]Cell, len(cells))
+	for _, p := range cells {
+		if meta != nil && p.idx >= meta.Cells {
+			warns = append(warns, fmt.Sprintf("dropping state cell %d: index outside grid of %d cells", p.idx, meta.Cells))
+			continue
+		}
+		out[p.idx] = p.cell // last writer wins
+	}
+	return meta, out, warns
+}
+
+// stateWriter serializes concurrent cell appends from the sweep's
+// worker pool onto the single-goroutine ckpt.Appender.
+type stateWriter struct {
+	mu  sync.Mutex
+	app *ckpt.Appender
+}
+
+func (w *stateWriter) put(i int, c Cell) error {
+	data, err := json.Marshal(c)
+	if err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.app.Append(ckpt.Section{Name: cellSectionName(i), Data: data})
+}
+
+func (w *stateWriter) Close() error {
+	if w == nil || w.app == nil {
+		return nil
+	}
+	return w.app.Close()
+}
+
+// openState opens cfg.StatePath for this run: a fresh file gets the
+// config section and an empty cell log; an existing file is
+// fingerprint-checked, its completed cells returned for skipping, and
+// the file compacted (dropping any torn tail) before appending resumes.
+func openState(seed int64, cfg *Config, totalCells int) (map[int]Cell, *stateWriter, error) {
+	cfgSec := ckpt.Section{Name: stateConfigSection, Data: stateConfigData(seed, cfg, totalCells)}
+	secs, sal, err := ckpt.Load(cfg.StatePath)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sweep: load state %s: %w", cfg.StatePath, err)
+	}
+	if secs == nil && sal == nil {
+		app, err := ckpt.CreateAppender(cfg.StatePath, cfgSec)
+		if err != nil {
+			return nil, nil, fmt.Errorf("sweep: create state %s: %w", cfg.StatePath, err)
+		}
+		return nil, &stateWriter{app: app}, nil
+	}
+	if sal != nil && !sal.Clean() {
+		cfg.Warnf("sweep: warning: state file %s was torn; salvaged intact prefix (%s)", cfg.StatePath, sal)
+	}
+	meta, cells, warns := parseState(secs)
+	for _, w := range warns {
+		cfg.Warnf("sweep: warning: %s", w)
+	}
+	if meta == nil {
+		return nil, nil, fmt.Errorf("sweep: state file %s has no usable config section; delete it to start over", cfg.StatePath)
+	}
+	if want := stateHash(seed, cfg, totalCells); meta.Hash != want {
+		return nil, nil, fmt.Errorf("sweep: state file %s was written by a different sweep configuration (its hash %s, this run's %s); delete it or rerun with the original flags", cfg.StatePath, meta.Hash, want)
+	}
+	// Compact before resuming: rewrite config plus the surviving cells
+	// atomically, so appends land on a strictly valid container even if
+	// the crash left a torn tail behind.
+	keep := []ckpt.Section{cfgSec}
+	idxs := make([]int, 0, len(cells))
+	for i := range cells {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	for _, i := range idxs {
+		data, err := json.Marshal(cells[i])
+		if err != nil {
+			return nil, nil, err
+		}
+		keep = append(keep, ckpt.Section{Name: cellSectionName(i), Data: data})
+	}
+	app, err := ckpt.ResumeAppender(cfg.StatePath, keep)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sweep: resume state %s: %w", cfg.StatePath, err)
+	}
+	cfg.Warnf("sweep: resuming from %s: %d of %d cells already complete", cfg.StatePath, len(cells), totalCells)
+	return cells, &stateWriter{app: app}, nil
+}
+
+// MergeInfo summarizes what Merge combined.
+type MergeInfo struct {
+	// Files is the number of state files read; Cells the number of
+	// distinct grid cells recovered across them.
+	Files, Cells int
+	// Failed counts merged cells that are failure records.
+	Failed int
+	// Missing lists global grid indices present in no state file —
+	// cells a crashed or unfinished shard never completed.
+	Missing []int
+	// Warnings carries per-file salvage notes (dropped sections, torn
+	// tails) for the caller to surface.
+	Warnings []string
+}
+
+// Merge combines the state files of a sharded (or merely interrupted)
+// sweep into the canonical report. Every file must carry the same
+// configuration fingerprint; the grids, combos, and knee factor are
+// reconstructed from the first file's config section, cells are
+// reassembled in global grid order, and knees recomputed — the result
+// is byte-identical to the report a single uninterrupted process would
+// have emitted, provided no cells are missing. When the same cell
+// appears in several files, a successful record beats a failed one and
+// two conflicting successful records are an error.
+func Merge(paths []string) (*Report, *MergeInfo, error) {
+	if len(paths) == 0 {
+		return nil, nil, fmt.Errorf("sweep: merge: no state files given")
+	}
+	var meta *stateMeta
+	cells := make(map[int]Cell)
+	var warns []string
+	for _, path := range paths {
+		secs, sal, err := ckpt.Load(path)
+		if err != nil {
+			return nil, nil, fmt.Errorf("sweep: merge: load %s: %w", path, err)
+		}
+		if secs == nil && sal == nil {
+			return nil, nil, fmt.Errorf("sweep: merge: state file %s does not exist", path)
+		}
+		if sal != nil && !sal.Clean() {
+			warns = append(warns, fmt.Sprintf("state file %s was torn; salvaged intact prefix (%s)", path, sal))
+		}
+		m, cs, w := parseState(secs)
+		warns = append(warns, w...)
+		if m == nil {
+			return nil, nil, fmt.Errorf("sweep: merge: state file %s has no usable config section", path)
+		}
+		if meta == nil {
+			meta = m
+		} else if m.Hash != meta.Hash {
+			return nil, nil, fmt.Errorf("sweep: merge: state file %s belongs to a different sweep configuration (hash %s, want %s)", path, m.Hash, meta.Hash)
+		}
+		for i, c := range cs {
+			prev, ok := cells[i]
+			switch {
+			case !ok:
+				cells[i] = c
+			case prev.Failed && !c.Failed:
+				cells[i] = c
+			case !prev.Failed && !c.Failed:
+				a, _ := json.Marshal(prev)
+				b, _ := json.Marshal(c)
+				if string(a) != string(b) {
+					return nil, nil, fmt.Errorf("sweep: merge: cell %d has conflicting successful results across state files", i)
+				}
+			}
+		}
+	}
+	rep := &Report{
+		Seed:         meta.Seed,
+		ColdFuncs:    meta.ColdFuncs,
+		HelperLayers: meta.HelperLayers,
+		ICPGrid:      meta.ICPGrid,
+		InlineGrid:   meta.InlineGrid,
+		KneeFactor:   meta.KneeFactor,
+		Combos:       meta.Combos,
+	}
+	info := &MergeInfo{Files: len(paths), Cells: len(cells), Warnings: warns}
+	for i := 0; i < meta.Cells; i++ {
+		c, ok := cells[i]
+		if !ok {
+			info.Missing = append(info.Missing, i)
+			continue
+		}
+		rep.Cells = append(rep.Cells, c)
+		if c.Failed {
+			rep.FailedCells++
+			info.Failed++
+		}
+	}
+	kcfg := Config{
+		ICPGrid:    meta.ICPGrid,
+		InlineGrid: meta.InlineGrid,
+		KneeFactor: meta.KneeFactor,
+	}
+	for _, n := range meta.Combos {
+		kcfg.Combos = append(kcfg.Combos, Combo{Name: n})
+	}
+	rep.Knees = knees(kcfg, rep.Cells)
+	return rep, info, nil
+}

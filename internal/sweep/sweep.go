@@ -22,9 +22,31 @@
 // build times are the one exception; they are recorded only when
 // Config.Timings is set (and are zero otherwise), which is why the
 // default emission stays byte-reproducible.
+//
+// A sweep at -sweep-kernel-scale is hours of compute, so the engine is
+// crash-safe and degrades gracefully rather than being all-or-nothing:
+//
+//   - With Config.StatePath set, every completed cell is appended to a
+//     CRC-framed state file (internal/ckpt) and fsynced, so a SIGKILL at
+//     any point loses at most the cells in flight. A rerun with the same
+//     path resumes by skipping completed cells — the resumed
+//     BENCH_sweep.json is byte-identical to an uninterrupted run's.
+//     Resume is gated on a fingerprint of the sweep configuration; a
+//     state file from a different configuration is rejected.
+//   - A cell whose build or measurement fails is retried under
+//     Config.Retry (capped exponential backoff for transient faults),
+//     and if it keeps failing it degrades instead of aborting the sweep:
+//     the cell is marked failed in the report with its structured fault,
+//     excluded from knee detection, and rendered as a FAIL entry plus a
+//     per-combo warning note in the text matrices.
+//   - Config.Shards/Shard partition the grid deterministically across
+//     cooperating processes (cell index modulo shard count); Merge
+//     combines the shard state files back into the canonical report,
+//     byte-identical to what a single process would have emitted.
 package sweep
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -36,6 +58,7 @@ import (
 
 	pibe "repro"
 	"repro/internal/bench"
+	"repro/internal/resilience"
 )
 
 // DefaultGrid is the default budget grid applied to both axes: the
@@ -162,13 +185,37 @@ type Config struct {
 	// without it BENCH_sweep.json is byte-identical across runs and
 	// worker counts.
 	Timings bool
-	// Warnf receives aggregation-degradation warnings (a cell's
-	// geomean skipped non-finite overheads or clamped factors). Nil
-	// logs to stderr.
+	// ColdFuncs and HelperLayers record the kernel scaling of the suite
+	// (sweep.ScaledKernelConfig) into the report and the state-file
+	// fingerprint; zero means the default calibrated kernel.
+	ColdFuncs, HelperLayers int
+	// StatePath, when non-empty, checkpoints every completed cell into a
+	// crash-safe state file and resumes from it when it already exists:
+	// completed cells are skipped (failed ones are given another
+	// chance), and the resumed report is byte-identical to an
+	// uninterrupted run's. A state file whose config fingerprint does
+	// not match this configuration is rejected.
+	StatePath string
+	// Shards and Shard partition the grid across cooperating processes:
+	// this run evaluates only the cells whose global grid index is
+	// congruent to Shard modulo Shards. Zero Shards means 1 (the whole
+	// grid); Shard must be in [0, Shards). Merge recombines the shard
+	// state files into the canonical report.
+	Shards, Shard int
+	// Retry bounds the per-cell retry loop: a cell whose build or
+	// measurement fails with a transient fault is retried with capped
+	// exponential backoff before it degrades to a failed cell. The
+	// zero value selects resilience.DefaultRetry.
+	Retry resilience.RetryPolicy
+	// Ctx cancels in-flight retry backoff sleeps; nil means Background.
+	Ctx context.Context
+	// Warnf receives degradation warnings (a cell's geomean skipped
+	// non-finite overheads or clamped factors, a cell that failed after
+	// retries, a salvaged state file). Nil logs to stderr.
 	Warnf func(format string, args ...any)
 }
 
-func (c *Config) fill() {
+func (c *Config) fill() error {
 	if len(c.ICPGrid) == 0 {
 		c.ICPGrid = DefaultGrid
 	}
@@ -181,11 +228,21 @@ func (c *Config) fill() {
 	if c.KneeFactor <= 0 {
 		c.KneeFactor = 1.1
 	}
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.Shard < 0 || c.Shard >= c.Shards {
+		return fmt.Errorf("sweep: shard %d outside [0, %d)", c.Shard, c.Shards)
+	}
+	if c.Ctx == nil {
+		c.Ctx = context.Background()
+	}
 	if c.Warnf == nil {
 		c.Warnf = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
 	}
+	return nil
 }
 
 // Cell is one evaluated (combo, icp, inline) grid point.
@@ -208,6 +265,15 @@ type Cell struct {
 	// BuildMS is the wall-clock image build time; recorded only under
 	// Config.Timings (0 otherwise, keeping the report deterministic).
 	BuildMS float64 `json:"build_ms"`
+	// Failed marks a cell whose build or measurement kept failing after
+	// the retry policy was exhausted. Its overhead fields are zero, it
+	// is excluded from knee detection, and the FailureXxx fields carry
+	// the structured fault that sank it.
+	Failed          bool   `json:"failed,omitempty"`
+	FailurePhase    string `json:"failure_phase,omitempty"`
+	FailureKind     string `json:"failure_kind,omitempty"`
+	FailureInjected bool   `json:"failure_injected,omitempty"`
+	Failure         string `json:"failure,omitempty"`
 }
 
 // Knee is the per-combo answer to "which budget do I pick": the least
@@ -230,25 +296,22 @@ type Report struct {
 	InlineGrid   []float64 `json:"inline_grid"`
 	KneeFactor   float64   `json:"knee_factor"`
 	Combos       []string  `json:"combos"`
-	Cells        []Cell    `json:"cells"`
-	Knees        []Knee    `json:"knees"`
+	// FailedCells counts cells that degraded to failure; their fault
+	// detail is on the cells themselves.
+	FailedCells int    `json:"failed_cells,omitempty"`
+	Cells       []Cell `json:"cells"`
+	Knees       []Knee `json:"knees"`
 }
 
-// Run evaluates the full grid against the suite's kernel. Cells fan out
-// across the suite's worker pool (every cell runs even if one fails and
-// the lowest-index error wins, mirroring Suite.ForEach's contract), and
-// the report is assembled in deterministic grid order: combos in config
-// order, then ICP budget, then inline budget.
-func Run(s *bench.Suite, cfg Config) (*Report, error) {
-	cfg.fill()
-	base, err := s.Baseline()
-	if err != nil {
-		return nil, err
-	}
-	type cellKey struct {
-		combo    int
-		icp, inl int
-	}
+// cellKey addresses one grid point; the global cell index (grid order:
+// combo, then ICP budget, then inline budget) is its position in the
+// keys slice and the unit of sharding and checkpointing.
+type cellKey struct {
+	combo    int
+	icp, inl int
+}
+
+func gridKeys(cfg *Config) []cellKey {
 	keys := make([]cellKey, 0, len(cfg.Combos)*len(cfg.ICPGrid)*len(cfg.InlineGrid))
 	for ci := range cfg.Combos {
 		for ii := range cfg.ICPGrid {
@@ -257,85 +320,199 @@ func Run(s *bench.Suite, cfg Config) (*Report, error) {
 			}
 		}
 	}
+	return keys
+}
+
+// cellName is the suite cache key and log label of a cell.
+func cellName(combo Combo, icp, inl float64) string {
+	return fmt.Sprintf("sweep-%s-icp%g-inl%g", combo.Name, icp, inl)
+}
+
+// measureCell builds and measures one grid point under the given suite
+// cache key. It is the one attempt inside the retry loop; retries pass a
+// fresh key because the suite's flight map caches failures forever.
+func measureCell(s *bench.Suite, key string, base []pibe.Latency, combo Combo, icp, inl float64, timings bool) (Cell, error) {
+	bc := pibe.BuildConfig{
+		Profile:  s.ProfLM,
+		Defenses: combo.Defenses,
+		Optimize: pibe.OptimizeConfig{ICPBudget: icp, InlineBudget: inl},
+	}
+	start := time.Now()
+	img, err := s.Image(key, bc)
+	if err != nil {
+		return Cell{}, err
+	}
+	buildMS := float64(time.Since(start).Nanoseconds()) / 1e6
+	lat, err := s.Latencies(key, bc)
+	if err != nil {
+		return Cell{}, err
+	}
+	ovs := make([]float64, len(lat))
+	for j := range lat {
+		ovs[j] = pibe.Overhead(base[j].Micros, lat[j].Micros)
+	}
+	g, stats := pibe.GeomeanCounted(ovs)
+	c := Cell{
+		Combo:          combo.Name,
+		ICPBudget:      icp,
+		InlineBudget:   inl,
+		Geomean:        g,
+		GeomeanSkipped: stats.Skipped,
+		GeomeanClamped: stats.Clamped,
+	}
+	if timings {
+		c.BuildMS = buildMS
+	}
+	if r := img.Opt.ICP; r != nil && r.TotalWeight > 0 {
+		c.ICPWeightFrac = float64(r.PromotedWeight) / float64(r.TotalWeight)
+	}
+	if r := img.Opt.Inline; r != nil {
+		c.InlineReturnFrac = r.ElidedReturnFraction()
+	}
+	return c, nil
+}
+
+// evalCell runs one cell to completion: transient faults are retried
+// under the config's policy (each retry under a fresh cache key, since
+// the suite caches failed flights), and a cell that exhausts its
+// retries degrades to a failed Cell carrying the structured fault
+// instead of an error — one poisoned grid point must not sink an
+// hours-long sweep.
+func evalCell(s *bench.Suite, cfg *Config, base []pibe.Latency, k cellKey) Cell {
+	combo := cfg.Combos[k.combo]
+	icp, inl := cfg.ICPGrid[k.icp], cfg.InlineGrid[k.inl]
+	name := cellName(combo, icp, inl)
+	var c Cell
+	attempt := 0
+	err := resilience.Retry(cfg.Ctx, cfg.Retry, func() error {
+		attempt++
+		key := name
+		if attempt > 1 {
+			key = fmt.Sprintf("%s-retry%d", name, attempt)
+		}
+		cc, err := measureCell(s, key, base, combo, icp, inl, cfg.Timings)
+		if err != nil {
+			return err
+		}
+		c = cc
+		return nil
+	})
+	if err != nil {
+		c = Cell{Combo: combo.Name, ICPBudget: icp, InlineBudget: inl,
+			Failed: true, Failure: err.Error()}
+		if fe, ok := resilience.AsFault(err); ok {
+			c.FailurePhase = string(fe.Phase)
+			c.FailureKind = string(fe.Kind)
+			c.FailureInjected = fe.Injected
+		}
+		cfg.Warnf("sweep: warning: cell %s failed after %d attempt(s), degrading: %v", name, attempt, err)
+		return c
+	}
+	if c.GeomeanSkipped > 0 || c.GeomeanClamped > 0 {
+		cfg.Warnf("sweep: warning: cell %s geomean degraded: skipped %d, clamped %d",
+			name, c.GeomeanSkipped, c.GeomeanClamped)
+	}
+	return c
+}
+
+// Run evaluates the grid against the suite's kernel. Cells fan out
+// across the suite's worker pool, failed cells degrade instead of
+// aborting (see evalCell), and the report is assembled in deterministic
+// grid order: combos in config order, then ICP budget, then inline
+// budget. With Config.StatePath the run checkpoints each completed cell
+// and resumes past completed ones; with Config.Shards > 1 it evaluates
+// only this process's share of the grid.
+func Run(s *bench.Suite, cfg Config) (*Report, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	base, err := s.Baseline()
+	if err != nil {
+		return nil, err
+	}
+	keys := gridKeys(&cfg)
 	cells := make([]Cell, len(keys))
-	if err := s.ForEach(len(keys), func(i int) error {
-		k := keys[i]
-		combo := cfg.Combos[k.combo]
-		icp, inl := cfg.ICPGrid[k.icp], cfg.InlineGrid[k.inl]
-		name := fmt.Sprintf("sweep-%s-icp%g-inl%g", combo.Name, icp, inl)
-		bc := pibe.BuildConfig{
-			Profile:  s.ProfLM,
-			Defenses: combo.Defenses,
-			Optimize: pibe.OptimizeConfig{ICPBudget: icp, InlineBudget: inl},
-		}
-		start := time.Now()
-		img, err := s.Image(name, bc)
+	have := make([]bool, len(keys))
+
+	var st *stateWriter
+	if cfg.StatePath != "" {
+		restored, w, err := openState(s.Seed, &cfg, len(keys))
 		if err != nil {
-			return fmt.Errorf("sweep: cell %s: %w", name, err)
+			return nil, err
 		}
-		buildMS := float64(time.Since(start).Nanoseconds()) / 1e6
-		lat, err := s.Latencies(name, bc)
-		if err != nil {
-			return fmt.Errorf("sweep: cell %s: %w", name, err)
+		st = w
+		defer st.Close()
+		for i, c := range restored {
+			cells[i], have[i] = c, true
 		}
-		ovs := make([]float64, len(lat))
-		for j := range lat {
-			ovs[j] = pibe.Overhead(base[j].Micros, lat[j].Micros)
+	}
+
+	// This process's work: its shard of the grid, minus cells already
+	// restored from the state file — except failed ones, which get a
+	// fresh chance on resume.
+	var work []int
+	for i := range keys {
+		if i%cfg.Shards != cfg.Shard {
+			continue
 		}
-		g, stats := pibe.GeomeanCounted(ovs)
-		if stats.Degenerate() {
-			cfg.Warnf("sweep: warning: cell %s geomean degraded: %s", name, stats)
+		if have[i] && !cells[i].Failed {
+			continue
 		}
-		c := Cell{
-			Combo:          combo.Name,
-			ICPBudget:      icp,
-			InlineBudget:   inl,
-			Geomean:        g,
-			GeomeanSkipped: stats.Skipped,
-			GeomeanClamped: stats.Clamped,
+		work = append(work, i)
+	}
+
+	if err := s.ForEach(len(work), func(wi int) error {
+		i := work[wi]
+		c := evalCell(s, &cfg, base, keys[i])
+		cells[i], have[i] = c, true
+		if st != nil {
+			if err := st.put(i, c); err != nil {
+				return fmt.Errorf("sweep: checkpoint cell %d: %w", i, err)
+			}
 		}
-		if cfg.Timings {
-			c.BuildMS = buildMS
-		}
-		if r := img.Opt.ICP; r != nil && r.TotalWeight > 0 {
-			c.ICPWeightFrac = float64(r.PromotedWeight) / float64(r.TotalWeight)
-		}
-		if r := img.Opt.Inline; r != nil {
-			c.InlineReturnFrac = r.ElidedReturnFraction()
-		}
-		cells[i] = c
 		return nil
 	}); err != nil {
 		return nil, err
 	}
+
 	rep := &Report{
-		Seed:       s.Seed,
-		ICPGrid:    cfg.ICPGrid,
-		InlineGrid: cfg.InlineGrid,
-		KneeFactor: cfg.KneeFactor,
-		Cells:      cells,
+		Seed:         s.Seed,
+		ColdFuncs:    cfg.ColdFuncs,
+		HelperLayers: cfg.HelperLayers,
+		ICPGrid:      cfg.ICPGrid,
+		InlineGrid:   cfg.InlineGrid,
+		KneeFactor:   cfg.KneeFactor,
 	}
 	for _, c := range cfg.Combos {
 		rep.Combos = append(rep.Combos, c.Name)
 	}
-	rep.Knees = knees(cfg, cells)
+	// Grid order; a sharded run simply omits the other shards' cells
+	// (Merge reassembles the full surface from the shard state files).
+	for i := range keys {
+		if !have[i] {
+			continue
+		}
+		rep.Cells = append(rep.Cells, cells[i])
+		if cells[i].Failed {
+			rep.FailedCells++
+		}
+	}
+	rep.Knees = knees(cfg, rep.Cells)
 	return rep, nil
 }
 
 // knees finds, per combo, the least aggressive cell whose slowdown
 // factor (1+geomean) is within cfg.KneeFactor of the combo's best
-// (lowest) factor. "Least aggressive" orders cells by max(icp, inline)
-// ascending, then icp+inline, then geomean, then (icp, inline) — so the
-// knee is the cheapest budget pair that already buys (nearly) the full
-// win, the answer to the paper's "which budget do I pick". Factors
-// rather than raw geomeans keep the comparison meaningful when the best
-// overhead is negative (the PGO-only combos can beat the LTO baseline).
+// (lowest) factor. Failed cells are excluded from both the best-factor
+// scan and the knee candidates. Factors rather than raw geomeans keep
+// the comparison meaningful when the best overhead is negative (the
+// PGO-only combos can beat the LTO baseline).
 func knees(cfg Config, cells []Cell) []Knee {
 	var out []Knee
 	for _, combo := range cfg.Combos {
 		best, bestGeomean := math.Inf(1), math.Inf(1)
 		for _, c := range cells {
-			if c.Combo == combo.Name && 1+c.Geomean < best {
+			if c.Combo == combo.Name && !c.Failed && 1+c.Geomean < best {
 				best, bestGeomean = 1+c.Geomean, c.Geomean
 			}
 		}
@@ -343,28 +520,11 @@ func knees(cfg Config, cells []Cell) []Knee {
 			continue
 		}
 		kneeIdx := -1
-		better := func(a, b Cell) bool {
-			am, bm := math.Max(a.ICPBudget, a.InlineBudget), math.Max(b.ICPBudget, b.InlineBudget)
-			if am != bm {
-				return am < bm
-			}
-			as, bs := a.ICPBudget+a.InlineBudget, b.ICPBudget+b.InlineBudget
-			if as != bs {
-				return as < bs
-			}
-			if a.Geomean != b.Geomean {
-				return a.Geomean < b.Geomean
-			}
-			if a.ICPBudget != b.ICPBudget {
-				return a.ICPBudget < b.ICPBudget
-			}
-			return a.InlineBudget < b.InlineBudget
-		}
 		for i, c := range cells {
-			if c.Combo != combo.Name || 1+c.Geomean > cfg.KneeFactor*best {
+			if c.Combo != combo.Name || c.Failed || 1+c.Geomean > cfg.KneeFactor*best {
 				continue
 			}
-			if kneeIdx < 0 || better(c, cells[kneeIdx]) {
+			if kneeIdx < 0 || lessAggressive(c, cells[kneeIdx]) {
 				kneeIdx = i
 			}
 		}
@@ -382,6 +542,27 @@ func knees(cfg Config, cells []Cell) []Knee {
 	return out
 }
 
+// lessAggressive is the total order knee selection minimizes over
+// qualifying cells: max(icp, inline) ascending, then icp+inline, then
+// (icp, inline) lexicographically. It compares budgets only — never the
+// geomean — so when several equally-cheap cells qualify, the knee is
+// deterministically the lower-budget cell, independent of grid
+// iteration order and of measurement noise between near-tied cells.
+func lessAggressive(a, b Cell) bool {
+	am, bm := math.Max(a.ICPBudget, a.InlineBudget), math.Max(b.ICPBudget, b.InlineBudget)
+	if am != bm {
+		return am < bm
+	}
+	as, bs := a.ICPBudget+a.InlineBudget, b.ICPBudget+b.InlineBudget
+	if as != bs {
+		return as < bs
+	}
+	if a.ICPBudget != b.ICPBudget {
+		return a.ICPBudget < b.ICPBudget
+	}
+	return a.InlineBudget < b.InlineBudget
+}
+
 // WriteJSON marshals the report as indented JSON (a trailing newline
 // included). Marshaling is deterministic: field order is fixed by the
 // struct definitions and cells are in grid order.
@@ -393,9 +574,25 @@ func (r *Report) WriteJSON() ([]byte, error) {
 	return append(data, '\n'), nil
 }
 
+// ReadReport parses a BENCH_sweep.json written by WriteJSON.
+func ReadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: read report: %w", err)
+	}
+	r := &Report{}
+	if err := json.Unmarshal(data, r); err != nil {
+		return nil, fmt.Errorf("sweep: parse report %s: %w", path, err)
+	}
+	return r, nil
+}
+
 // Tables renders one aligned text matrix per combo: rows are ICP
 // budgets, columns inline budgets, cells the geomean overhead. The
 // combo's knee cell is marked with '*' and restated in the notes.
+// Failed cells render as FAIL and are restated — with their structured
+// fault — in a per-combo warning note: degradation is surfaced, never
+// silently averaged away.
 func (r *Report) Tables() []*bench.Table {
 	idx := make(map[string]Cell, len(r.Cells))
 	for _, c := range r.Cells {
@@ -416,12 +613,18 @@ func (r *Report) Tables() []*bench.Table {
 			t.Header = append(t.Header, BudgetLabel(inl))
 		}
 		knee, hasKnee := kneeOf[combo]
+		var failed []Cell
 		for _, icp := range r.ICPGrid {
 			row := []string{BudgetLabel(icp)}
 			for _, inl := range r.InlineGrid {
 				c, ok := idx[fmt.Sprintf("%s/%g/%g", combo, icp, inl)]
 				if !ok {
 					row = append(row, "n/a")
+					continue
+				}
+				if c.Failed {
+					row = append(row, "FAIL")
+					failed = append(failed, c)
 					continue
 				}
 				cell := fmt.Sprintf("%+.1f%%", 100*c.Geomean)
@@ -437,6 +640,18 @@ func (r *Report) Tables() []*bench.Table {
 				"knee (*): icp %s × inline %s at %+.1f%% — least aggressive cell within %.2fx of the best %+.1f%%",
 				BudgetLabel(knee.ICPBudget), BudgetLabel(knee.InlineBudget),
 				100*knee.Geomean, r.KneeFactor, 100*knee.BestGeomean))
+		}
+		for _, c := range failed {
+			detail := c.Failure
+			if c.FailureKind != "" {
+				detail = fmt.Sprintf("%s/%s", c.FailurePhase, c.FailureKind)
+				if c.FailureInjected {
+					detail += " [injected]"
+				}
+			}
+			t.Notes = append(t.Notes, fmt.Sprintf(
+				"warning: cell icp %s × inline %s FAILED (%s) — excluded from knee detection",
+				BudgetLabel(c.ICPBudget), BudgetLabel(c.InlineBudget), detail))
 		}
 		out = append(out, t)
 	}

@@ -178,7 +178,7 @@ func (r *Runner) measureAllSharded() ([]Measurement, error) {
 		sp := specs[i/reps]
 		v, err := r.measureBenchCell(sp.Name, i%reps)
 		if err != nil {
-			return 0, fmt.Errorf("workload: %s: %v", sp.Name, err)
+			return 0, fmt.Errorf("workload: %s: %w", sp.Name, err)
 		}
 		return v, nil
 	})

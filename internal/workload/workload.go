@@ -237,7 +237,7 @@ func (r *Runner) Measure(bench string) (Measurement, error) {
 		return r.measureSharded(bench)
 	}
 	var m Measurement
-	err := resilience.Retry(r.Retry, func() error {
+	err := resilience.Retry(nil, r.Retry, func() error {
 		var err error
 		m, err = r.measureOnce(bench)
 		return err
@@ -312,7 +312,7 @@ func (r *Runner) MeasureAll() ([]Measurement, error) {
 	for _, s := range r.Kernel.Specs {
 		m, err := r.Measure(s.Name)
 		if err != nil {
-			return nil, fmt.Errorf("workload: %s: %v", s.Name, err)
+			return nil, fmt.Errorf("workload: %s: %w", s.Name, err)
 		}
 		out = append(out, m)
 	}
@@ -393,7 +393,7 @@ func (r *Runner) MeasureRequest(reps int) (float64, error) {
 		return r.measureRequestSharded(reps)
 	}
 	var c float64
-	err := resilience.Retry(r.Retry, func() error {
+	err := resilience.Retry(nil, r.Retry, func() error {
 		var err error
 		c, err = r.measureRequestOnce(reps)
 		return err
