@@ -23,6 +23,29 @@
 //	              [-chaos RATE] [-measure-workers N] [-o BENCH_sweep.json]
 //	pibe sweep-merge [-o BENCH_sweep.json] state-file...
 //	pibe sweep-diff  A.json B.json
+//	pibe ingest   [-seed N] [-tenants 64] [-kernels 16384] [-ingest-rounds 3]
+//	              [-ingest-workers N] [-ingest-batch 64] [-ingest-queue 64] [-ingest-shed]
+//	              [-ingest-idle-evict 4] [-tenant-shards 4] [-global-shards 16]
+//	              [-sites-per-delta 12] [-ingest-mix lmbench,apache,nginx,dbench]
+//	              [-state DIR] [-snapshot-out global.txt] [-o BENCH_ingest.json]
+//
+// Ingest mode runs the multi-tenant profile-ingestion service against a
+// simulated fleet-of-fleets: -tenants fleets of -kernels reporting
+// kernels each (the default is 64 × 16384 = 1,048,576 kernels), every
+// kernel submitting one profile delta per round. Deltas batch per
+// tenant, flow through a bounded merge queue into per-tenant striped
+// aggregators and a global cross-tenant aggregate, and every round ends
+// with decay/eviction of idle tenants (every fourth simulated tenant
+// reports intermittently). Counts are exact sums, so the -snapshot-out
+// global profile is byte-identical for every -ingest-workers value; the
+// queue backpressures by blocking, or sheds with counted overload
+// faults under -ingest-shed. With -state DIR the service checkpoints
+// after every round (evicted tenants get their own crash-safe files and
+// are resurrected from them on their next delta); a killed run rerun
+// with the same flags resumes at the checkpointed round and produces a
+// byte-identical final snapshot. BENCH_ingest.json records throughput,
+// batch-merge latency quantiles, queue high-water, lifecycle counters
+// and per-tenant drift.
 //
 // Sweep mode evaluates the full ICP×inline budget grid (the same
 // -sweep-grid percentages on both axes) crossed with the named defense
@@ -147,7 +170,51 @@ func main() {
 		"partition the sweep grid across this many cooperating processes")
 	sweepShard := fs.Int("sweep-shard", 0,
 		"this process's shard index in [0, -sweep-shards)")
+	ingestTenants := fs.Int("tenants", 64, "ingest mode: tenant (fleet) count")
+	ingestKernels := fs.Int("kernels", 16384, "ingest mode: reporting kernels per tenant")
+	ingestRounds := fs.Int("ingest-rounds", 3, "ingest mode: reporting rounds")
+	ingestWorkers := fs.Int("ingest-workers", 0,
+		"ingest submission/merge worker count (0 = GOMAXPROCS; never changes the result)")
+	ingestBatch := fs.Int("ingest-batch", 64, "ingest deltas per merged batch")
+	ingestQueue := fs.Int("ingest-queue", 64, "ingest merge-queue depth (batches)")
+	ingestShed := fs.Bool("ingest-shed", false,
+		"shed batches with an overload fault when the merge queue is full (default: block)")
+	ingestIdleEvict := fs.Int("ingest-idle-evict", 4,
+		"evict a tenant after this many idle rounds")
+	tenantShards := fs.Int("tenant-shards", 4, "lock stripes per tenant aggregator")
+	globalShards := fs.Int("global-shards", 16, "lock stripes in the global aggregator")
+	sitesPerDelta := fs.Int("sites-per-delta", 12, "site records per simulated kernel delta")
+	ingestMix := fs.String("ingest-mix", "lmbench,apache,nginx,dbench",
+		"comma-separated tenant base-profile flavors")
+	snapshotOut := fs.String("snapshot-out", "",
+		"write the final global aggregate profile here (the byte-identical resume artifact)")
 	fs.Parse(os.Args[2:])
+
+	if cmd == "ingest" {
+		path := *out
+		if path == "" {
+			path = "BENCH_ingest.json"
+		}
+		check(runIngest(ingestOpts{
+			seed:          *seed,
+			tenants:       *ingestTenants,
+			kernels:       *ingestKernels,
+			rounds:        *ingestRounds,
+			workers:       *ingestWorkers,
+			batch:         *ingestBatch,
+			queue:         *ingestQueue,
+			shed:          *ingestShed,
+			idleEvict:     *ingestIdleEvict,
+			tenantShards:  *tenantShards,
+			globalShards:  *globalShards,
+			sitesPerDelta: *sitesPerDelta,
+			mix:           *ingestMix,
+			stateDir:      *stateDir,
+			jsonPath:      path,
+			snapshotPath:  *snapshotOut,
+		}))
+		return
+	}
 
 	if cmd == "sweep" || cmd == "sweep-merge" || cmd == "sweep-diff" {
 		// The sweep family builds its own (possibly scaled) suite or
@@ -440,7 +507,7 @@ func parseDefenses(s string) pibe.Defenses {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: pibe <profile|build|measure|fleet|top|dump|bench-engine|sweep|sweep-merge|sweep-diff> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: pibe <profile|build|measure|fleet|top|dump|bench-engine|sweep|sweep-merge|sweep-diff|ingest> [flags]")
 	os.Exit(2)
 }
 

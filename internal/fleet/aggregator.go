@@ -31,6 +31,10 @@ type Aggregator struct {
 type aggShard struct {
 	mu sync.Mutex
 	p  *prof.Profile
+	// merges counts the Add calls that touched this stripe (not the
+	// sites they carried): the per-shard load statistic behind
+	// ShardStats, shared by fleet drift reports and ingest metrics.
+	merges uint64
 }
 
 // NewAggregator returns an aggregator with the given number of stripes.
@@ -99,6 +103,7 @@ func (a *Aggregator) Add(delta *prof.Profile) {
 			// Ops is a scalar, not sharded; stripe 0 owns it.
 			sh.p.Ops += delta.Ops
 		}
+		sh.merges++
 		sh.mu.Unlock()
 	}
 }
@@ -174,6 +179,35 @@ func (a *Aggregator) Snapshot() *prof.Profile {
 		sh := &a.shards[i]
 		sh.mu.Lock()
 		out.Merge(sh.p)
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// ShardStat describes one stripe of the aggregator: its current site
+// occupancy and how many Add calls have touched it. Occupancy shows
+// whether the hash partitioning is balanced; the merge counter shows
+// whether the *load* is — a stripe can be small but hot. Fleet drift
+// reports and the ingest service's observability surface both read
+// these, so stripe imbalance is diagnosed the same way everywhere.
+type ShardStat struct {
+	// Sites is the stripe's current distinct-site count.
+	Sites int
+	// Merges counts Add calls that touched the stripe since creation
+	// (restores via Add count too; Decay and Snapshot do not).
+	Merges uint64
+}
+
+// ShardStats returns one ShardStat per stripe, in stripe order. Each
+// stripe is locked only while it is read, so the stats are a consistent
+// per-stripe (not cross-stripe) view that never blocks writers on the
+// other stripes.
+func (a *Aggregator) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(a.shards))
+	for i := range a.shards {
+		sh := &a.shards[i]
+		sh.mu.Lock()
+		out[i] = ShardStat{Sites: len(sh.p.Sites), Merges: sh.merges}
 		sh.mu.Unlock()
 	}
 	return out

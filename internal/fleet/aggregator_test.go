@@ -1,0 +1,114 @@
+package fleet
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/prof"
+)
+
+// siteID maps a small int onto the site-ID space; sites stripe by
+// id % shards, which is what the expectations below count on.
+func siteID(i int) ir.SiteID { return ir.SiteID(i) }
+
+// TestAggregatorShardStats: occupancy reflects where site IDs hash,
+// merge counters count Add calls per touched stripe, and Snapshot /
+// Decay leave the counters alone.
+func TestAggregatorShardStats(t *testing.T) {
+	a := NewAggregator(4, 0.5)
+
+	// Site IDs partition by id % shards, so IDs 0..7 land two per stripe.
+	d := prof.New()
+	for id := 0; id < 8; id++ {
+		d.AddDirect(siteID(id), "caller", "callee", 10)
+	}
+	a.Add(d)
+
+	stats := a.ShardStats()
+	if len(stats) != 4 {
+		t.Fatalf("ShardStats returned %d stripes, want 4", len(stats))
+	}
+	for i, st := range stats {
+		if st.Sites != 2 {
+			t.Errorf("stripe %d occupancy %d, want 2", i, st.Sites)
+		}
+		if st.Merges != 1 {
+			t.Errorf("stripe %d merges %d, want 1 after one Add touching all stripes", i, st.Merges)
+		}
+	}
+
+	// A delta touching only stripe 1 bumps only stripe 1's counter.
+	d2 := prof.New()
+	d2.AddDirect(siteID(5), "caller", "callee", 1)
+	a.Add(d2)
+	stats = a.ShardStats()
+	for i, st := range stats {
+		want := uint64(1)
+		if i == 1 {
+			want = 2
+		}
+		if st.Merges != want {
+			t.Errorf("stripe %d merges %d, want %d", i, st.Merges, want)
+		}
+	}
+
+	// Snapshot and Decay are reads/maintenance, not merges.
+	a.Snapshot()
+	a.Decay()
+	for i, st := range a.ShardStats() {
+		want := uint64(1)
+		if i == 1 {
+			want = 2
+		}
+		if st.Merges != want {
+			t.Errorf("after Snapshot+Decay: stripe %d merges %d, want %d", i, st.Merges, want)
+		}
+	}
+
+	// Occupancy tracks the live stripe contents: decay at 0.5 halves the
+	// count-10 sites to 5 (still present) and drops the count-1 site.
+	stats = a.ShardStats()
+	if stats[1].Sites != 2 {
+		t.Errorf("stripe 1 occupancy %d after decay, want 2 (count-1 site decayed out)", stats[1].Sites)
+	}
+
+	// Total occupancy agrees with SiteCount.
+	var total int
+	for _, st := range stats {
+		total += st.Sites
+	}
+	if total != a.SiteCount() {
+		t.Errorf("ShardStats occupancy sums to %d, SiteCount says %d", total, a.SiteCount())
+	}
+}
+
+// TestAggregatorShardStatsConcurrent: merge counters are exact under
+// concurrent Add — the sum over stripes of per-stripe merges equals
+// adds × stripes-touched, with no lost updates.
+func TestAggregatorShardStatsConcurrent(t *testing.T) {
+	a := NewAggregator(4, 1)
+	const adds = 64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < adds/8; i++ {
+				d := prof.New()
+				for id := 0; id < 4; id++ {
+					d.AddDirect(siteID(id), "caller", "callee", 1)
+				}
+				a.Add(d)
+			}
+		}(g)
+	}
+	wg.Wait()
+	var merges uint64
+	for _, st := range a.ShardStats() {
+		merges += st.Merges
+	}
+	if merges != adds*4 {
+		t.Fatalf("total merges %d, want %d (every Add touches all 4 stripes)", merges, adds*4)
+	}
+}

@@ -1,0 +1,475 @@
+// Package ingest is the multi-tenant profile-ingestion service: the
+// fleet-of-fleets layer that sits above internal/fleet's single-fleet
+// aggregator. Each tenant is one fleet (one customer's kernel
+// population) whose reporting kernels stream profile deltas in; the
+// service batches deltas per tenant, merges batches through a bounded
+// worker pool into a per-tenant striped aggregator, and folds the same
+// batches into a global cross-tenant aggregate — the profile a
+// provider-wide PIBE policy build would train on.
+//
+// The determinism contract is inherited from prof.Merge: counts are
+// exact uint64 sums, merging is commutative and associative, so the
+// global aggregate — and its canonical serialization — is byte-
+// identical for every worker count, queue schedule, batch boundary and
+// tenant eviction order, as long as the same deltas arrive. Batching
+// and striping change *when* counts are added, never what they sum to.
+//
+// Backpressure is explicit: the merge queue is bounded. By default a
+// producer blocks when the queue is full (lossless, deterministic); in
+// shed mode (Config.Shed) a full queue refuses the batch with a
+// structured resilience fault (PhaseIngest/KindOverload) instead, the
+// producer may back off and retry, and the overload counters quantify
+// the resulting under-count.
+//
+// Tenant lifecycle: tenants are created lazily on first Submit,
+// decay while idle (their aggregate is an EWMA of recent rounds, like
+// a fleet epoch's), and after Config.IdleEvict idle rounds are evicted
+// with a final crash-safe per-tenant checkpoint on the internal/ckpt
+// container format. A later Submit for an evicted tenant resurrects it
+// from that checkpoint. Eviction and decay touch only the per-tenant
+// view; the global aggregate keeps every delta ever merged, which is
+// what makes a resumed run's final global snapshot byte-identical to
+// an uninterrupted one's.
+package ingest
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/prof"
+	"repro/internal/resilience"
+)
+
+// Config parameterizes the service.
+type Config struct {
+	// TenantShards is the lock-stripe count of each per-tenant
+	// aggregator (default 4; tenants see modest concurrency).
+	TenantShards int
+	// GlobalShards is the lock-stripe count of the global cross-tenant
+	// aggregator (default 16; every worker contends here).
+	GlobalShards int
+	// BatchSize is how many deltas accumulate into one pending batch
+	// before it is handed to the merge queue (default 64). Partial
+	// batches are flushed at EndRound, so no delta waits forever.
+	BatchSize int
+	// QueueDepth bounds the merge queue (default 64 batches).
+	QueueDepth int
+	// Workers is the merge worker pool size (default GOMAXPROCS).
+	Workers int
+	// Shed selects overload shedding: when the queue is full, Submit
+	// fails with PhaseIngest/KindOverload instead of blocking.
+	Shed bool
+	// IdleDecay is the per-idle-round decay factor applied to a
+	// tenant's aggregate in (0, 1]; 1 disables decay (default 0.5).
+	IdleDecay float64
+	// IdleEvict is how many consecutive idle rounds a tenant survives
+	// before eviction; 0 disables eviction (default 4).
+	IdleEvict int
+	// HotBudget is the hot-set budget for per-tenant drift (default
+	// 0.99): drift is prof.HotOverlap of the tenant's live aggregate
+	// against its baseline (the first active round's snapshot).
+	HotBudget float64
+	// StateDir, when non-empty, enables crash-safe checkpoints: the
+	// service checkpoints after every EndRound and evicted tenants get
+	// per-tenant files, all on the internal/ckpt container format.
+	StateDir string
+	// Fingerprint identifies the configuration that produced the
+	// state: a resumed checkpoint whose recorded fingerprint differs
+	// is rejected rather than silently mixing two runs' counts.
+	Fingerprint string
+	// Warnf receives degradation warnings (salvaged checkpoints,
+	// dropped sections). Defaults to a no-op.
+	Warnf func(format string, args ...any)
+}
+
+func (c *Config) fill() error {
+	if c.TenantShards <= 0 {
+		c.TenantShards = 4
+	}
+	if c.GlobalShards <= 0 {
+		c.GlobalShards = 16
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 64
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.IdleDecay <= 0 || c.IdleDecay > 1 {
+		c.IdleDecay = 0.5
+	}
+	if c.IdleEvict < 0 {
+		return resilience.Faultf(resilience.PhaseIngest, resilience.KindConfig,
+			"idle-evict", "negative idle-evict %d", c.IdleEvict)
+	}
+	if c.IdleEvict == 0 {
+		c.IdleEvict = 4
+	}
+	if c.HotBudget <= 0 || c.HotBudget > 1 {
+		c.HotBudget = 0.99
+	}
+	if c.Warnf == nil {
+		c.Warnf = func(string, ...any) {}
+	}
+	return nil
+}
+
+// tenant is one fleet's ingestion state. Its mutex guards the pending
+// batch; the aggregator has its own striping.
+type tenant struct {
+	id string
+
+	mu       sync.Mutex
+	pending  *prof.Profile
+	pendingN int
+
+	agg *fleet.Aggregator
+	// baseline is the snapshot at the end of the tenant's first active
+	// round; drift is measured against it.
+	baseline *prof.Profile
+	// lastActive is the round index of the tenant's most recent Submit.
+	lastActive int
+	// deltas counts every delta the tenant ever submitted (persisted).
+	deltas uint64
+	// drift is the most recent EndRound's HotOverlap against baseline.
+	drift float64
+}
+
+// batch is one unit of merge work: a pre-merged group of n deltas
+// belonging to one tenant.
+type batch struct {
+	t *tenant
+	p *prof.Profile
+	n int
+}
+
+// Service is the multi-tenant ingestion front. Construct with Open,
+// drive with Submit/EndRound, stop with Close.
+type Service struct {
+	cfg Config
+
+	mu      sync.Mutex
+	tenants map[string]*tenant
+	ended   bool // Close was called
+
+	// round is the index of the round currently being ingested; it
+	// advances at the EndRound barrier. Atomic so the Submit hot path
+	// never touches the service mutex just to stamp lastActive.
+	round atomic.Int64
+
+	global *fleet.Aggregator
+
+	queue    chan batch
+	inflight sync.WaitGroup
+	workers  sync.WaitGroup
+
+	met metrics
+
+	// gate, when non-nil, is a test hook: workers receive from it
+	// before touching each batch, so tests can hold the queue full and
+	// provoke overload deterministically.
+	gate chan struct{}
+}
+
+// Open builds a service and, when cfg.StateDir is set and holds a
+// checkpoint, resumes from it: the round counter, counters, global
+// aggregate and live tenants are restored, fingerprint-gated. A
+// missing checkpoint is a fresh start, a damaged one degrades
+// leniently (warnings via cfg.Warnf), a fingerprint mismatch is an
+// error.
+func Open(cfg Config) (*Service, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	s := &Service{
+		cfg:     cfg,
+		tenants: make(map[string]*tenant),
+		global:  fleet.NewAggregator(cfg.GlobalShards, 1), // exact: never decays
+		queue:   make(chan batch, cfg.QueueDepth),
+	}
+	if cfg.StateDir != "" {
+		if err := os.MkdirAll(cfg.StateDir, 0o755); err != nil {
+			return nil, fmt.Errorf("ingest: state dir: %w", err)
+		}
+		if err := s.restore(); err != nil {
+			return nil, err
+		}
+	}
+	s.workers.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Round returns the index of the next round to run: 0 for a fresh
+// service, the checkpointed round count after a resume.
+func (s *Service) Round() int {
+	return int(s.round.Load())
+}
+
+// newTenantAgg builds the striped per-tenant aggregator.
+func (s *Service) newTenantAgg() *fleet.Aggregator {
+	return fleet.NewAggregator(s.cfg.TenantShards, s.cfg.IdleDecay)
+}
+
+// validTenantID reports whether id is usable: non-empty, and a safe
+// checkpoint-section / file-name token ([A-Za-z0-9._-], no leading
+// dot so eviction files cannot hide or escape).
+func validTenantID(id string) bool {
+	if id == "" || id[0] == '.' {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '.' || c == '_' || c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// lookup returns the tenant, creating or resurrecting it if needed.
+func (s *Service) lookup(id string) (*tenant, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t, ok := s.tenants[id]; ok {
+		return t, nil
+	}
+	if !validTenantID(id) {
+		return nil, resilience.Faultf(resilience.PhaseIngest, resilience.KindConfig,
+			id, "invalid tenant id %q: want [A-Za-z0-9._-]+ not starting with a dot", id)
+	}
+	t := &tenant{id: id, agg: s.newTenantAgg(), lastActive: s.Round()}
+	if s.cfg.StateDir != "" {
+		res, err := loadTenantFile(s.cfg.StateDir, id, s.cfg.Warnf)
+		if err != nil {
+			return nil, err
+		}
+		if res != nil {
+			t.agg.Add(res.aggregate)
+			t.baseline = res.baseline
+			t.deltas = res.deltas
+			s.met.resurrections.Add(1)
+		}
+	}
+	s.tenants[id] = t
+	return t, nil
+}
+
+// Submit ingests one profile delta for the tenant. The delta is only
+// read, never retained: it is merged into the tenant's pending batch
+// under the tenant lock (level-0 merge), and a full batch is handed to
+// the bounded merge queue. With Config.Shed, a full queue sheds the
+// batch and Submit returns a PhaseIngest/KindOverload fault — the
+// delta counts submitted in that batch are lost and tallied in the
+// shed counters; without it, Submit blocks until the queue drains.
+//
+// Submit is safe for concurrent use across and within tenants.
+func (s *Service) Submit(tenantID string, delta *prof.Profile) error {
+	if delta == nil {
+		return nil
+	}
+	t, err := s.lookup(tenantID)
+	if err != nil {
+		return err
+	}
+	s.met.deltas.Add(1)
+
+	t.mu.Lock()
+	t.lastActive = s.Round()
+	t.deltas++
+	if t.pending == nil {
+		t.pending = prof.New()
+	}
+	t.pending.Merge(delta)
+	t.pendingN++
+	if t.pendingN < s.cfg.BatchSize {
+		t.mu.Unlock()
+		return nil
+	}
+	b := batch{t: t, p: t.pending, n: t.pendingN}
+	t.pending, t.pendingN = nil, 0
+	t.mu.Unlock()
+	return s.enqueue(b, s.cfg.Shed)
+}
+
+// enqueue hands a batch to the merge queue. shed selects the overload
+// policy; EndRound's partial-batch flush always passes shed=false so a
+// round barrier is lossless even in shed mode.
+func (s *Service) enqueue(b batch, shed bool) error {
+	s.inflight.Add(1)
+	if shed {
+		select {
+		case s.queue <- b:
+		default:
+			s.inflight.Done()
+			s.met.overloads.Add(1)
+			s.met.shedDeltas.Add(uint64(b.n))
+			return resilience.Faultf(resilience.PhaseIngest, resilience.KindOverload,
+				b.t.id, "merge queue full (%d batches); %d-delta batch shed", s.cfg.QueueDepth, b.n)
+		}
+	} else {
+		s.queue <- b
+	}
+	s.met.noteQueueDepth(len(s.queue))
+	return nil
+}
+
+// worker drains the merge queue: each batch is folded into its
+// tenant's aggregator and the global aggregate, and the pair of merges
+// is timed into the latency histogram.
+func (s *Service) worker() {
+	defer s.workers.Done()
+	for b := range s.queue {
+		if s.gate != nil {
+			<-s.gate
+		}
+		start := time.Now()
+		b.t.agg.Add(b.p)
+		s.global.Add(b.p)
+		s.met.noteMerge(time.Since(start))
+		s.met.batches.Add(1)
+		s.inflight.Done()
+	}
+}
+
+// EndRound is the round barrier. The caller must have quiesced its
+// producers (no Submit may be concurrent with EndRound). It flushes
+// every tenant's partial pending batch (losslessly, even in shed
+// mode), waits for the merge queue to drain, then runs tenant
+// lifecycle: active tenants get a fresh snapshot, a baseline if they
+// had none, and a drift measurement; idle tenants decay, and tenants
+// idle for Config.IdleEvict rounds are evicted with a final per-tenant
+// checkpoint. Finally the service checkpoints itself (when StateDir is
+// set) and the round counter advances.
+func (s *Service) EndRound() error {
+	round := s.Round()
+	s.mu.Lock()
+	ts := make([]*tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		ts = append(ts, t)
+	}
+	s.mu.Unlock()
+
+	for _, t := range ts {
+		t.mu.Lock()
+		if t.pendingN > 0 {
+			b := batch{t: t, p: t.pending, n: t.pendingN}
+			t.pending, t.pendingN = nil, 0
+			t.mu.Unlock()
+			s.enqueue(b, false)
+		} else {
+			t.mu.Unlock()
+		}
+	}
+	s.inflight.Wait()
+
+	// Lifecycle. Snapshots double as checkpoint payloads, so each live
+	// tenant is snapshotted exactly once per round. The tenant lock is
+	// uncontended here (producers are quiesced) but keeps a concurrent
+	// Stats reader from seeing torn drift/baseline updates.
+	snaps := make(map[string]*prof.Profile, len(ts))
+	for _, t := range ts {
+		t.mu.Lock()
+		if t.lastActive == round {
+			snap := t.agg.Snapshot()
+			if t.baseline == nil {
+				t.baseline = snap.Clone()
+			}
+			t.drift = prof.HotOverlap(snap, t.baseline, s.cfg.HotBudget)
+			snaps[t.id] = snap
+			t.mu.Unlock()
+			continue
+		}
+		t.agg.Decay()
+		if round-t.lastActive >= s.cfg.IdleEvict {
+			// Evict: persist the final per-tenant checkpoint BEFORE
+			// removing the tenant, so a crash between the two leaves a
+			// resumable superset (the service checkpoint from round-1
+			// still lists the tenant live; replay overwrites this file
+			// at the same point).
+			if s.cfg.StateDir != "" {
+				if err := saveTenantFile(s.cfg.StateDir, t); err != nil {
+					t.mu.Unlock()
+					return err
+				}
+			}
+			s.mu.Lock()
+			delete(s.tenants, t.id)
+			s.mu.Unlock()
+			s.met.evictions.Add(1)
+			t.mu.Unlock()
+			continue
+		}
+		snaps[t.id] = t.agg.Snapshot()
+		t.mu.Unlock()
+	}
+
+	if s.cfg.StateDir != "" {
+		if err := s.checkpoint(round+1, snaps); err != nil {
+			return err
+		}
+	}
+	s.round.Store(int64(round + 1))
+	return nil
+}
+
+// GlobalSnapshot returns the current global cross-tenant aggregate as
+// one merged profile — the canonical, order-independent artifact whose
+// serialization the crash-resume and determinism guarantees are stated
+// over. Call between rounds (after EndRound) for a stable view.
+func (s *Service) GlobalSnapshot() *prof.Profile {
+	return s.global.Snapshot()
+}
+
+// Close flushes every pending batch, drains the queue and stops the
+// workers. The service must not be used afterwards. Close does not
+// checkpoint: state is only ever persisted at round barriers, which is
+// what makes a SIGKILL and a Close look identical on disk.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return nil
+	}
+	s.ended = true
+	ts := make([]*tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		ts = append(ts, t)
+	}
+	s.mu.Unlock()
+	for _, t := range ts {
+		t.mu.Lock()
+		if t.pendingN > 0 {
+			b := batch{t: t, p: t.pending, n: t.pendingN}
+			t.pending, t.pendingN = nil, 0
+			t.mu.Unlock()
+			s.enqueue(b, false)
+		} else {
+			t.mu.Unlock()
+		}
+	}
+	s.inflight.Wait()
+	close(s.queue)
+	s.workers.Wait()
+	return nil
+}
+
+// openGate arms the worker gate for tests. Must be called before any
+// Submit. Each send on the returned channel releases one batch.
+func (s *Service) openGate() chan struct{} {
+	s.gate = make(chan struct{})
+	return s.gate
+}

@@ -1,0 +1,277 @@
+package ingest
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/prof"
+	"repro/internal/resilience"
+)
+
+func siteID(i int) ir.SiteID { return ir.SiteID(i) }
+
+// testBases builds two small deterministic base profiles: one
+// direct-heavy, one with indirect sites — enough shape for hot-window
+// rotation and drift to be visible.
+func testBases() []Base {
+	direct := prof.New()
+	for i := 0; i < 24; i++ {
+		direct.AddDirect(siteID(i), fmt.Sprintf("fn%d", i%6), fmt.Sprintf("callee%d", i), uint64(100+i))
+	}
+	mixed := prof.New()
+	for i := 0; i < 16; i++ {
+		if i%2 == 0 {
+			mixed.AddDirect(siteID(200+i), fmt.Sprintf("mfn%d", i%4), fmt.Sprintf("mcallee%d", i), 50)
+		} else {
+			for t := 0; t < 3; t++ {
+				mixed.AddIndirect(siteID(200+i), fmt.Sprintf("mfn%d", i%4), fmt.Sprintf("tgt%d", t), 20)
+			}
+		}
+	}
+	return []Base{{Name: "direct", Prof: direct}, {Name: "mixed", Prof: mixed}}
+}
+
+func serialized(t *testing.T, p *prof.Profile) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := p.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// smallSim is the shape most tests use: 6 tenants (tenant 3 is the
+// intermittent one), 8 kernels each, enough rounds for an idle gap.
+func smallSim(t *testing.T, workers, rounds int) *Sim {
+	t.Helper()
+	s, err := NewSim(SimConfig{
+		Tenants: 6, Kernels: 8, Rounds: rounds, Workers: workers,
+		SitesPerDelta: 6, Seed: 42, Bases: testBases(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestIngestDeterministicAcrossWorkers is the end-to-end determinism
+// acceptance: the final global snapshot is byte-identical for every
+// worker count, every batch size, and equal to the flat serial merge
+// of every delta — the two-level (tenant → global) pipeline with its
+// batching, striping and lifecycle adds nothing and loses nothing.
+func TestIngestDeterministicAcrossWorkers(t *testing.T) {
+	sim := smallSim(t, 1, 6)
+	flat := serialized(t, sim.FlatMerge())
+
+	for _, tc := range []struct {
+		workers, batch int
+	}{{1, 1}, {1, 7}, {4, 1}, {4, 64}, {8, 3}} {
+		sim := smallSim(t, tc.workers, 6)
+		svc, err := Open(Config{BatchSize: tc.batch, Workers: tc.workers, IdleEvict: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.Run(svc); err != nil {
+			t.Fatalf("workers=%d batch=%d: %v", tc.workers, tc.batch, err)
+		}
+		got := serialized(t, svc.GlobalSnapshot())
+		if err := svc.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, flat) {
+			t.Errorf("workers=%d batch=%d: global snapshot differs from flat merge", tc.workers, tc.batch)
+		}
+	}
+}
+
+// TestIngestLifecycle: the intermittent tenant decays while idle and,
+// with a tight eviction horizon, is evicted and later resurrected —
+// without perturbing the global aggregate.
+func TestIngestLifecycle(t *testing.T) {
+	sim := smallSim(t, 2, 8)
+	svc, err := Open(Config{Workers: 2, IdleEvict: 1, StateDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(svc); err != nil {
+		t.Fatal(err)
+	}
+	st := svc.Stats()
+	if st.Evictions == 0 {
+		t.Error("intermittent tenant was never evicted with IdleEvict=1")
+	}
+	if st.Resurrections == 0 {
+		t.Error("evicted tenant was never resurrected")
+	}
+	got := serialized(t, svc.GlobalSnapshot())
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if want := serialized(t, sim.FlatMerge()); !bytes.Equal(got, want) {
+		t.Error("eviction/resurrection changed the global aggregate")
+	}
+}
+
+// TestIngestDrift: tenants that keep reporting see their drift fall
+// below 1 as the sim's hot window rotates away from their baseline.
+func TestIngestDrift(t *testing.T) {
+	sim := smallSim(t, 1, 6)
+	svc, err := Open(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if err := sim.Run(svc); err != nil {
+		t.Fatal(err)
+	}
+	st := svc.Stats()
+	var drifted bool
+	for _, ts := range st.Tenants {
+		if ts.Drift <= 0 || ts.Drift > 1 {
+			t.Errorf("tenant %s drift %v outside (0, 1]", ts.ID, ts.Drift)
+		}
+		if ts.Drift < 0.999 {
+			drifted = true
+		}
+	}
+	if !drifted {
+		t.Error("no tenant drifted below 1 despite the rotating hot window")
+	}
+}
+
+// TestIngestShedOverload: with the worker gate held and a single-slot
+// queue, a second batch is shed with a structured
+// PhaseIngest/KindOverload fault and the shed counters quantify the
+// loss; releasing the gate drains the queue.
+func TestIngestShedOverload(t *testing.T) {
+	svc, err := Open(Config{BatchSize: 1, QueueDepth: 1, Workers: 1, Shed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := svc.openGate()
+
+	d := prof.New()
+	d.AddDirect(siteID(1), "f", "g", 1)
+
+	// First submit: batch enters the queue (worker is gated and has
+	// not picked it up yet, or has picked it up and blocks on the
+	// gate). Keep submitting until the queue is provably full and a
+	// shed happens — at most 3 submits (1 in worker's hands + 1
+	// queued + the shed one).
+	var fault error
+	for i := 0; i < 3 && fault == nil; i++ {
+		fault = svc.Submit("tenant-a", d)
+	}
+	if fault == nil {
+		t.Fatal("queue never shed despite gated worker and depth 1")
+	}
+	fe, ok := resilience.AsFault(fault)
+	if !ok || fe.Phase != resilience.PhaseIngest || fe.Kind != resilience.KindOverload {
+		t.Fatalf("shed error = %v, want ingest/overload fault", fault)
+	}
+	st := svc.Stats()
+	if st.Overloads == 0 || st.ShedDeltas == 0 {
+		t.Errorf("overloads=%d shed=%d after shed, want both > 0", st.Overloads, st.ShedDeltas)
+	}
+
+	// Release the gate for good: a closed gate never blocks a worker,
+	// so Close can drain the queue.
+	close(gate)
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	final := svc.Stats()
+	if merged := final.Deltas - final.ShedDeltas; merged == 0 {
+		t.Error("every delta was shed; expected the queued ones to merge")
+	}
+}
+
+// TestIngestBlockingNeverSheds: without Shed, a tiny queue backpressures
+// instead of dropping — every delta lands in the aggregate.
+func TestIngestBlockingNeverSheds(t *testing.T) {
+	sim := smallSim(t, 4, 3)
+	svc, err := Open(Config{BatchSize: 1, QueueDepth: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(svc); err != nil {
+		t.Fatal(err)
+	}
+	st := svc.Stats()
+	if st.Overloads != 0 || st.ShedDeltas != 0 {
+		t.Errorf("blocking mode shed: overloads=%d shed=%d", st.Overloads, st.ShedDeltas)
+	}
+	got := serialized(t, svc.GlobalSnapshot())
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if want := serialized(t, sim.FlatMerge()); !bytes.Equal(got, want) {
+		t.Error("blocking-mode global snapshot differs from flat merge")
+	}
+}
+
+// TestIngestTenantIDValidation: IDs outside [A-Za-z0-9._-]+ (or with a
+// leading dot) are refused with a config fault before any state is
+// created.
+func TestIngestTenantIDValidation(t *testing.T) {
+	svc, err := Open(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	d := prof.New()
+	d.AddDirect(siteID(1), "f", "g", 1)
+	for _, id := range []string{"", "a/b", "..", ".hidden", "sp ace", "a\nb"} {
+		err := svc.Submit(id, d)
+		if !resilience.IsKind(err, resilience.KindConfig) {
+			t.Errorf("Submit(%q) = %v, want config fault", id, err)
+		}
+	}
+	if err := svc.Submit("ok.tenant_1-x", d); err != nil {
+		t.Errorf("valid tenant id refused: %v", err)
+	}
+}
+
+// TestIngestStats: counter bookkeeping adds up on a lossless run.
+func TestIngestStats(t *testing.T) {
+	sim := smallSim(t, 2, 4)
+	svc, err := Open(Config{BatchSize: 5, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if err := sim.Run(svc); err != nil {
+		t.Fatal(err)
+	}
+	st := svc.Stats()
+	var want uint64
+	for r := 0; r < 4; r++ {
+		for tn := 0; tn < 6; tn++ {
+			if sim.Active(tn, r) {
+				want += 8
+			}
+		}
+	}
+	if st.Deltas != want {
+		t.Errorf("Deltas = %d, want %d", st.Deltas, want)
+	}
+	if st.Batches == 0 || st.MergeP99 < st.MergeP50 {
+		t.Errorf("batch/latency stats inconsistent: %+v", st)
+	}
+	var tenantDeltas uint64
+	for _, ts := range st.Tenants {
+		tenantDeltas += ts.Deltas
+	}
+	if tenantDeltas != want {
+		t.Errorf("per-tenant deltas sum to %d, want %d", tenantDeltas, want)
+	}
+	var stripeMerges uint64
+	for _, sh := range st.GlobalShards {
+		stripeMerges += sh.Merges
+	}
+	if stripeMerges == 0 {
+		t.Error("global shard merge counters all zero after a run")
+	}
+}

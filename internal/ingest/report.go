@@ -1,0 +1,157 @@
+package ingest
+
+// BENCH_ingest.json: the machine-readable ingest benchmark report.
+// Throughput and latency fields describe this process's run (they are
+// scheduling- and hardware-dependent by nature); the counter, tenant
+// and snapshot-hash fields are deterministic and survive resume, so
+// two reports from the same configuration agree on them exactly.
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// ShardReport is the per-stripe load summary of the global aggregator.
+type ShardReport struct {
+	MinSites  int    `json:"min_sites"`
+	MaxSites  int    `json:"max_sites"`
+	MinMerges uint64 `json:"min_merges"`
+	MaxMerges uint64 `json:"max_merges"`
+}
+
+// TenantReport is one tenant's row (capped; see Report.Tenants).
+type TenantReport struct {
+	ID         string  `json:"id"`
+	Deltas     uint64  `json:"deltas"`
+	Sites      int     `json:"sites"`
+	LastActive int     `json:"last_active"`
+	Drift      float64 `json:"drift"`
+}
+
+// Report is the BENCH_ingest.json schema.
+type Report struct {
+	Seed             int64 `json:"seed"`
+	Tenants          int   `json:"tenants"`
+	KernelsPerTenant int   `json:"kernels_per_tenant"`
+	// SimulatedKernels is Tenants × KernelsPerTenant — the reporting
+	// population size.
+	SimulatedKernels int `json:"simulated_kernels"`
+	Rounds           int `json:"rounds"`
+	// StartRound is where this process began (>0 after a resume).
+	StartRound int `json:"start_round"`
+	Workers    int `json:"workers"`
+	BatchSize  int `json:"batch_size"`
+	QueueDepth int `json:"queue_depth"`
+
+	// DeltasTotal counts deltas across resumes; DeltasThisProcess only
+	// this process, and is the numerator of DeltasPerSec.
+	DeltasTotal       uint64  `json:"deltas_total"`
+	DeltasThisProcess uint64  `json:"deltas_this_process"`
+	WallSeconds       float64 `json:"wall_seconds"`
+	DeltasPerSec      float64 `json:"deltas_per_sec"`
+
+	Batches        uint64  `json:"batches"`
+	MergeP50Micros float64 `json:"merge_p50_micros"`
+	MergeP99Micros float64 `json:"merge_p99_micros"`
+	MergeMaxMicros float64 `json:"merge_max_micros"`
+	QueueHighWater int     `json:"queue_high_water"`
+
+	Overloads  uint64 `json:"overloads"`
+	ShedDeltas uint64 `json:"shed_deltas"`
+
+	Evictions     uint64 `json:"evictions"`
+	Resurrections uint64 `json:"resurrections"`
+	LiveTenants   int    `json:"live_tenants"`
+
+	GlobalSites  int         `json:"global_sites"`
+	GlobalOps    uint64      `json:"global_ops"`
+	GlobalShards ShardReport `json:"global_shards"`
+
+	// SnapshotHash is the content hash of the final global aggregate —
+	// the field the crash-resume acceptance check compares.
+	SnapshotHash string `json:"snapshot_hash"`
+
+	// Tenants is capped at 32 rows (sorted by ID) so the report stays
+	// readable at fleet-of-fleets scale; TenantRowsOmitted says how
+	// many were cut.
+	TenantRows        []TenantReport `json:"tenant_rows"`
+	TenantRowsOmitted int            `json:"tenant_rows_omitted"`
+}
+
+const maxTenantRows = 32
+
+// BuildReport assembles the report from a finished run: the sim's
+// shape, the service's Stats and the measured wall time.
+func BuildReport(sim SimConfig, svc *Service, startRound int, wall time.Duration) *Report {
+	st := svc.Stats()
+	rep := &Report{
+		Seed:              sim.Seed,
+		Tenants:           sim.Tenants,
+		KernelsPerTenant:  sim.Kernels,
+		SimulatedKernels:  sim.Tenants * sim.Kernels,
+		Rounds:            st.Round,
+		StartRound:        startRound,
+		Workers:           sim.Workers,
+		BatchSize:         svc.cfg.BatchSize,
+		QueueDepth:        svc.cfg.QueueDepth,
+		DeltasTotal:       st.Deltas,
+		DeltasThisProcess: st.DeltasThisProcess,
+		WallSeconds:       wall.Seconds(),
+		Batches:           st.Batches,
+		MergeP50Micros:    float64(st.MergeP50) / float64(time.Microsecond),
+		MergeP99Micros:    float64(st.MergeP99) / float64(time.Microsecond),
+		MergeMaxMicros:    float64(st.MergeMax) / float64(time.Microsecond),
+		QueueHighWater:    st.QueueHighWater,
+		Overloads:         st.Overloads,
+		ShedDeltas:        st.ShedDeltas,
+		Evictions:         st.Evictions,
+		Resurrections:     st.Resurrections,
+		LiveTenants:       st.LiveTenants,
+		GlobalSites:       st.GlobalSites,
+		GlobalOps:         st.GlobalOps,
+		SnapshotHash:      svc.GlobalSnapshot().Hash(),
+	}
+	if wall > 0 {
+		rep.DeltasPerSec = float64(st.DeltasThisProcess) / wall.Seconds()
+	}
+	for i, sh := range st.GlobalShards {
+		if i == 0 {
+			rep.GlobalShards = ShardReport{MinSites: sh.Sites, MaxSites: sh.Sites,
+				MinMerges: sh.Merges, MaxMerges: sh.Merges}
+			continue
+		}
+		if sh.Sites < rep.GlobalShards.MinSites {
+			rep.GlobalShards.MinSites = sh.Sites
+		}
+		if sh.Sites > rep.GlobalShards.MaxSites {
+			rep.GlobalShards.MaxSites = sh.Sites
+		}
+		if sh.Merges < rep.GlobalShards.MinMerges {
+			rep.GlobalShards.MinMerges = sh.Merges
+		}
+		if sh.Merges > rep.GlobalShards.MaxMerges {
+			rep.GlobalShards.MaxMerges = sh.Merges
+		}
+	}
+	rows := st.Tenants
+	if len(rows) > maxTenantRows {
+		rep.TenantRowsOmitted = len(rows) - maxTenantRows
+		rows = rows[:maxTenantRows]
+	}
+	for _, t := range rows {
+		rep.TenantRows = append(rep.TenantRows, TenantReport{
+			ID: t.ID, Deltas: t.Deltas, Sites: t.Sites,
+			LastActive: t.LastActive, Drift: t.Drift,
+		})
+	}
+	return rep
+}
+
+// WriteJSON renders the report with stable indentation.
+func (r *Report) WriteJSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

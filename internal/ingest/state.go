@@ -1,0 +1,330 @@
+package ingest
+
+// Crash-safe ingestion state on the shared internal/ckpt container
+// format. Two kinds of file live in Config.StateDir:
+//
+//   - StateFile ("ingest-checkpoint"): the service checkpoint, written
+//     atomically at every EndRound barrier. One "meta" section (round,
+//     fingerprint, the deterministic counters), one "global" section
+//     (the global aggregate's canonical serialization) and, per live
+//     tenant, a "tmeta-<id>" key/value section plus "tprof-<id>"
+//     (aggregate snapshot) and optionally "tbase-<id>" (baseline).
+//
+//   - "tenant-<id>.ckpt": an evicted tenant's final state (meta,
+//     aggregate, baseline), written atomically just before the tenant
+//     leaves the resident map. A later Submit for the tenant
+//     resurrects from it.
+//
+// Crash ordering: the tenant file is written before the tenant is
+// dropped and before the round's service checkpoint. A SIGKILL
+// in-between leaves the previous service checkpoint (which still
+// lists the tenant live) plus a newer tenant file; the resumed run
+// replays the round and overwrites the tenant file at the same
+// barrier, so the state converges to exactly what an uninterrupted
+// run writes. State is only ever persisted at round barriers — a
+// mid-round kill loses only the round in flight, which the driver
+// replays deterministically.
+//
+// Loading is lenient the way the fleet checkpoint is: a section whose
+// frame or CRC is damaged is dropped; a tenant whose sections are
+// incomplete or whose profile hash disagrees with the recorded one is
+// dropped with a warning (its counts are still in the global
+// aggregate; only its per-tenant view resets); a damaged global
+// section degrades to an empty global aggregate with a warning. Only
+// a missing meta section, or a fingerprint mismatch, is fatal.
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/ckpt"
+	"repro/internal/prof"
+	"repro/internal/resilience"
+)
+
+// StateFile is the service checkpoint file name inside Config.StateDir.
+const StateFile = "ingest-checkpoint"
+
+// tenantFile returns the eviction-checkpoint path for one tenant.
+// Tenant IDs are pre-validated to [A-Za-z0-9._-]+ without a leading
+// dot, so the name cannot escape dir.
+func tenantFile(dir, id string) string {
+	return filepath.Join(dir, "tenant-"+id+".ckpt")
+}
+
+func profileSection(name string, p *prof.Profile) ckpt.Section {
+	var buf bytes.Buffer
+	p.WriteTo(&buf)
+	return ckpt.Section{Name: name, Data: buf.Bytes()}
+}
+
+func parseProfile(data []byte) (*prof.Profile, error) {
+	return prof.Read(bytes.NewReader(data))
+}
+
+// parseKV decodes a "key value\n" section the way the fleet state
+// reader does.
+func parseKV(data []byte) map[string]string {
+	out := make(map[string]string)
+	for _, line := range strings.Split(string(data), "\n") {
+		if line == "" {
+			continue
+		}
+		key, rest, _ := strings.Cut(line, " ")
+		out[key] = rest
+	}
+	return out
+}
+
+// saveTenantFile writes a tenant's eviction checkpoint atomically.
+// Called from EndRound with producers quiesced, so the tenant's fields
+// are stable.
+func saveTenantFile(dir string, t *tenant) error {
+	agg := t.agg.Snapshot()
+	var meta bytes.Buffer
+	fmt.Fprintf(&meta, "deltas %d\n", t.deltas)
+	fmt.Fprintf(&meta, "last-active %d\n", t.lastActive)
+	fmt.Fprintf(&meta, "agg-hash %s\n", agg.Hash())
+	secs := []ckpt.Section{
+		{Name: "meta", Data: nil},
+		profileSection("aggregate", agg),
+	}
+	if t.baseline != nil {
+		fmt.Fprintf(&meta, "base-hash %s\n", t.baseline.Hash())
+		secs = append(secs, profileSection("baseline", t.baseline))
+	}
+	secs[0].Data = meta.Bytes()
+	if err := ckpt.SaveAtomic(tenantFile(dir, t.id), secs); err != nil {
+		return fmt.Errorf("ingest: evict %s: %w", t.id, err)
+	}
+	return nil
+}
+
+// restoredTenant is what loadTenantFile recovers.
+type restoredTenant struct {
+	aggregate *prof.Profile
+	baseline  *prof.Profile
+	deltas    uint64
+}
+
+// loadTenantFile reads a tenant's eviction checkpoint leniently. A
+// missing file returns (nil, nil): the tenant is genuinely new. A
+// damaged file degrades to whatever survived — at minimum a fresh
+// tenant — with warnings; it never fails the Submit that triggered
+// the resurrection.
+func loadTenantFile(dir, id string, warnf func(string, ...any)) (*restoredTenant, error) {
+	path := tenantFile(dir, id)
+	secs, sal, err := ckpt.Load(path)
+	if err != nil {
+		return nil, resilience.Fault(resilience.PhaseIngest, resilience.KindCorrupt, id,
+			fmt.Errorf("load tenant checkpoint %s: %w", path, err))
+	}
+	if secs == nil && sal == nil {
+		return nil, nil
+	}
+	if sal != nil && !sal.Clean() {
+		warnf("ingest: warning: tenant checkpoint %s damaged; salvaging (%s)", path, sal)
+	}
+	byName := make(map[string][]byte, len(secs))
+	for _, s := range secs {
+		byName[s.Name] = s.Data
+	}
+	res := &restoredTenant{aggregate: prof.New()}
+	kv := parseKV(byName["meta"])
+	if v, ok := kv["deltas"]; ok {
+		res.deltas, _ = strconv.ParseUint(v, 10, 64)
+	}
+	if data, ok := byName["aggregate"]; ok {
+		p, err := parseProfile(data)
+		if err != nil {
+			warnf("ingest: warning: tenant %s aggregate unparseable, resurrecting empty: %v", id, err)
+		} else if want := kv["agg-hash"]; want != "" && p.Hash() != want {
+			warnf("ingest: warning: tenant %s aggregate hash %s != recorded %s, resurrecting empty", id, p.Hash(), want)
+		} else {
+			res.aggregate = p
+		}
+	}
+	if data, ok := byName["baseline"]; ok {
+		p, err := parseProfile(data)
+		if err != nil {
+			warnf("ingest: warning: tenant %s baseline unparseable, dropping: %v", id, err)
+		} else if want := kv["base-hash"]; want != "" && p.Hash() != want {
+			warnf("ingest: warning: tenant %s baseline hash mismatch, dropping", id)
+		} else {
+			res.baseline = p
+		}
+	}
+	return res, nil
+}
+
+// checkpoint writes the service checkpoint for `round` completed
+// rounds. snaps holds the per-tenant aggregate snapshots EndRound
+// already took; tenants are serialized in sorted ID order so the file
+// bytes are deterministic.
+func (s *Service) checkpoint(round int, snaps map[string]*prof.Profile) error {
+	var meta bytes.Buffer
+	fmt.Fprintf(&meta, "round %d\n", round)
+	if s.cfg.Fingerprint != "" {
+		fmt.Fprintf(&meta, "fingerprint %s\n", s.cfg.Fingerprint)
+	}
+	fmt.Fprintf(&meta, "deltas %d\n", s.met.prev.deltas+s.met.deltas.Load())
+	fmt.Fprintf(&meta, "batches %d\n", s.met.prev.batches+s.met.batches.Load())
+	fmt.Fprintf(&meta, "overloads %d\n", s.met.prev.overloads+s.met.overloads.Load())
+	fmt.Fprintf(&meta, "shed-deltas %d\n", s.met.prev.shedDeltas+s.met.shedDeltas.Load())
+	fmt.Fprintf(&meta, "evictions %d\n", s.met.prev.evictions+s.met.evictions.Load())
+	fmt.Fprintf(&meta, "resurrections %d\n", s.met.prev.resurrections+s.met.resurrections.Load())
+
+	global := s.global.Snapshot()
+	fmt.Fprintf(&meta, "global-hash %s\n", global.Hash())
+	secs := []ckpt.Section{
+		{Name: "meta", Data: meta.Bytes()},
+		profileSection("global", global),
+	}
+
+	s.mu.Lock()
+	ids := make([]string, 0, len(s.tenants))
+	for id := range s.tenants {
+		ids = append(ids, id)
+	}
+	ts := make(map[string]*tenant, len(s.tenants))
+	for id, t := range s.tenants {
+		ts[id] = t
+	}
+	s.mu.Unlock()
+	sort.Strings(ids)
+
+	for _, id := range ids {
+		t := ts[id]
+		snap := snaps[id]
+		if snap == nil {
+			snap = t.agg.Snapshot()
+		}
+		var tm bytes.Buffer
+		fmt.Fprintf(&tm, "deltas %d\n", t.deltas)
+		fmt.Fprintf(&tm, "last-active %d\n", t.lastActive)
+		fmt.Fprintf(&tm, "drift %s\n", strconv.FormatFloat(t.drift, 'g', -1, 64))
+		fmt.Fprintf(&tm, "agg-hash %s\n", snap.Hash())
+		if t.baseline != nil {
+			fmt.Fprintf(&tm, "base-hash %s\n", t.baseline.Hash())
+		}
+		secs = append(secs,
+			ckpt.Section{Name: "tmeta-" + id, Data: tm.Bytes()},
+			profileSection("tprof-"+id, snap))
+		if t.baseline != nil {
+			secs = append(secs, profileSection("tbase-"+id, t.baseline))
+		}
+	}
+
+	if err := ckpt.SaveAtomic(filepath.Join(s.cfg.StateDir, StateFile), secs); err != nil {
+		return fmt.Errorf("ingest: checkpoint: %w", err)
+	}
+	return nil
+}
+
+// restore loads the service checkpoint from cfg.StateDir into a
+// freshly built Service, called once from Open before the workers
+// start. A missing file is a fresh start; a fingerprint mismatch is
+// fatal; anything else degrades with warnings.
+func (s *Service) restore() error {
+	path := filepath.Join(s.cfg.StateDir, StateFile)
+	secs, sal, err := ckpt.Load(path)
+	if err != nil {
+		return fmt.Errorf("ingest: load checkpoint %s: %w", path, err)
+	}
+	if secs == nil && sal == nil {
+		return nil
+	}
+	if sal != nil && !sal.Clean() {
+		s.cfg.Warnf("ingest: warning: checkpoint %s damaged; salvaging (%s)", path, sal)
+	}
+	byName := make(map[string][]byte, len(secs))
+	for _, sec := range secs {
+		byName[sec.Name] = sec.Data
+	}
+	metaData, ok := byName["meta"]
+	if !ok {
+		return fmt.Errorf("ingest: checkpoint %s unusable: meta section lost (%s)", path, sal)
+	}
+	kv := parseKV(metaData)
+	if got := kv["fingerprint"]; got != s.cfg.Fingerprint {
+		return fmt.Errorf("ingest: checkpoint %s was written by a different configuration (its fingerprint %q, this run's %q); delete %s or rerun with the original flags",
+			path, got, s.cfg.Fingerprint, s.cfg.StateDir)
+	}
+	round, err := strconv.Atoi(kv["round"])
+	if err != nil || round < 0 {
+		return fmt.Errorf("ingest: checkpoint %s unusable: bad round %q", path, kv["round"])
+	}
+	s.round.Store(int64(round))
+	parseCounter := func(key string, dst *uint64) {
+		if v, ok := kv[key]; ok {
+			*dst, _ = strconv.ParseUint(v, 10, 64)
+		}
+	}
+	parseCounter("deltas", &s.met.prev.deltas)
+	parseCounter("batches", &s.met.prev.batches)
+	parseCounter("overloads", &s.met.prev.overloads)
+	parseCounter("shed-deltas", &s.met.prev.shedDeltas)
+	parseCounter("evictions", &s.met.prev.evictions)
+	parseCounter("resurrections", &s.met.prev.resurrections)
+
+	if data, ok := byName["global"]; ok {
+		p, err := parseProfile(data)
+		switch {
+		case err != nil:
+			s.cfg.Warnf("ingest: warning: global aggregate unparseable, restarting empty: %v", err)
+		case kv["global-hash"] != "" && p.Hash() != kv["global-hash"]:
+			s.cfg.Warnf("ingest: warning: global aggregate hash %s != recorded %s, restarting empty", p.Hash(), kv["global-hash"])
+		default:
+			s.global.Add(p)
+		}
+	} else {
+		s.cfg.Warnf("ingest: warning: checkpoint %s lost its global section; restarting the global aggregate empty", path)
+	}
+
+	for _, sec := range secs {
+		id, ok := strings.CutPrefix(sec.Name, "tmeta-")
+		if !ok {
+			continue
+		}
+		if !validTenantID(id) {
+			s.cfg.Warnf("ingest: warning: dropping checkpointed tenant with invalid id %q", id)
+			continue
+		}
+		tkv := parseKV(sec.Data)
+		profData, ok := byName["tprof-"+id]
+		if !ok {
+			s.cfg.Warnf("ingest: warning: tenant %s lost its aggregate section; dropping (its counts remain in the global aggregate)", id)
+			continue
+		}
+		agg, err := parseProfile(profData)
+		if err != nil {
+			s.cfg.Warnf("ingest: warning: tenant %s aggregate unparseable; dropping: %v", id, err)
+			continue
+		}
+		if want := tkv["agg-hash"]; want != "" && agg.Hash() != want {
+			s.cfg.Warnf("ingest: warning: tenant %s aggregate hash %s != recorded %s; dropping", id, agg.Hash(), want)
+			continue
+		}
+		t := &tenant{id: id, agg: s.newTenantAgg()}
+		t.agg.Add(agg)
+		t.deltas, _ = strconv.ParseUint(tkv["deltas"], 10, 64)
+		t.lastActive, _ = strconv.Atoi(tkv["last-active"])
+		t.drift, _ = strconv.ParseFloat(tkv["drift"], 64)
+		if baseData, ok := byName["tbase-"+id]; ok {
+			base, err := parseProfile(baseData)
+			if err != nil {
+				s.cfg.Warnf("ingest: warning: tenant %s baseline unparseable; dropping baseline: %v", id, err)
+			} else if want := tkv["base-hash"]; want != "" && base.Hash() != want {
+				s.cfg.Warnf("ingest: warning: tenant %s baseline hash mismatch; dropping baseline", id)
+			} else {
+				t.baseline = base
+			}
+		}
+		s.tenants[id] = t
+	}
+	return nil
+}

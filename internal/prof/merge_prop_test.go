@@ -91,6 +91,57 @@ func TestMergeAssociative(t *testing.T) {
 	}
 }
 
+// TestTwoLevelMergeMatchesFlat: partitioning deltas into tenants,
+// merging each tenant's share, then merging the per-tenant aggregates
+// yields exactly the flat merge of all deltas — for arbitrary
+// partitions, including empty tenants. This is the hierarchy property
+// the multi-tenant ingestion service's two-level pipeline (per-tenant
+// striped aggregator feeding a global cross-tenant layer) rests on: it
+// follows from associativity and commutativity over exact uint64 sums,
+// but this test pins the composed shape directly, byte-for-byte.
+func TestTwoLevelMergeMatchesFlat(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed + 5000))
+		nDeltas := 1 + rng.Intn(12)
+		deltas := make([]*Profile, nDeltas)
+		for i := range deltas {
+			deltas[i] = randomProfile(seed*100 + int64(i))
+		}
+
+		// Flat reference: every delta folded into one aggregate.
+		flat := mergeInto(t, New(), deltas...)
+
+		// Arbitrary partition: tenant count may exceed the delta count,
+		// so some tenants stay empty; assignment is seeded-random, so
+		// shares are unbalanced.
+		nTenants := 1 + rng.Intn(6)
+		tenants := make([]*Profile, nTenants)
+		for i := range tenants {
+			tenants[i] = New()
+		}
+		for _, d := range deltas {
+			tenants[rng.Intn(nTenants)].Merge(d)
+		}
+
+		// Roll the per-tenant aggregates up in two orders: as dealt, and
+		// reversed — the global layer must not care which tenant's batch
+		// lands first.
+		up := mergeInto(t, New(), tenants...)
+		rev := make([]*Profile, nTenants)
+		for i, p := range tenants {
+			rev[nTenants-1-i] = p
+		}
+		upRev := mergeInto(t, New(), rev...)
+
+		if !bytes.Equal(up, flat) {
+			t.Fatalf("seed %d: two-level merge (%d deltas over %d tenants) differs from flat merge", seed, nDeltas, nTenants)
+		}
+		if !bytes.Equal(upRev, flat) {
+			t.Fatalf("seed %d: tenant rollup order changed the global aggregate", seed)
+		}
+	}
+}
+
 // TestMergeEmptyIdentity: merging an empty profile changes nothing, and
 // merging into an empty profile reproduces the original.
 func TestMergeEmptyIdentity(t *testing.T) {

@@ -30,6 +30,7 @@ const (
 	PhaseSerialize Phase = "serialize" // profile (de)serialization
 	PhaseFleet     Phase = "fleet"     // continuous fleet profiling / aggregation
 	PhasePromote   Phase = "promote"   // candidate-image validation / canary promotion
+	PhaseIngest    Phase = "ingest"    // multi-tenant profile-delta ingestion
 )
 
 // Kind classifies a fault.
@@ -68,6 +69,12 @@ const (
 	// carry the configured defense: an optimization or a miscompile
 	// dropped a hardening site, violating PIBE's safety invariant.
 	KindUnhardenedSite Kind = "unhardened-site"
+	// KindOverload is a bounded ingestion queue refusing work: the
+	// service is saturated and configured to shed rather than block, so
+	// the delta batch was dropped instead of growing the queue without
+	// bound. The producer may retry after backing off; the aggregate
+	// degrades to an under-count that the overload counters quantify.
+	KindOverload Kind = "overload"
 )
 
 // FaultError is the structured error type used at the interp/workload/

@@ -25,6 +25,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -47,6 +48,13 @@ type stateMeta struct {
 	InlineGrid   []float64
 	Combos       []string
 	Cells        int
+	// Shard and Shards record which shard of a sharded sweep wrote the
+	// file. They sit outside the fingerprint (shard files of one sweep
+	// must agree on the hash) but inside the config section, so Merge
+	// can reject the same shard supplied twice and resume can reject a
+	// state file written by a different shard. -1 marks a file from
+	// before the fields existed.
+	Shard, Shards int
 }
 
 func formatGrid(g []float64) string {
@@ -107,7 +115,10 @@ func stateHash(seed int64, cfg *Config, totalCells int) string {
 
 func stateConfigData(seed int64, cfg *Config, totalCells int) []byte {
 	payload := statePayload(seed, cfg, totalCells)
-	return []byte("hash " + stateHash(seed, cfg, totalCells) + "\n" + payload)
+	// The shard assignment is recorded after the fingerprinted payload:
+	// it identifies the file without contributing to the hash.
+	shard := fmt.Sprintf("shard %d\nshards %d\n", cfg.Shard, cfg.Shards)
+	return []byte("hash " + stateHash(seed, cfg, totalCells) + "\n" + payload + shard)
 }
 
 func cellSectionName(i int) string { return fmt.Sprintf("cell-%d", i) }
@@ -129,7 +140,7 @@ func parseState(secs []ckpt.Section) (*stateMeta, map[int]Cell, []string) {
 	for _, sec := range secs {
 		switch {
 		case sec.Name == stateConfigSection:
-			m := &stateMeta{}
+			m := &stateMeta{Shard: -1, Shards: -1}
 			ok := true
 			for _, line := range strings.Split(strings.TrimRight(string(sec.Data), "\n"), "\n") {
 				key, val, _ := strings.Cut(line, " ")
@@ -155,6 +166,10 @@ func parseState(secs []ckpt.Section) (*stateMeta, map[int]Cell, []string) {
 					m.Combos = strings.Split(val, ",")
 				case "cells":
 					m.Cells, err = strconv.Atoi(val)
+				case "shard":
+					m.Shard, err = strconv.Atoi(val)
+				case "shards":
+					m.Shards, err = strconv.Atoi(val)
 				}
 				if err != nil {
 					warns = append(warns, fmt.Sprintf("state config line %q: %v", line, err))
@@ -247,6 +262,9 @@ func openState(seed int64, cfg *Config, totalCells int) (map[int]Cell, *stateWri
 	if want := stateHash(seed, cfg, totalCells); meta.Hash != want {
 		return nil, nil, fmt.Errorf("sweep: state file %s was written by a different sweep configuration (its hash %s, this run's %s); delete it or rerun with the original flags", cfg.StatePath, meta.Hash, want)
 	}
+	if meta.Shard >= 0 && (meta.Shard != cfg.Shard || meta.Shards != cfg.Shards) {
+		return nil, nil, fmt.Errorf("sweep: state file %s was written by shard %d/%d, this run is shard %d/%d; resuming would mix shards' cells into one file", cfg.StatePath, meta.Shard, meta.Shards, cfg.Shard, cfg.Shards)
+	}
 	// Compact before resuming: rewrite config plus the surviving cells
 	// atomically, so appends land on a strictly valid container even if
 	// the crash left a torn tail behind.
@@ -302,7 +320,18 @@ func Merge(paths []string) (*Report, *MergeInfo, error) {
 	var meta *stateMeta
 	cells := make(map[int]Cell)
 	var warns []string
+	// A duplicated input — the same file twice, or two files written by
+	// the same shard — is rejected rather than silently deduplicated:
+	// last-writer-wins would hide that the user meant to pass a
+	// *different* shard's file, leaving its cells quietly missing.
+	seenPath := make(map[string]string, len(paths))
+	seenShard := make(map[string]string, len(paths))
 	for _, path := range paths {
+		clean := filepath.Clean(path)
+		if prev, dup := seenPath[clean]; dup {
+			return nil, nil, fmt.Errorf("sweep: merge: state file %s supplied twice (as %s and %s); pass each shard's file exactly once", clean, prev, path)
+		}
+		seenPath[clean] = path
 		secs, sal, err := ckpt.Load(path)
 		if err != nil {
 			return nil, nil, fmt.Errorf("sweep: merge: load %s: %w", path, err)
@@ -322,6 +351,13 @@ func Merge(paths []string) (*Report, *MergeInfo, error) {
 			meta = m
 		} else if m.Hash != meta.Hash {
 			return nil, nil, fmt.Errorf("sweep: merge: state file %s belongs to a different sweep configuration (hash %s, want %s)", path, m.Hash, meta.Hash)
+		}
+		if m.Shard >= 0 {
+			key := fmt.Sprintf("%d/%d", m.Shard, m.Shards)
+			if prev, dup := seenShard[key]; dup {
+				return nil, nil, fmt.Errorf("sweep: merge: state files %s and %s were both written by shard %d/%d; the same shard supplied twice means another shard's file is missing", prev, path, m.Shard, m.Shards)
+			}
+			seenShard[key] = path
 		}
 		for i, c := range cs {
 			prev, ok := cells[i]

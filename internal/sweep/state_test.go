@@ -318,6 +318,109 @@ func TestSweepShardMerge(t *testing.T) {
 	}
 }
 
+// TestSweepMergeRejectsDuplicateShard is the regression test for the
+// duplicated-input hazard: passing the same shard's state file twice
+// (the same path, or a copy at a different path) used to be silently
+// deduplicated by last-writer-wins, which hid that the user meant to
+// pass a *different* shard's file and quietly reported its cells as
+// missing. Merge now refuses both shapes, and resume refuses a state
+// file written by a different shard assignment. State files are
+// hand-assembled (no sweep runs), so the test is fast.
+func TestSweepMergeRejectsDuplicateShard(t *testing.T) {
+	dir := t.TempDir()
+
+	// writeState assembles a well-formed state file for one shard of a
+	// 2-way sharded 4-cell sweep, holding the given cell indices.
+	writeState := func(name string, shard int, cellIdx ...int) string {
+		cfg := sweepStateConfig("")
+		if err := cfg.fill(); err != nil {
+			t.Fatal(err)
+		}
+		cfg.Shards, cfg.Shard = 2, shard
+		secs := []ckpt.Section{
+			{Name: stateConfigSection, Data: stateConfigData(5, &cfg, 4)},
+		}
+		for _, i := range cellIdx {
+			data, _ := json.Marshal(Cell{Combo: "retpoline", Geomean: 0.1 * float64(i+1)})
+			secs = append(secs, ckpt.Section{Name: cellSectionName(i), Data: data})
+		}
+		path := filepath.Join(dir, name)
+		if err := ckpt.SaveAtomic(path, secs); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	shard0 := writeState("shard0.state", 0, 0, 2)
+	shard1 := writeState("shard1.state", 1, 1, 3)
+
+	// Sanity: the intended pairing merges cleanly.
+	if _, info, err := Merge([]string{shard0, shard1}); err != nil {
+		t.Fatalf("Merge(shard0, shard1): %v", err)
+	} else if info.Cells != 4 || len(info.Missing) != 0 {
+		t.Fatalf("Merge(shard0, shard1) info = %+v, want 4 cells, none missing", info)
+	}
+
+	// The same path twice is refused outright.
+	if _, _, err := Merge([]string{shard0, shard0}); err == nil {
+		t.Error("Merge accepted the same state file path twice")
+	}
+	// So is a lexically different spelling of the same path.
+	if _, _, err := Merge([]string{shard0, filepath.Join(dir, ".", "shard0.state")}); err == nil {
+		t.Error("Merge accepted the same state file under a different spelling")
+	}
+
+	// A copy of shard 0's file at another path is caught by the recorded
+	// shard assignment, not the path.
+	copy0 := writeState("copy0.state", 0, 0, 2)
+	if _, _, err := Merge([]string{shard0, copy0}); err == nil {
+		t.Error("Merge accepted two state files written by the same shard")
+	}
+
+	// Resume refuses a state file written by a different shard: the
+	// fingerprint matches (shards are outside the hash), so only the
+	// recorded assignment stands between shard 1 and shard 0's file.
+	cfg := sweepStateConfig(shard0)
+	if err := cfg.fill(); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Shards, cfg.Shard = 2, 1
+	if _, _, err := openState(5, &cfg, 4); err == nil {
+		t.Error("openState accepted a state file written by a different shard")
+	}
+	// The matching assignment still resumes.
+	cfg.Shard = 0
+	cells, w, err := openState(5, &cfg, 4)
+	if err != nil {
+		t.Fatalf("openState with matching shard: %v", err)
+	}
+	w.Close()
+	if len(cells) != 2 {
+		t.Errorf("resume restored %d cells, want 2", len(cells))
+	}
+
+	// A pre-shard-field legacy file (no shard/shards lines) still merges:
+	// its assignment is unknown, so it is exempt from the shard check.
+	legacySecs := []ckpt.Section{{
+		Name: stateConfigSection,
+		Data: func() []byte {
+			lcfg := sweepStateConfig("")
+			if err := lcfg.fill(); err != nil {
+				t.Fatal(err)
+			}
+			payload := statePayload(5, &lcfg, 4)
+			return []byte("hash " + stateHash(5, &lcfg, 4) + "\n" + payload)
+		}(),
+	}}
+	legacy := filepath.Join(dir, "legacy.state")
+	if err := ckpt.SaveAtomic(legacy, legacySecs); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Merge([]string{legacy, shard1}); err != nil {
+		t.Errorf("Merge refused a legacy state file without shard fields: %v", err)
+	}
+}
+
 // FuzzSweepStateRead hammers the state-file parse path (lenient ckpt
 // container read, then section decoding) with corrupt inputs: it must
 // never panic, and whatever cells it does keep must be well-formed.

@@ -89,6 +89,21 @@ func runCells(n, workers int, fn func(i int) (float64, error)) ([]float64, error
 	return out, nil
 }
 
+// RunCells exposes the sharded driver's cell pool for side-effecting
+// fan-outs (the ingest simulator drives millions of reporting kernels
+// through it): fn(0) .. fn(n-1) run on at most `workers` goroutines,
+// every cell runs to completion, and the lowest-index error is
+// returned — the same scheduling-independent contract the measurement
+// cells above rely on. Determinism is the caller's half of the bargain:
+// fn must be a pure function of its index (plus commutative shared
+// state, like profile merges).
+func RunCells(n, workers int, fn func(i int) error) error {
+	_, err := runCells(n, workers, func(i int) (float64, error) {
+		return 0, fn(i)
+	})
+	return err
+}
+
 // cellMachine builds the fresh machine one cell runs on.
 func (r *Runner) cellMachine(seed int64) *interp.Machine {
 	mc := interp.NewMachine(r.Prog, seed)
