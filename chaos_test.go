@@ -11,7 +11,9 @@ import (
 	pibe "repro"
 	"repro/internal/bench"
 	"repro/internal/fleet"
+	"repro/internal/ingest"
 	"repro/internal/ir"
+	profpkg "repro/internal/prof"
 	"repro/internal/resilience"
 	"repro/internal/sweep"
 )
@@ -491,6 +493,93 @@ func TestSweepUnderFaults(t *testing.T) {
 		if ratio := (1 + c.Geomean) / (1 + clean); ratio > 1.1 || ratio < 1/1.1 {
 			t.Errorf("cell %s icp %g inl %g drifted under absorbed faults: %v vs clean %v",
 				c.Combo, c.ICPBudget, c.InlineBudget, c.Geomean, clean)
+		}
+	}
+}
+
+// TestIngestUnderChaos runs the multi-tenant ingestion front under
+// concurrent chaos: a poison tenant shipping structurally malformed
+// deltas every round while every legitimate tenant floods past its
+// admission rate into a merge queue small enough to shed. The bulkhead
+// contract under test: the service degrades per-tenant — poison is
+// rejected by sanitation, the poison tenant's breaker quarantines it,
+// floods are throttled, queue overflow is shed — and the run never
+// aborts, panics, or lets a malformed delta reach the global aggregate.
+func TestIngestUnderChaos(t *testing.T) {
+	base := profpkg.New()
+	for i := 0; i < 24; i++ {
+		id := ir.SiteID(i + 1)
+		if i%2 == 0 {
+			base.AddDirect(id, fmt.Sprintf("fn%d", i%6), fmt.Sprintf("callee%d", i), 1)
+		} else {
+			for j := 0; j < 3; j++ {
+				base.AddIndirect(id, fmt.Sprintf("fn%d", i%6), fmt.Sprintf("t%d", j), 20)
+			}
+		}
+	}
+	sim, err := ingest.NewSim(ingest.SimConfig{
+		Tenants: 8, Kernels: 8, Rounds: 6, Workers: 8,
+		SitesPerDelta: 4, Seed: 7,
+		Bases:  []ingest.Base{{Name: "chaos", Prof: base}},
+		Poison: &ingest.PoisonConfig{Kernels: 16},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := ingest.Open(ingest.Config{
+		Workers: 4, BatchSize: 2, QueueDepth: 1, Shed: true,
+		TenantRate: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	if err := sim.Run(svc); err != nil {
+		t.Fatalf("ingest aborted under chaos instead of degrading: %v", err)
+	}
+
+	st := svc.Stats()
+	if st.Poison == 0 {
+		t.Error("no poison rejections; the scenario tested nothing")
+	}
+	if st.Throttled == 0 {
+		t.Error("no admission-control refusals under flooding")
+	}
+	if st.Trips == 0 {
+		t.Error("the poison tenant never tripped its breaker")
+	}
+	for _, reason := range []string{"poison", "throttle"} {
+		if st.ShedByReason[reason] == 0 {
+			t.Errorf("shed-by-reason breakdown missing %q drops: %v", reason, st.ShedByReason)
+		}
+	}
+	var row ingest.TenantStat
+	for _, ts := range st.Tenants {
+		if ts.ID == ingest.PoisonTenantID {
+			row = ts
+		}
+	}
+	if row.ID == "" {
+		t.Fatal("poison tenant missing from stats")
+	}
+	// A tenant whose every probe faults can never heal: it must be
+	// either quarantined or on (doomed) probation, never healthy.
+	if row.Health != "quarantined" && row.Health != "probation" {
+		t.Errorf("poison tenant health %q after sustained poison, want quarantined/probation", row.Health)
+	}
+	if row.Trips == 0 || row.Poison == 0 {
+		t.Errorf("poison tenant row lost its fault tallies: %+v", row)
+	}
+
+	// Nothing malformed may have leaked into the global aggregate.
+	snap := svc.GlobalSnapshot()
+	if len(snap.Sites) == 0 {
+		t.Error("global aggregate is empty; legitimate traffic was lost entirely")
+	}
+	for id, site := range snap.Sites {
+		if site.Caller == "poison_caller" {
+			t.Errorf("poison site %d leaked into the global aggregate", id)
 		}
 	}
 }

@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	pibe "repro"
 	"repro/internal/ingest"
+	"repro/internal/prof"
 )
 
 // ingestOpts carries the `pibe ingest` flag values.
@@ -21,6 +23,13 @@ type ingestOpts struct {
 	queue         int
 	shed          bool
 	idleEvict     int
+	tripFaults    uint64
+	openRounds    int
+	rate          int
+	burst         int
+	driftFloor    float64
+	poison        bool
+	poisonFrom    int
 	tenantShards  int
 	globalShards  int
 	sitesPerDelta int
@@ -69,6 +78,16 @@ func runIngest(opts ingestOpts) error {
 		Workers: workers, SitesPerDelta: opts.sitesPerDelta,
 		Seed: opts.seed, Bases: bases,
 	}
+	if opts.poison {
+		simCfg.Poison = &ingest.PoisonConfig{FromRound: opts.poisonFrom}
+	}
+	// The sanitation universe is the union of the base profiles — every
+	// site a simulated kernel can legitimately report. The poison
+	// tenant's sites live outside it, so its deltas are doubly malformed.
+	universe := prof.New()
+	for _, b := range bases {
+		universe.Merge(b.Prof)
+	}
 	svcCfg := ingest.Config{
 		TenantShards: opts.tenantShards,
 		GlobalShards: opts.globalShards,
@@ -77,6 +96,13 @@ func runIngest(opts ingestOpts) error {
 		Workers:      workers,
 		Shed:         opts.shed,
 		IdleEvict:    opts.idleEvict,
+		TripFaults:   opts.tripFaults,
+		OpenRounds:   opts.openRounds,
+		Seed:         opts.seed,
+		TenantRate:   opts.rate,
+		TenantBurst:  opts.burst,
+		DriftFloor:   opts.driftFloor,
+		Universe:     universe,
 		StateDir:     opts.stateDir,
 		Warnf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
@@ -87,6 +113,11 @@ func runIngest(opts ingestOpts) error {
 		fmt.Printf("round %d: deltas %d  batches %d  tenants %d  global-sites %d  evict %d  resurrect %d  shed %d  merge-p99 %v\n",
 			round, st.Deltas, st.Batches, st.LiveTenants, st.GlobalSites,
 			st.Evictions, st.Resurrections, st.ShedDeltas, st.MergeP99)
+		if st.Poison+st.QuarantineDropped+st.Throttled+st.Trips > 0 {
+			fmt.Printf("round %d: health %s  poison %d  quarantine-dropped %d  throttled %d  trips %d  heals %d\n",
+				round, healthSummary(st.Health), st.Poison, st.QuarantineDropped,
+				st.Throttled, st.Trips, st.Heals)
+		}
 		return nil
 	}
 
@@ -143,7 +174,25 @@ func runIngest(opts ingestOpts) error {
 		rep.DeltasThisProcess, rep.WallSeconds, rep.DeltasPerSec, rep.DeltasTotal, rep.ShedDeltas)
 	fmt.Printf("ingest: merge latency p50 %.1fµs p99 %.1fµs max %.1fµs, queue high-water %d\n",
 		rep.MergeP50Micros, rep.MergeP99Micros, rep.MergeMaxMicros, rep.QueueHighWater)
+	fmt.Printf("ingest: health %s  poison %d  quarantine-dropped %d  throttled %d  trips %d  heals %d\n",
+		healthSummary(rep.HealthCounts), rep.Poison, rep.QuarantineDropped,
+		rep.Throttled, rep.Trips, rep.Heals)
 	fmt.Printf("ingest: global %d sites, snapshot %s; report %s\n",
 		rep.GlobalSites, rep.SnapshotHash, opts.jsonPath)
 	return nil
+}
+
+// healthSummary renders a health census compactly and in a stable
+// order, e.g. "63 healthy, 1 quarantined".
+func healthSummary(census map[string]int) string {
+	var parts []string
+	for _, state := range []string{"healthy", "degraded", "quarantined", "probation"} {
+		if n := census[state]; n > 0 {
+			parts = append(parts, fmt.Sprintf("%d %s", n, state))
+		}
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ", ")
 }

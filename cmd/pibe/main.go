@@ -27,6 +27,9 @@
 //	              [-ingest-workers N] [-ingest-batch 64] [-ingest-queue 64] [-ingest-shed]
 //	              [-ingest-idle-evict 4] [-tenant-shards 4] [-global-shards 16]
 //	              [-sites-per-delta 12] [-ingest-mix lmbench,apache,nginx,dbench]
+//	              [-ingest-trip-faults 8] [-ingest-open-rounds 2] [-ingest-rate N]
+//	              [-ingest-burst N] [-ingest-drift-floor F]
+//	              [-ingest-poison] [-ingest-poison-from R]
 //	              [-state DIR] [-snapshot-out global.txt] [-o BENCH_ingest.json]
 //
 // Ingest mode runs the multi-tenant profile-ingestion service against a
@@ -46,6 +49,21 @@
 // byte-identical final snapshot. BENCH_ingest.json records throughput,
 // batch-merge latency quantiles, queue high-water, lifecycle counters
 // and per-tenant drift.
+//
+// Every tenant runs behind a fault-isolation bulkhead: deltas are
+// structurally sanitized at submission (malformed ones are rejected as
+// poison and never merge), a per-tenant circuit breaker driven at the
+// round barrier quarantines a tenant after -ingest-trip-faults faults
+// in one round (its deltas are then counted and dropped for
+// -ingest-open-rounds rounds, doubling on re-trips, before a probation
+// round decides between healing and re-quarantine), and -ingest-rate
+// caps each tenant's admitted deltas per round (-ingest-burst the
+// bucket). -ingest-poison adds a simulated poison tenant: because
+// rejected and quarantined deltas never reach the merge, the final
+// -snapshot-out is byte-identical with and without it. -ingest-drift-floor
+// marks tenants whose hot set drifts too far as degraded in the health
+// census. All isolation state rides in the round-barrier checkpoint, so
+// a killed run resumes with its quarantines intact.
 //
 // Sweep mode evaluates the full ICP×inline budget grid (the same
 // -sweep-grid percentages on both axes) crossed with the named defense
@@ -181,6 +199,20 @@ func main() {
 		"shed batches with an overload fault when the merge queue is full (default: block)")
 	ingestIdleEvict := fs.Int("ingest-idle-evict", 4,
 		"evict a tenant after this many idle rounds")
+	ingestTripFaults := fs.Uint64("ingest-trip-faults", 8,
+		"tenant faults (poison + throttle) in one round that trip its circuit breaker")
+	ingestOpenRounds := fs.Int("ingest-open-rounds", 2,
+		"base quarantine length in rounds (consecutive re-trips double it, capped)")
+	ingestRate := fs.Int("ingest-rate", 0,
+		"per-tenant admission rate in deltas/round (0 = unlimited; gives up byte-determinism)")
+	ingestBurst := fs.Int("ingest-burst", 0,
+		"per-tenant admission burst cap (default: the rate)")
+	ingestDriftFloor := fs.Float64("ingest-drift-floor", 0,
+		"mark a tenant degraded when its round drift falls below this (0 disables)")
+	ingestPoison := fs.Bool("ingest-poison", false,
+		"add a poison tenant submitting malformed deltas every round (isolation demo)")
+	ingestPoisonFrom := fs.Int("ingest-poison-from", 0,
+		"first round the poison tenant reports in")
 	tenantShards := fs.Int("tenant-shards", 4, "lock stripes per tenant aggregator")
 	globalShards := fs.Int("global-shards", 16, "lock stripes in the global aggregator")
 	sitesPerDelta := fs.Int("sites-per-delta", 12, "site records per simulated kernel delta")
@@ -205,6 +237,13 @@ func main() {
 			queue:         *ingestQueue,
 			shed:          *ingestShed,
 			idleEvict:     *ingestIdleEvict,
+			tripFaults:    *ingestTripFaults,
+			openRounds:    *ingestOpenRounds,
+			rate:          *ingestRate,
+			burst:         *ingestBurst,
+			driftFloor:    *ingestDriftFloor,
+			poison:        *ingestPoison,
+			poisonFrom:    *ingestPoisonFrom,
 			tenantShards:  *tenantShards,
 			globalShards:  *globalShards,
 			sitesPerDelta: *sitesPerDelta,

@@ -127,16 +127,20 @@ func (c Config) withDefaults() Config {
 	if c.HotBudget <= 0 || c.HotBudget > 1 {
 		c.HotBudget = 0.99
 	}
-	if c.CanaryEpochs <= 0 {
-		c.CanaryEpochs = 1
-	}
-	switch {
-	case c.RegressionBudget == 0:
-		c.RegressionBudget = 0.05
-	case c.RegressionBudget < 0:
-		c.RegressionBudget = 0
-	}
+	// CanaryEpochs and RegressionBudget defaults are applied by the
+	// Promoter (PromoteConfig.withDefaults), which owns those semantics.
 	return c
+}
+
+// promoteConfig maps the fleet knobs onto the reusable promotion
+// pipeline's config.
+func (c Config) promoteConfig() PromoteConfig {
+	return PromoteConfig{
+		DriftThreshold:   c.DriftThreshold,
+		CanarySteps:      c.CanaryEpochs,
+		RegressionBudget: c.RegressionBudget,
+		Backoff:          c.Backoff,
+	}
 }
 
 // EpochReport summarizes one epoch of fleet collection.
@@ -240,18 +244,10 @@ type Service struct {
 	prog *interp.Program
 	cfg  Config
 	agg  *Aggregator
-	// baseline is the profile the currently deployed image was built
-	// from; the drift detector compares live snapshots against it and a
-	// promoted rebuild advances it to the snapshot that drove the
-	// rebuild.
-	baseline *prof.Profile
-	ctrl     *Controller
-
-	// promotion-pipeline state
-	canary    *canaryState
-	strikes   int // consecutive rejections / failed rebuilds
-	cooldown  int // epochs left before the next rebuild attempt
-	seenKinds map[string]bool
+	// promo is the reusable canary-gated promotion pipeline (see
+	// Promoter); it owns the drift baseline, the in-flight canary and
+	// the rebuild cool-down.
+	promo *Promoter
 
 	// resume state (set by Restore)
 	startEpoch int
@@ -274,13 +270,11 @@ func New(k *kernel.Kernel, prog *interp.Program, cfg Config, baseline *prof.Prof
 		}
 	}
 	return &Service{
-		k:         k,
-		prog:      prog,
-		cfg:       cfg,
-		agg:       NewAggregator(cfg.Shards, cfg.Decay),
-		baseline:  baseline,
-		ctrl:      ctrl,
-		seenKinds: make(map[string]bool),
+		k:     k,
+		prog:  prog,
+		cfg:   cfg,
+		agg:   NewAggregator(cfg.Shards, cfg.Decay),
+		promo: NewPromoter(cfg.promoteConfig(), ctrl, baseline),
 	}, nil
 }
 
@@ -290,7 +284,7 @@ func (s *Service) Aggregator() *Aggregator { return s.agg }
 
 // Baseline returns the profile the drift detector currently compares
 // against (it advances on every promotion).
-func (s *Service) Baseline() *prof.Profile { return s.baseline }
+func (s *Service) Baseline() *prof.Profile { return s.promo.Baseline() }
 
 // runnerSeed derives a distinct deterministic seed per (epoch, runner).
 func (s *Service) runnerSeed(epoch, runner int) int64 {
@@ -340,8 +334,8 @@ func (s *Service) Run() (*Result, error) {
 		rep.Sites = len(snap.Sites)
 		rep.Ops = snap.Ops
 		rep.Overlap = 1
-		if s.baseline != nil {
-			rep.Overlap = prof.HotOverlap(snap, s.baseline, s.cfg.HotBudget)
+		if base := s.promo.Baseline(); base != nil {
+			rep.Overlap = prof.HotOverlap(snap, base, s.cfg.HotBudget)
 		}
 		s.promotionStep(&rep, res, snap)
 		if rep.Aborted > 0 || rep.Failed > 0 {
@@ -376,140 +370,25 @@ func (s *Service) Run() (*Result, error) {
 }
 
 // promotionStep advances the canary-gated promotion pipeline by one
-// epoch: it ages a serving canary toward its decision, or — when no
-// canary is active and drift trips the threshold — builds and validates
-// a fresh candidate (respecting the rejection cool-down).
+// epoch (see Promoter) and maps its outcome onto the epoch report and
+// the run result's counters.
 func (s *Service) promotionStep(rep *EpochReport, res *Result, snap *prof.Profile) {
-	epochKinds := rep.FaultKinds
-	defer func() {
-		for _, k := range epochKinds {
-			s.seenKinds[k] = true
-		}
-	}()
-
-	if s.canary != nil {
-		// The candidate is serving its canary window; collect any fault
-		// kind the fleet had never seen before the candidate was built.
-		rep.Canary = true
-		s.canary.served++
-		for _, k := range epochKinds {
-			if !s.canary.kindsBefore[k] {
-				s.canary.newKinds[k] = true
-			}
-		}
-		if s.canary.served >= s.cfg.CanaryEpochs {
-			s.decideCanary(rep, res)
-		}
-		return
+	out := s.promo.Step(rep.Overlap, snap, rep.FaultKinds)
+	rep.Rebuilt = out.Rebuilt
+	rep.RebuildErr = out.RebuildErr
+	rep.Canary = out.Canary
+	rep.Promoted = out.Promoted
+	rep.Rejected = out.Rejected
+	rep.CoolingDown = out.CoolingDown
+	if out.Promoted {
+		res.Rebuilds++
 	}
-
-	if s.cfg.DriftThreshold <= 0 || rep.Overlap >= s.cfg.DriftThreshold ||
-		s.ctrl == nil || s.ctrl.Rebuild == nil {
-		return
-	}
-	if s.cooldown > 0 {
-		rep.CoolingDown = s.cooldown
-		s.cooldown--
-		return
-	}
-	cand, err := s.ctrl.Rebuild(snap)
-	if err != nil {
-		rep.RebuildErr = err.Error()
+	if out.RebuildErr != "" {
 		res.RebuildFailures++
-		s.strike()
-		return
 	}
-	rep.Rebuilt = true
-	if cand == nil {
-		cand = &Candidate{}
+	if out.Rejected != "" {
+		res.Rejections++
 	}
-	if cand.Validate != nil {
-		if err := cand.Validate(); err != nil {
-			s.reject(rep, res, "validation: "+err.Error())
-			return
-		}
-	}
-	kindsBefore := make(map[string]bool, len(s.seenKinds)+len(epochKinds))
-	for k := range s.seenKinds {
-		kindsBefore[k] = true
-	}
-	for _, k := range epochKinds {
-		// This epoch's collection ran on the incumbent, before the build:
-		// its faults predate the candidate.
-		kindsBefore[k] = true
-	}
-	s.canary = &canaryState{
-		snap: snap, cand: cand, served: 1,
-		kindsBefore: kindsBefore, newKinds: make(map[string]bool),
-	}
-	rep.Canary = true
-	if s.canary.served >= s.cfg.CanaryEpochs {
-		s.decideCanary(rep, res)
-	}
-}
-
-// decideCanary runs the promotion gates at the end of the canary window:
-// no new fault kinds, canary latency within the regression budget of the
-// incumbent, and a successful activation. Any failure rolls back to the
-// incumbent.
-func (s *Service) decideCanary(rep *EpochReport, res *Result) {
-	c := s.canary
-	s.canary = nil
-	if len(c.newKinds) > 0 {
-		kinds := make([]string, 0, len(c.newKinds))
-		for k := range c.newKinds {
-			kinds = append(kinds, k)
-		}
-		sort.Strings(kinds)
-		s.reject(rep, res, fmt.Sprintf("canary: new fault kinds %v", kinds))
-		return
-	}
-	if s.ctrl != nil && s.ctrl.Incumbent != nil && c.cand.Measure != nil {
-		inc, err := s.ctrl.Incumbent()
-		if err != nil {
-			s.reject(rep, res, "incumbent measurement: "+err.Error())
-			return
-		}
-		cl, err := c.cand.Measure()
-		if err != nil {
-			s.reject(rep, res, "canary measurement: "+err.Error())
-			return
-		}
-		if inc > 0 && cl > inc*(1+s.cfg.RegressionBudget) {
-			s.reject(rep, res, fmt.Sprintf(
-				"canary latency %.0f regresses incumbent %.0f beyond the %.1f%% budget",
-				cl, inc, s.cfg.RegressionBudget*100))
-			return
-		}
-	}
-	if c.cand.Promote != nil {
-		if err := c.cand.Promote(); err != nil {
-			s.reject(rep, res, "activation: "+err.Error())
-			return
-		}
-	}
-	rep.Promoted = true
-	s.baseline = c.snap
-	res.Rebuilds++
-	s.strikes = 0
-	s.cooldown = 0
-}
-
-// reject rolls a candidate back to the incumbent, records the reason,
-// and arms the cool-down.
-func (s *Service) reject(rep *EpochReport, res *Result, reason string) {
-	rep.Rejected = reason
-	res.Rejections++
-	s.canary = nil
-	s.strike()
-}
-
-// strike arms the capped-backoff cool-down after a rejection or failed
-// rebuild: the k-th consecutive strike suppresses rebuild attempts for
-// Backoff.Steps(k) epochs.
-func (s *Service) strike() {
-	s.strikes++
-	s.cooldown = s.cfg.Backoff.Steps(s.strikes)
 }
 
 // runEpoch fans out the runners, fans their deltas into the aggregator,

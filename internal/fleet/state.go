@@ -200,20 +200,21 @@ func (s *Service) Restore(st *State) error {
 		return fmt.Errorf("fleet: restore: negative epoch %d", st.Epoch)
 	}
 	s.startEpoch = st.Epoch
-	s.strikes = st.Strikes
-	s.cooldown = st.Cooldown
-	s.seenKinds = make(map[string]bool, len(st.SeenKinds))
+	p := s.promo
+	p.strikes = st.Strikes
+	p.cooldown = st.Cooldown
+	p.seenKinds = make(map[string]bool, len(st.SeenKinds))
 	for _, k := range st.SeenKinds {
-		s.seenKinds[k] = true
+		p.seenKinds[k] = true
 	}
 	if st.Baseline != nil {
-		s.baseline = st.Baseline
+		p.baseline = st.Baseline
 	}
 	if st.Aggregate != nil {
 		s.agg.Add(st.Aggregate)
 	}
-	if st.CanarySnap != nil && s.ctrl != nil && s.ctrl.Rebuild != nil {
-		cand, err := s.ctrl.Rebuild(st.CanarySnap)
+	if st.CanarySnap != nil && p.ctrl != nil && p.ctrl.Rebuild != nil {
+		cand, err := p.ctrl.Rebuild(st.CanarySnap)
 		if err == nil {
 			if cand == nil {
 				cand = &Candidate{}
@@ -229,7 +230,7 @@ func (s *Service) Restore(st *State) error {
 			for _, k := range st.CanaryNewKinds {
 				c.newKinds[k] = true
 			}
-			s.canary = c
+			p.canary = c
 		}
 	}
 	s.resumed = st
@@ -246,20 +247,20 @@ func (s *Service) checkpoint(completed int, res *Result, snap *prof.Profile) err
 		RebuildFailures: res.RebuildFailures,
 		Rejections:      res.Rejections,
 		Partial:         res.Partial,
-		Strikes:         s.strikes,
-		Cooldown:        s.cooldown,
-		SeenKinds:       sortedKeys(s.seenKinds),
-		Baseline:        s.baseline,
+		Strikes:         s.promo.strikes,
+		Cooldown:        s.promo.cooldown,
+		SeenKinds:       sortedKeys(s.promo.seenKinds),
+		Baseline:        s.promo.baseline,
 		Aggregate:       snap,
 	}
 	if st.Baseline != nil {
 		st.BaselineHash = st.Baseline.Hash()
 	}
-	if s.canary != nil {
-		st.CanarySnap = s.canary.snap
-		st.CanaryServed = s.canary.served
-		st.CanaryKindsBefore = sortedKeys(s.canary.kindsBefore)
-		st.CanaryNewKinds = sortedKeys(s.canary.newKinds)
+	if c := s.promo.canary; c != nil {
+		st.CanarySnap = c.snap
+		st.CanaryServed = c.served
+		st.CanaryKindsBefore = sortedKeys(c.kindsBefore)
+		st.CanaryNewKinds = sortedKeys(c.newKinds)
 	}
 	return SaveState(s.cfg.StateDir, st)
 }

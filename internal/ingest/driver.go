@@ -54,10 +54,27 @@ type SimConfig struct {
 	Seed int64
 	// Bases are the tenant archetypes; at least one is required.
 	Bases []Base
+	// Poison, when non-nil, adds one extra tenant (PoisonTenantID)
+	// whose kernels report structurally malformed deltas — the chaos
+	// input the fault-isolation layer exists for.
+	Poison *PoisonConfig
 	// RoundHook, when non-nil, runs after each completed round (and
 	// its EndRound barrier). Returning an error stops the run — the
 	// CLI uses it for per-round progress, tests for mid-run kills.
 	RoundHook func(round int, svc *Service) error
+}
+
+// PoisonTenantID names the simulated poison tenant.
+const PoisonTenantID = "poison"
+
+// PoisonConfig shapes the poison tenant.
+type PoisonConfig struct {
+	// Kernels is how many malformed deltas the poison tenant submits
+	// per round (default 16 — comfortably past the default trip
+	// threshold, so the breaker engages within one round).
+	Kernels int
+	// FromRound is the first round the poison tenant reports in.
+	FromRound int
 }
 
 // simSite is one precomputed base-profile site, in deterministic
@@ -89,6 +106,16 @@ func NewSim(cfg SimConfig) (*Sim, error) {
 	}
 	if cfg.SitesPerDelta <= 0 {
 		cfg.SitesPerDelta = 12
+	}
+	if cfg.Poison != nil {
+		p := *cfg.Poison
+		if p.Kernels <= 0 {
+			p.Kernels = 16
+		}
+		if p.FromRound < 0 {
+			p.FromRound = 0
+		}
+		cfg.Poison = &p
 	}
 	s := &Sim{cfg: cfg}
 	for _, b := range cfg.Bases {
@@ -179,11 +206,36 @@ func (s *Sim) Delta(t, k, r int) *prof.Profile {
 	return p
 }
 
+// PoisonDelta builds the malformed delta kernel k of the poison
+// tenant reports in round r: an indirect site whose value profile
+// does not sum to its site count — exactly the inconsistency
+// sanitation exists to catch, and malformed under any Universe. Like
+// Delta it is a pure function of its coordinates.
+func (s *Sim) PoisonDelta(k, r int) *prof.Profile {
+	rng := newDeltaRNG(s.cfg.Seed, 1<<20, k, r)
+	p := prof.New()
+	id := ir.SiteID(1<<28 | int32(rng.next()%1024))
+	p.AddIndirect(id, "poison_caller", "poison_target", 3)
+	p.Sites[id].Count = 7
+	return p
+}
+
+// tolerable reports whether a Submit error is one the simulation
+// absorbs without stopping the round: queue/rate shedding, sanitation
+// rejections and quarantine drops are all counted by the service and
+// are the behavior under test, not a failure of the run.
+func tolerable(err error) bool {
+	return resilience.IsKind(err, resilience.KindOverload) ||
+		resilience.IsKind(err, resilience.KindPoison) ||
+		resilience.IsKind(err, resilience.KindQuarantined)
+}
+
 // Run drives the service from its current round (0 fresh, the
 // checkpointed round after a resume) to cfg.Rounds: each round fans
-// the active tenants' kernels out over workload.RunCells, then runs
-// the EndRound barrier. Overload faults from shed mode are counted by
-// the service and do not stop the run; any other Submit error does.
+// the active tenants' kernels out over workload.RunCells, submits the
+// poison tenant's malformed deltas (when configured), then runs the
+// EndRound barrier. Overload, poison and quarantine faults are counted
+// by the service and do not stop the run; any other Submit error does.
 // Run is idempotent once the rounds are complete.
 func (s *Sim) Run(svc *Service) error {
 	for r := svc.Round(); r < s.cfg.Rounds; r++ {
@@ -198,13 +250,20 @@ func (s *Sim) Run(svc *Service) error {
 			t := active[i/s.cfg.Kernels]
 			k := i % s.cfg.Kernels
 			err := svc.Submit(s.TenantID(t), s.Delta(t, k, round))
-			if resilience.IsKind(err, resilience.KindOverload) {
-				return nil // shed: counted by the service, the round goes on
+			if tolerable(err) {
+				return nil
 			}
 			return err
 		})
 		if err != nil {
 			return err
+		}
+		if p := s.cfg.Poison; p != nil && round >= p.FromRound {
+			for k := 0; k < p.Kernels; k++ {
+				if err := svc.Submit(PoisonTenantID, s.PoisonDelta(k, round)); err != nil && !tolerable(err) {
+					return err
+				}
+			}
 		}
 		if err := svc.EndRound(); err != nil {
 			return err
@@ -253,5 +312,12 @@ func (s *Sim) Fingerprint(svc Config) string {
 	}
 	fmt.Fprintf(h, "batch %d\nshed %t\nidle-decay %g\nidle-evict %d\nhot-budget %g\n",
 		svc.BatchSize, svc.Shed, svc.IdleDecay, svc.IdleEvict, svc.HotBudget)
+	fmt.Fprintf(h, "trip %d\nopen %d\nmax-open %d\njitter %d\nbrk-seed %d\n",
+		svc.TripFaults, svc.OpenRounds, svc.MaxOpenRounds, svc.ProbeJitter, svc.Seed)
+	fmt.Fprintf(h, "rate %d\nburst %d\ndrift-floor %g\nmax-delta %d\nuniverse %t\n",
+		svc.TenantRate, svc.TenantBurst, svc.DriftFloor, svc.MaxDeltaCount, svc.Universe != nil)
+	if p := s.cfg.Poison; p != nil {
+		fmt.Fprintf(h, "poison %d from %d\n", p.Kernels, p.FromRound)
+	}
 	return fmt.Sprintf("%016x", h.Sum64())
 }

@@ -1,0 +1,43 @@
+package ingest
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/prof"
+	"repro/internal/resilience"
+)
+
+// FuzzSubmitDelta throws arbitrarily-shaped deltas at Submit. The
+// contract under fuzz: Submit never panics, and every structural
+// rejection is a typed PhaseIngest/KindPoison fault — a malformed
+// delta must be refused by sanitation, never half-merged.
+func FuzzSubmitDelta(f *testing.F) {
+	svc, err := Open(Config{Workers: 1, BatchSize: 1 << 20})
+	if err != nil {
+		f.Fatal(err)
+	}
+	defer svc.Close()
+
+	f.Add(int32(1), "f", "g", "", uint64(1), uint64(1), uint64(0), "h", uint64(1), false)
+	f.Add(int32(2), "f", "", "t", uint64(3), uint64(7), uint64(1), "", uint64(0), true)
+	f.Add(int32(-9), "", "g", "t", uint64(0), uint64(0), uint64(1)<<50, "h", uint64(1)<<41, true)
+	f.Add(int32(7), "caller", "callee", "target", ^uint64(0), uint64(2), uint64(0), "fn", uint64(5), false)
+
+	f.Fuzz(func(t *testing.T, id int32, caller, callee, target string,
+		count, targetCount, ops uint64, invFn string, invCount uint64, indirect bool) {
+		delta := prof.New()
+		delta.Ops = ops
+		site := &prof.Site{ID: ir.SiteID(id), Caller: caller, Callee: callee, Count: count}
+		if indirect {
+			site.Targets = map[string]uint64{target: targetCount}
+		}
+		delta.Sites[site.ID] = site
+		delta.Invocations[invFn] = invCount
+
+		err := svc.Submit("fuzz", delta)
+		if err != nil && !resilience.IsKind(err, resilience.KindPoison) {
+			t.Fatalf("Submit rejection is not a poison fault: %v", err)
+		}
+	})
+}

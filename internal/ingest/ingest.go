@@ -74,6 +74,48 @@ type Config struct {
 	// 0.99): drift is prof.HotOverlap of the tenant's live aggregate
 	// against its baseline (the first active round's snapshot).
 	HotBudget float64
+	// TripFaults is how many tenant faults (poison rejections plus
+	// admission-control refusals) within one round trip the tenant's
+	// circuit breaker (default 8). See internal/ingest/health.go.
+	TripFaults uint64
+	// OpenRounds is the base quarantine length in rounds (default 2);
+	// consecutive re-trips double it up to MaxOpenRounds (default 16).
+	OpenRounds    int
+	MaxOpenRounds int
+	// ProbeJitter adds a deterministic seeded 0..ProbeJitter extra
+	// rounds to each quarantine window so tenants tripped together do
+	// not re-probe in lockstep (default 1; negative disables).
+	ProbeJitter int
+	// Seed drives the breakers' jitter streams (per-tenant seeds are
+	// derived from it and the tenant id).
+	Seed int64
+	// TenantRate is the per-tenant token-bucket refill: deltas admitted
+	// per tenant per round (0 = unlimited). Refusals are KindOverload
+	// faults and feed the tenant's breaker. Engaging the rate limiter
+	// (like Shed) gives up the byte-determinism contract: which deltas
+	// are refused depends on arrival order.
+	TenantRate int
+	// TenantBurst caps the bucket (default TenantRate).
+	TenantBurst int
+	// DriftFloor, when in (0, 1), marks a tenant Degraded when its
+	// round drift (HotOverlap against baseline) falls below it. It
+	// never trips the breaker — drift is an anomaly signal, not a
+	// fault (0 disables).
+	DriftFloor float64
+	// MaxDeltaCount bounds every count a delta may carry (site counts,
+	// invocation counts, ops); larger is poison (default 1<<40).
+	MaxDeltaCount uint64
+	// Universe, when non-nil, is the known site universe: a delta
+	// naming a site ID outside it is poison.
+	Universe *prof.Profile
+	// Promote, when non-nil, arms the per-tenant canary-gated
+	// promotion pipeline (the same Promoter internal/fleet runs):
+	// every round, a healthy/degraded tenant's drift feeds a Promoter
+	// built over NewController(tenantID).
+	Promote *fleet.PromoteConfig
+	// NewController supplies each tenant's rebuild hooks (used only
+	// with Promote).
+	NewController func(tenantID string) *fleet.Controller
 	// StateDir, when non-empty, enables crash-safe checkpoints: the
 	// service checkpoints after every EndRound and evicted tenants get
 	// per-tenant files, all on the internal/ckpt container format.
@@ -116,6 +158,35 @@ func (c *Config) fill() error {
 	if c.HotBudget <= 0 || c.HotBudget > 1 {
 		c.HotBudget = 0.99
 	}
+	if c.TripFaults == 0 {
+		c.TripFaults = 8
+	}
+	if c.OpenRounds <= 0 {
+		c.OpenRounds = 2
+	}
+	if c.MaxOpenRounds <= 0 {
+		c.MaxOpenRounds = 16
+	}
+	if c.MaxOpenRounds < c.OpenRounds {
+		c.MaxOpenRounds = c.OpenRounds
+	}
+	if c.TenantRate < 0 {
+		return resilience.Faultf(resilience.PhaseIngest, resilience.KindConfig,
+			"tenant-rate", "negative tenant rate %d", c.TenantRate)
+	}
+	if c.TenantBurst <= 0 {
+		c.TenantBurst = c.TenantRate
+	}
+	if c.DriftFloor < 0 || c.DriftFloor >= 1 {
+		c.DriftFloor = 0
+	}
+	if c.MaxDeltaCount == 0 {
+		c.MaxDeltaCount = 1 << 40
+	}
+	if c.Promote != nil && c.NewController == nil {
+		return resilience.Faultf(resilience.PhaseIngest, resilience.KindConfig,
+			"promote", "Promote configured without NewController")
+	}
 	if c.Warnf == nil {
 		c.Warnf = func(string, ...any) {}
 	}
@@ -141,6 +212,29 @@ type tenant struct {
 	deltas uint64
 	// drift is the most recent EndRound's HotOverlap against baseline.
 	drift float64
+
+	// Fault-isolation state (see health.go). health and brk advance
+	// only at the EndRound barrier; the round* fields are the current
+	// round's fault window, consumed there.
+	health Health
+	brk    *resilience.Breaker
+	// tokens is the admission-control bucket (unused when TenantRate
+	// is 0).
+	tokens int
+	// All-time tallies, persisted: poison deltas rejected by
+	// sanitation, deltas dropped while quarantined, deltas refused by
+	// the rate limiter.
+	poison, dropped, throttled uint64
+	// Current round's window: submissions seen, poison among them,
+	// admission refusals among them.
+	roundSubmits, roundPoison, roundOverload uint64
+
+	// Per-tenant promotion pipeline (armed by Config.Promote; lazily
+	// built). promoted / promoRejected / promoFailures persist.
+	promo         *fleet.Promoter
+	promoted      int
+	promoRejected int
+	promoFailures int
 }
 
 // batch is one unit of merge work: a pre-merged group of n deltas
@@ -170,6 +264,14 @@ type Service struct {
 	queue    chan batch
 	inflight sync.WaitGroup
 	workers  sync.WaitGroup
+
+	// qmu serializes queue sends against Close's close(queue): sends
+	// happen under the read lock with qclosed false, the close under
+	// the write lock — so a Submit racing (or following) Close gets a
+	// structured PhaseIngest/KindClosed fault instead of a panic on a
+	// closed channel.
+	qmu     sync.RWMutex
+	qclosed bool
 
 	met metrics
 
@@ -244,6 +346,10 @@ func validTenantID(id string) bool {
 func (s *Service) lookup(id string) (*tenant, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.ended {
+		return nil, resilience.Faultf(resilience.PhaseIngest, resilience.KindClosed,
+			id, "service closed")
+	}
 	if t, ok := s.tenants[id]; ok {
 		return t, nil
 	}
@@ -251,7 +357,11 @@ func (s *Service) lookup(id string) (*tenant, error) {
 		return nil, resilience.Faultf(resilience.PhaseIngest, resilience.KindConfig,
 			id, "invalid tenant id %q: want [A-Za-z0-9._-]+ not starting with a dot", id)
 	}
-	t := &tenant{id: id, agg: s.newTenantAgg(), lastActive: s.Round()}
+	t := &tenant{
+		id: id, agg: s.newTenantAgg(), lastActive: s.Round(),
+		brk:    resilience.NewBreaker(s.breakerConfig(id)),
+		tokens: s.cfg.TenantBurst,
+	}
 	if s.cfg.StateDir != "" {
 		res, err := loadTenantFile(s.cfg.StateDir, id, s.cfg.Warnf)
 		if err != nil {
@@ -261,6 +371,7 @@ func (s *Service) lookup(id string) (*tenant, error) {
 			t.agg.Add(res.aggregate)
 			t.baseline = res.baseline
 			t.deltas = res.deltas
+			s.restoreIsolation(t, res.iso)
 			s.met.resurrections.Add(1)
 		}
 	}
@@ -268,13 +379,18 @@ func (s *Service) lookup(id string) (*tenant, error) {
 	return t, nil
 }
 
-// Submit ingests one profile delta for the tenant. The delta is only
-// read, never retained: it is merged into the tenant's pending batch
-// under the tenant lock (level-0 merge), and a full batch is handed to
-// the bounded merge queue. With Config.Shed, a full queue sheds the
-// batch and Submit returns a PhaseIngest/KindOverload fault — the
-// delta counts submitted in that batch are lost and tallied in the
+// Submit ingests one profile delta for the tenant. The delta runs the
+// isolation gauntlet before it can touch a batch: a quarantined
+// tenant's delta is counted and dropped (KindQuarantined) before the
+// two-level merge; the token bucket may refuse it (KindOverload);
+// sanitation rejects a malformed delta (KindPoison). A surviving delta
+// is only read, never retained: it is merged into the tenant's pending
+// batch under the tenant lock (level-0 merge), and a full batch is
+// handed to the bounded merge queue. With Config.Shed, a full queue
+// sheds the batch and Submit returns a PhaseIngest/KindOverload fault —
+// the delta counts submitted in that batch are lost and tallied in the
 // shed counters; without it, Submit blocks until the queue drains.
+// After Close, Submit returns a PhaseIngest/KindClosed fault.
 //
 // Submit is safe for concurrent use across and within tenants.
 func (s *Service) Submit(tenantID string, delta *prof.Profile) error {
@@ -286,10 +402,37 @@ func (s *Service) Submit(tenantID string, delta *prof.Profile) error {
 		return err
 	}
 	s.met.deltas.Add(1)
+	poison := s.sanitize(delta) // read-only; outside all locks
 
 	t.mu.Lock()
 	t.lastActive = s.Round()
 	t.deltas++
+	t.roundSubmits++
+	if t.health == Quarantined {
+		t.dropped++
+		t.mu.Unlock()
+		s.met.quarantined.Add(1)
+		return resilience.Faultf(resilience.PhaseIngest, resilience.KindQuarantined,
+			t.id, "tenant quarantined; delta dropped")
+	}
+	if s.cfg.TenantRate > 0 {
+		if t.tokens <= 0 {
+			t.throttled++
+			t.roundOverload++
+			t.mu.Unlock()
+			s.met.throttled.Add(1)
+			return resilience.Faultf(resilience.PhaseIngest, resilience.KindOverload,
+				t.id, "tenant over admission rate (%d/round); delta refused", s.cfg.TenantRate)
+		}
+		t.tokens--
+	}
+	if poison != nil {
+		t.poison++
+		t.roundPoison++
+		t.mu.Unlock()
+		s.met.poisonRejects.Add(1)
+		return resilience.Fault(resilience.PhaseIngest, resilience.KindPoison, t.id, poison)
+	}
 	if t.pending == nil {
 		t.pending = prof.New()
 	}
@@ -307,8 +450,16 @@ func (s *Service) Submit(tenantID string, delta *prof.Profile) error {
 
 // enqueue hands a batch to the merge queue. shed selects the overload
 // policy; EndRound's partial-batch flush always passes shed=false so a
-// round barrier is lossless even in shed mode.
+// round barrier is lossless even in shed mode. The send happens under
+// the queue read-lock so it can never race Close's close(queue).
 func (s *Service) enqueue(b batch, shed bool) error {
+	s.qmu.RLock()
+	defer s.qmu.RUnlock()
+	if s.qclosed {
+		s.met.closedRejects.Add(1)
+		return resilience.Faultf(resilience.PhaseIngest, resilience.KindClosed,
+			b.t.id, "service closed; %d-delta batch refused", b.n)
+	}
 	s.inflight.Add(1)
 	if shed {
 		select {
@@ -317,10 +468,18 @@ func (s *Service) enqueue(b batch, shed bool) error {
 			s.inflight.Done()
 			s.met.overloads.Add(1)
 			s.met.shedDeltas.Add(uint64(b.n))
+			b.t.mu.Lock()
+			b.t.roundOverload++
+			b.t.mu.Unlock()
 			return resilience.Faultf(resilience.PhaseIngest, resilience.KindOverload,
 				b.t.id, "merge queue full (%d batches); %d-delta batch shed", s.cfg.QueueDepth, b.n)
 		}
 	} else {
+		// Sample the depth before a blocking send as well as after it:
+		// a producer about to block is exactly the moment the queue is
+		// at its deepest, and sampling only after the send misses it
+		// whenever a worker drains the queue while we wait.
+		s.met.noteQueueDepth(len(s.queue))
 		s.queue <- b
 	}
 	s.met.noteQueueDepth(len(s.queue))
@@ -350,13 +509,21 @@ func (s *Service) worker() {
 // every tenant's partial pending batch (losslessly, even in shed
 // mode), waits for the merge queue to drain, then runs tenant
 // lifecycle: active tenants get a fresh snapshot, a baseline if they
-// had none, and a drift measurement; idle tenants decay, and tenants
-// idle for Config.IdleEvict rounds are evicted with a final per-tenant
-// checkpoint. Finally the service checkpoints itself (when StateDir is
-// set) and the round counter advances.
+// had none, and a drift measurement; the per-tenant promotion pipeline
+// and the health state machine advance (see health.go — this barrier
+// is the only place breakers transition, which is what keeps
+// quarantine windows schedule-independent); idle tenants decay, and
+// tenants idle for Config.IdleEvict rounds are evicted with a final
+// per-tenant checkpoint. Finally the service checkpoints itself (when
+// StateDir is set) and the round counter advances.
 func (s *Service) EndRound() error {
 	round := s.Round()
 	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return resilience.Faultf(resilience.PhaseIngest, resilience.KindClosed,
+			"end-round", "service closed")
+	}
 	ts := make([]*tenant, 0, len(s.tenants))
 	for _, t := range s.tenants {
 		ts = append(ts, t)
@@ -369,7 +536,9 @@ func (s *Service) EndRound() error {
 			b := batch{t: t, p: t.pending, n: t.pendingN}
 			t.pending, t.pendingN = nil, 0
 			t.mu.Unlock()
-			s.enqueue(b, false)
+			if err := s.enqueue(b, false); err != nil {
+				return err
+			}
 		} else {
 			t.mu.Unlock()
 		}
@@ -389,10 +558,13 @@ func (s *Service) EndRound() error {
 				t.baseline = snap.Clone()
 			}
 			t.drift = prof.HotOverlap(snap, t.baseline, s.cfg.HotBudget)
+			s.promoteStep(t, snap)
+			s.healthStep(t, true)
 			snaps[t.id] = snap
 			t.mu.Unlock()
 			continue
 		}
+		s.healthStep(t, false)
 		t.agg.Decay()
 		if round-t.lastActive >= s.cfg.IdleEvict {
 			// Evict: persist the final per-tenant checkpoint BEFORE
@@ -435,9 +607,10 @@ func (s *Service) GlobalSnapshot() *prof.Profile {
 }
 
 // Close flushes every pending batch, drains the queue and stops the
-// workers. The service must not be used afterwards. Close does not
-// checkpoint: state is only ever persisted at round barriers, which is
-// what makes a SIGKILL and a Close look identical on disk.
+// workers. Submit and EndRound after Close return a structured
+// PhaseIngest/KindClosed fault. Close does not checkpoint: state is
+// only ever persisted at round barriers, which is what makes a SIGKILL
+// and a Close look identical on disk.
 func (s *Service) Close() error {
 	s.mu.Lock()
 	if s.ended {
@@ -462,7 +635,10 @@ func (s *Service) Close() error {
 		}
 	}
 	s.inflight.Wait()
+	s.qmu.Lock()
+	s.qclosed = true
 	close(s.queue)
+	s.qmu.Unlock()
 	s.workers.Wait()
 	return nil
 }

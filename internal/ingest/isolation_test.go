@@ -1,0 +1,577 @@
+package ingest
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/fleet"
+	"repro/internal/prof"
+	"repro/internal/resilience"
+)
+
+// goodDelta is a minimal well-formed delta.
+func goodDelta() *prof.Profile {
+	p := prof.New()
+	p.AddDirect(siteID(1), "f", "g", 1)
+	return p
+}
+
+// badDelta is structurally malformed: an indirect site whose value
+// profile (3) does not sum to its count (7).
+func badDelta() *prof.Profile {
+	p := prof.New()
+	p.AddIndirect(siteID(999), "pc", "pt", 3)
+	p.Sites[siteID(999)].Count = 7
+	return p
+}
+
+// TestSubmitAfterCloseTypedFault: Submit and EndRound against a closed
+// service return a structured PhaseIngest/KindClosed fault instead of
+// panicking on the closed merge queue.
+func TestSubmitAfterCloseTypedFault(t *testing.T) {
+	svc, err := Open(Config{Workers: 1, BatchSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Submit("a", goodDelta()); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	err = svc.Submit("a", goodDelta())
+	fe, ok := resilience.AsFault(err)
+	if !ok || fe.Phase != resilience.PhaseIngest || fe.Kind != resilience.KindClosed {
+		t.Fatalf("Submit after Close = %v, want ingest/closed fault", err)
+	}
+	if !resilience.IsKind(svc.EndRound(), resilience.KindClosed) {
+		t.Error("EndRound after Close did not return a closed fault")
+	}
+	if err := svc.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+// TestQueueHighWaterSeesBlockedProducer: with the worker gated and the
+// queue provably full under a blocked producer, the high-water mark
+// must record the full depth — the pre-send sample in enqueue exists
+// because a producer about to block is exactly when the queue is at
+// its deepest.
+func TestQueueHighWaterSeesBlockedProducer(t *testing.T) {
+	const depth = 2
+	svc, err := Open(Config{BatchSize: 1, QueueDepth: depth, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := svc.openGate()
+
+	// b1: the worker takes it and blocks at the gate; feeding the gate
+	// once synchronizes — after the send returns, b1 has left the queue
+	// and the worker is parked waiting for b2.
+	if err := svc.Submit("a", goodDelta()); err != nil {
+		t.Fatal(err)
+	}
+	gate <- struct{}{}
+
+	// b2 is handed to (or soon taken by) the parked worker, which then
+	// blocks at the gate holding it; b3 and b4 fill the queue.
+	for i := 0; i < depth+1; i++ {
+		if err := svc.Submit("a", goodDelta()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// b5 must block: worker busy, queue full. Its pre-send sample
+	// observes the full queue.
+	done := make(chan error, 1)
+	go func() { done <- svc.Submit("a", goodDelta()) }()
+
+	close(gate) // release everything
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if hw := svc.Stats().QueueHighWater; hw < depth {
+		t.Errorf("QueueHighWater = %d, want >= %d (queue was provably full under a blocked producer)", hw, depth)
+	}
+}
+
+// TestSanitizePoison: every class of malformed delta is rejected with
+// PhaseIngest/KindPoison before touching any aggregate; a well-formed
+// delta passes.
+func TestSanitizePoison(t *testing.T) {
+	universe := prof.New()
+	universe.AddDirect(siteID(1), "f", "g", 1)
+	universe.AddIndirect(siteID(2), "f", "t", 1)
+
+	cases := []struct {
+		name  string
+		delta func() *prof.Profile
+		cfg   Config
+	}{
+		{"empty caller", func() *prof.Profile {
+			p := prof.New()
+			p.AddDirect(siteID(1), "", "g", 1)
+			return p
+		}, Config{}},
+		{"zero count", func() *prof.Profile {
+			p := goodDelta()
+			p.Sites[siteID(1)].Count = 0
+			return p
+		}, Config{}},
+		{"direct with empty callee", func() *prof.Profile {
+			p := prof.New()
+			p.AddDirect(siteID(1), "f", "", 1)
+			return p
+		}, Config{}},
+		{"empty target name", func() *prof.Profile {
+			p := prof.New()
+			p.AddIndirect(siteID(2), "f", "", 1)
+			return p
+		}, Config{}},
+		{"zero target count", func() *prof.Profile {
+			p := prof.New()
+			p.AddIndirect(siteID(2), "f", "t", 1)
+			p.Sites[siteID(2)].Targets["t"] = 0
+			return p
+		}, Config{}},
+		{"target sum mismatch", badDelta, Config{}},
+		{"count over max", func() *prof.Profile {
+			p := prof.New()
+			p.AddDirect(siteID(1), "f", "g", 100)
+			return p
+		}, Config{MaxDeltaCount: 10}},
+		{"ops over max", func() *prof.Profile {
+			p := goodDelta()
+			p.Ops = 1 << 50
+			return p
+		}, Config{}},
+		{"empty invocation name", func() *prof.Profile {
+			p := goodDelta()
+			p.AddInvocation("", 1)
+			return p
+		}, Config{}},
+		{"zero invocation count", func() *prof.Profile {
+			p := goodDelta()
+			p.Invocations["h"] = 0
+			return p
+		}, Config{}},
+		{"site outside universe", func() *prof.Profile {
+			p := prof.New()
+			p.AddDirect(siteID(42), "f", "g", 1)
+			return p
+		}, Config{Universe: universe}},
+	}
+	for _, tc := range cases {
+		tc.cfg.Workers = 1
+		svc, err := Open(tc.cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = svc.Submit("a", tc.delta())
+		if !resilience.IsKind(err, resilience.KindPoison) {
+			t.Errorf("%s: Submit = %v, want poison fault", tc.name, err)
+		}
+		if st := svc.Stats(); st.Poison != 1 || st.ShedByReason["poison"] != 1 {
+			t.Errorf("%s: poison counters %d/%d, want 1/1", tc.name, st.Poison, st.ShedByReason["poison"])
+		}
+		if err := svc.Submit("a", goodDelta()); err != nil {
+			t.Errorf("%s: well-formed delta refused: %v", tc.name, err)
+		}
+		svc.Close()
+	}
+}
+
+// TestQuarantineLifecycle walks one tenant through the whole state
+// machine — healthy → quarantined (poison burst) → probation → healthy
+// (clean probe) — then re-trips it and pins the escalated window. At
+// the end, the global aggregate contains exactly the deltas that were
+// admitted and well-formed, nothing else.
+func TestQuarantineLifecycle(t *testing.T) {
+	svc, err := Open(Config{
+		Workers: 1, BatchSize: 1,
+		TripFaults: 4, OpenRounds: 1, MaxOpenRounds: 4, ProbeJitter: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	health := func() string {
+		st := svc.Stats()
+		for _, ts := range st.Tenants {
+			if ts.ID == "bad" {
+				return ts.Health
+			}
+		}
+		return "absent"
+	}
+	endRound := func() {
+		t.Helper()
+		if err := svc.EndRound(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Round 0: a poison burst at the trip threshold.
+	for i := 0; i < 4; i++ {
+		if err := svc.Submit("bad", badDelta()); !resilience.IsKind(err, resilience.KindPoison) {
+			t.Fatalf("poison submit %d = %v", i, err)
+		}
+	}
+	endRound()
+	if got := health(); got != "quarantined" {
+		t.Fatalf("after poison burst: health %q, want quarantined", got)
+	}
+	if st := svc.Stats(); st.Trips != 1 {
+		t.Fatalf("trips = %d, want 1", st.Trips)
+	}
+
+	// Round 1: quarantined — a well-formed delta is counted and dropped.
+	if err := svc.Submit("bad", goodDelta()); !resilience.IsKind(err, resilience.KindQuarantined) {
+		t.Fatalf("quarantined submit = %v, want quarantined fault", err)
+	}
+	endRound() // open window (1 round) expires
+	if got := health(); got != "probation" {
+		t.Fatalf("after open window: health %q, want probation", got)
+	}
+	if st := svc.Stats(); st.QuarantineDropped != 1 {
+		t.Fatalf("QuarantineDropped = %d, want 1", st.QuarantineDropped)
+	}
+
+	// Round 2: the probe round — one clean delta heals the tenant.
+	if err := svc.Submit("bad", goodDelta()); err != nil {
+		t.Fatalf("probe submit: %v", err)
+	}
+	endRound()
+	if got := health(); got != "healthy" {
+		t.Fatalf("after clean probe: health %q, want healthy", got)
+	}
+	if st := svc.Stats(); st.Heals != 1 {
+		t.Fatalf("heals = %d, want 1", st.Heals)
+	}
+
+	// Round 3: re-trip (fresh strike after the heal: base 1-round window).
+	for i := 0; i < 4; i++ {
+		svc.Submit("bad", badDelta())
+	}
+	endRound()
+	if got := health(); got != "quarantined" {
+		t.Fatalf("after second burst: health %q, want quarantined", got)
+	}
+	endRound() // window expires → probation (round 4)
+	if got := health(); got != "probation" {
+		t.Fatalf("second window: health %q, want probation", got)
+	}
+
+	// Round 5: a poison probe re-trips with the escalated 2-round window.
+	svc.Submit("bad", badDelta())
+	endRound()
+	if got := health(); got != "quarantined" {
+		t.Fatalf("failed probe: health %q, want quarantined", got)
+	}
+	endRound() // escalated window round 1 of 2: still quarantined
+	if got := health(); got != "quarantined" {
+		t.Fatalf("escalated window did not hold: health %q", got)
+	}
+	endRound() // round 2 of 2 → probation
+	if got := health(); got != "probation" {
+		t.Fatalf("escalated window never expired: health %q", got)
+	}
+
+	// Exactly one delta (the clean probe) ever merged.
+	if got, want := serialized(t, svc.GlobalSnapshot()), serialized(t, goodDelta()); !bytes.Equal(got, want) {
+		t.Error("global aggregate is not exactly the one admitted clean delta")
+	}
+}
+
+// TestTenantRateLimit: the per-tenant token bucket refuses deltas over
+// the per-round rate with KindOverload, and refills at the barrier.
+func TestTenantRateLimit(t *testing.T) {
+	svc, err := Open(Config{Workers: 1, BatchSize: 1, TenantRate: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	for i := 0; i < 2; i++ {
+		if err := svc.Submit("a", goodDelta()); err != nil {
+			t.Fatalf("submit %d within rate: %v", i, err)
+		}
+	}
+	err = svc.Submit("a", goodDelta())
+	if !resilience.IsKind(err, resilience.KindOverload) {
+		t.Fatalf("over-rate submit = %v, want overload fault", err)
+	}
+	if st := svc.Stats(); st.Throttled != 1 || st.ShedByReason["throttle"] != 1 {
+		t.Fatalf("throttle counters %d/%d, want 1/1", st.Throttled, st.ShedByReason["throttle"])
+	}
+	if err := svc.EndRound(); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Submit("a", goodDelta()); err != nil {
+		t.Fatalf("submit after refill: %v", err)
+	}
+}
+
+// TestPerTenantPromotion: with Promote armed, drifting tenants drive
+// their own canary-gated rebuild pipelines; a controller that fails
+// for one tenant strikes only that tenant.
+func TestPerTenantPromotion(t *testing.T) {
+	sim := smallSim(t, 1, 8)
+	var rebuilt, failed int
+	svc, err := Open(Config{
+		Workers: 1,
+		// Threshold 1: any drift at all triggers a rebuild (the first
+		// active round is exactly 1.0 and never does).
+		Promote: &fleet.PromoteConfig{DriftThreshold: 1},
+		NewController: func(id string) *fleet.Controller {
+			return &fleet.Controller{Rebuild: func(snap *prof.Profile) (*fleet.Candidate, error) {
+				if id == sim.TenantID(1) {
+					failed++
+					return nil, errors.New("no builder for this tenant")
+				}
+				rebuilt++
+				return &fleet.Candidate{}, nil
+			}}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if err := sim.Run(svc); err != nil {
+		t.Fatal(err)
+	}
+	st := svc.Stats()
+	if rebuilt == 0 || st.Promotions == 0 {
+		t.Errorf("promotions = %d (rebuilds seen %d), want > 0 with drifting tenants", st.Promotions, rebuilt)
+	}
+	if failed == 0 || st.PromoFailures == 0 {
+		t.Errorf("promo failures = %d (controller failures %d), want > 0 for the failing tenant", st.PromoFailures, failed)
+	}
+}
+
+// TestIngestPoisonIsolationByteIdentical is the isolation acceptance
+// property: a run with a poison tenant that is quarantined mid-run
+// produces a final global snapshot byte-identical to the same run
+// where the poison never happened — poison is rejected by sanitation,
+// quarantine drops happen before the two-level merge, and neither ever
+// reaches an aggregate.
+func TestIngestPoisonIsolationByteIdentical(t *testing.T) {
+	mk := func(poison bool, workers int) SimConfig {
+		cfg := SimConfig{
+			Tenants: 6, Kernels: 8, Rounds: 6, Workers: workers,
+			SitesPerDelta: 6, Seed: 42, Bases: testBases(),
+		}
+		if poison {
+			cfg.Poison = &PoisonConfig{Kernels: 16, FromRound: 1}
+		}
+		return cfg
+	}
+	run := func(simCfg SimConfig, workers int) ([]byte, Stats) {
+		t.Helper()
+		sim, err := NewSim(simCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc, err := Open(Config{Workers: workers, BatchSize: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.Run(svc); err != nil {
+			t.Fatal(err)
+		}
+		snap := serialized(t, svc.GlobalSnapshot())
+		st := svc.Stats()
+		if err := svc.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return snap, st
+	}
+
+	clean, _ := run(mk(false, 2), 2)
+	for _, workers := range []int{1, 4} {
+		poisoned, st := run(mk(true, workers), workers)
+		if !bytes.Equal(poisoned, clean) {
+			t.Errorf("workers=%d: poisoned run's global snapshot differs from the clean run's", workers)
+		}
+		if st.Poison == 0 || st.Trips == 0 || st.QuarantineDropped == 0 {
+			t.Errorf("workers=%d: poison=%d trips=%d dropped=%d — quarantine never engaged",
+				workers, st.Poison, st.Trips, st.QuarantineDropped)
+		}
+		var found bool
+		for _, ts := range st.Tenants {
+			if ts.ID == PoisonTenantID {
+				found = true
+				if ts.Trips == 0 || ts.Poison == 0 {
+					t.Errorf("workers=%d: poison tenant row %+v never tripped", workers, ts)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("workers=%d: poison tenant missing from stats", workers)
+		}
+	}
+}
+
+// TestQuarantineCrashResume: SIGKILL (modeled as abandoning the
+// service mid-run) after the poison tenant has been quarantined; the
+// resumed service restores the tenant's health and breaker from the
+// checkpoint — still quarantined, same trip count — and replays to a
+// final global snapshot byte-identical to both the uninterrupted
+// poisoned run and the poison-free run.
+func TestQuarantineCrashResume(t *testing.T) {
+	simCfg := SimConfig{
+		Tenants: 6, Kernels: 8, Rounds: 6, Workers: 2,
+		SitesPerDelta: 6, Seed: 42, Bases: testBases(),
+		Poison: &PoisonConfig{Kernels: 16, FromRound: 0},
+	}
+	base := Config{Workers: 2, BatchSize: 5}
+
+	// Uninterrupted poisoned reference (no state dir).
+	refSim, err := NewSim(simCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refSvc, err := Open(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := refSim.Run(refSvc); err != nil {
+		t.Fatal(err)
+	}
+	want := serialized(t, refSvc.GlobalSnapshot())
+	refSvc.Close()
+
+	// Run with checkpointing, kill after round 2 (the poison tenant
+	// tripped at the round-0 barrier).
+	dir := t.TempDir()
+	kill := errors.New("kill")
+	killCfg := simCfg
+	killCfg.RoundHook = func(round int, svc *Service) error {
+		if round == 2 {
+			return kill
+		}
+		return nil
+	}
+	killSim, err := NewSim(killCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := base
+	cfg.StateDir = dir
+	cfg.Fingerprint = killSim.Fingerprint(cfg)
+	svc, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := killSim.Run(svc); !errors.Is(err, kill) {
+		t.Fatalf("kill hook: %v", err)
+	}
+	svc.Close() // writes nothing: SIGKILL and Close look identical on disk
+
+	// Resume on a different worker count: quarantine state must have
+	// survived the crash byte-identically.
+	resumeSim, err := NewSim(simCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 4
+	re, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Round() != 3 {
+		t.Fatalf("resumed at round %d, want 3", re.Round())
+	}
+	var row TenantStat
+	for _, ts := range re.Stats().Tenants {
+		if ts.ID == PoisonTenantID {
+			row = ts
+		}
+	}
+	if row.ID == "" {
+		t.Fatal("poison tenant not restored from checkpoint")
+	}
+	if row.Health != "quarantined" && row.Health != "probation" {
+		t.Errorf("restored poison tenant health %q, want quarantined/probation", row.Health)
+	}
+	if row.Trips == 0 || row.Poison == 0 {
+		t.Errorf("restored poison tenant lost its isolation counters: %+v", row)
+	}
+
+	if err := resumeSim.Run(re); err != nil {
+		t.Fatal(err)
+	}
+	got := serialized(t, re.GlobalSnapshot())
+	st := re.Stats()
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("resumed poisoned run's global snapshot differs from the uninterrupted one")
+	}
+	if st.Trips == 0 || st.Poison == 0 {
+		t.Errorf("resumed run lost isolation counters: trips=%d poison=%d", st.Trips, st.Poison)
+	}
+
+	// And the ultimate isolation check: equal to a poison-free run.
+	cleanCfg := simCfg
+	cleanCfg.Poison = nil
+	cleanSim, err := NewSim(cleanCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, serialized(t, cleanSim.FlatMerge())) {
+		t.Error("poisoned crash-resumed run differs from the poison-free flat merge")
+	}
+}
+
+// TestEvictedQuarantineSurvivesResurrection: a quarantined tenant that
+// goes idle, is evicted and later resurrected comes back with its
+// breaker state and isolation tallies intact.
+func TestEvictedQuarantineSurvivesResurrection(t *testing.T) {
+	svc, err := Open(Config{
+		Workers: 1, BatchSize: 1, StateDir: t.TempDir(),
+		TripFaults: 2, OpenRounds: 8, ProbeJitter: -1, IdleEvict: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	for i := 0; i < 2; i++ {
+		svc.Submit("bad", badDelta())
+	}
+	if err := svc.EndRound(); err != nil { // trips; quarantined for 8 rounds
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ { // idle rounds: evicted after the second
+		if err := svc.EndRound(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := svc.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+
+	// Resurrect: the submission must hit the restored open breaker.
+	err = svc.Submit("bad", goodDelta())
+	if !resilience.IsKind(err, resilience.KindQuarantined) {
+		t.Fatalf("resurrected submit = %v, want quarantined fault", err)
+	}
+	st := svc.Stats()
+	for _, ts := range st.Tenants {
+		if ts.ID == "bad" {
+			if ts.Health != "quarantined" || ts.Trips != 1 || ts.Poison != 2 {
+				t.Errorf("resurrected tenant row %+v lost isolation state", ts)
+			}
+		}
+	}
+	if st.Resurrections != 1 {
+		t.Errorf("resurrections = %d, want 1", st.Resurrections)
+	}
+}

@@ -27,9 +27,31 @@ type metrics struct {
 	evictions     atomic.Uint64
 	resurrections atomic.Uint64
 
+	// Fault-isolation counters (see health.go): poison deltas rejected
+	// by sanitation, deltas dropped while their tenant was
+	// quarantined, deltas refused by per-tenant admission control,
+	// breaker trips and heals across all tenants, and per-tenant
+	// promotion outcomes. All deterministic and persisted.
+	poisonRejects atomic.Uint64
+	quarantined   atomic.Uint64
+	throttled     atomic.Uint64
+	trips         atomic.Uint64
+	heals         atomic.Uint64
+	promotions    atomic.Uint64
+	promoRejects  atomic.Uint64
+	promoFailures atomic.Uint64
+
+	// closedRejects counts Submit/enqueue refusals after Close — a
+	// property of this process's shutdown, deliberately not persisted.
+	closedRejects atomic.Uint64
+
 	// prev carries the counters restored from a checkpoint.
 	prev struct {
 		deltas, batches, overloads, shedDeltas, evictions, resurrections uint64
+
+		poisonRejects, quarantined, throttled   uint64
+		trips, heals                            uint64
+		promotions, promoRejects, promoFailures uint64
 	}
 
 	queueHighWater atomic.Int64
@@ -133,6 +155,14 @@ type TenantStat struct {
 	// Drift is the latest HotOverlap of the tenant's aggregate against
 	// its baseline (1 = no drift; 0 before the first EndRound).
 	Drift float64
+	// Health is the tenant's isolation state ("healthy", "degraded",
+	// "quarantined", "probation").
+	Health string
+	// Poison, Dropped and Throttled are the tenant's all-time
+	// sanitation rejections, quarantine drops and admission refusals.
+	Poison, Dropped, Throttled uint64
+	// Trips counts the tenant's lifetime breaker trips.
+	Trips uint64
 }
 
 // Stats is a point-in-time snapshot of the service's observability
@@ -150,6 +180,24 @@ type Stats struct {
 	Batches, Overloads, ShedDeltas uint64
 	// Evictions and Resurrections count tenant lifecycle transitions.
 	Evictions, Resurrections uint64
+	// Poison counts deltas rejected by sanitation; QuarantineDropped
+	// counts deltas counted-and-dropped while their tenant was
+	// quarantined; Throttled counts admission-control refusals. None of
+	// these ever reached an aggregate.
+	Poison, QuarantineDropped, Throttled uint64
+	// Trips and Heals count breaker transitions across all tenants.
+	Trips, Heals uint64
+	// Promotions, PromoRejects and PromoFailures count per-tenant
+	// canary-pipeline outcomes (0 unless Config.Promote is armed).
+	Promotions, PromoRejects, PromoFailures uint64
+	// ClosedRejects counts Submits refused after Close (this process).
+	ClosedRejects uint64
+	// Health counts resident tenants by health state name.
+	Health map[string]int
+	// ShedByReason breaks down every delta that was refused or dropped
+	// before reaching an aggregate, by mechanism: "overload" (queue
+	// shed), "throttle", "quarantine", "poison", "closed".
+	ShedByReason map[string]uint64
 	// QueueHighWater is the deepest the merge queue got (this process).
 	QueueHighWater int
 	// MergeP50/P99/Max are batch-merge latency quantiles (this process).
@@ -183,6 +231,22 @@ func (s *Service) Stats() Stats {
 	st.ShedDeltas = s.met.shedDeltas.Load() + s.met.prev.shedDeltas
 	st.Evictions = s.met.evictions.Load() + s.met.prev.evictions
 	st.Resurrections = s.met.resurrections.Load() + s.met.prev.resurrections
+	st.Poison = s.met.poisonRejects.Load() + s.met.prev.poisonRejects
+	st.QuarantineDropped = s.met.quarantined.Load() + s.met.prev.quarantined
+	st.Throttled = s.met.throttled.Load() + s.met.prev.throttled
+	st.Trips = s.met.trips.Load() + s.met.prev.trips
+	st.Heals = s.met.heals.Load() + s.met.prev.heals
+	st.Promotions = s.met.promotions.Load() + s.met.prev.promotions
+	st.PromoRejects = s.met.promoRejects.Load() + s.met.prev.promoRejects
+	st.PromoFailures = s.met.promoFailures.Load() + s.met.prev.promoFailures
+	st.ClosedRejects = s.met.closedRejects.Load()
+	st.ShedByReason = map[string]uint64{
+		"overload":   st.ShedDeltas,
+		"throttle":   st.Throttled,
+		"quarantine": st.QuarantineDropped,
+		"poison":     st.Poison,
+		"closed":     st.ClosedRejects,
+	}
 
 	s.mu.Lock()
 	ts := make([]*tenant, 0, len(s.tenants))
@@ -191,11 +255,16 @@ func (s *Service) Stats() Stats {
 	}
 	s.mu.Unlock()
 	st.LiveTenants = len(ts)
+	st.Health = make(map[string]int)
 	for _, t := range ts {
 		t.mu.Lock()
+		st.Health[t.health.String()]++
 		st.Tenants = append(st.Tenants, TenantStat{
 			ID: t.id, Deltas: t.deltas, Sites: t.agg.SiteCount(),
 			LastActive: t.lastActive, Drift: t.drift,
+			Health: t.health.String(),
+			Poison: t.poison, Dropped: t.dropped, Throttled: t.throttled,
+			Trips: t.brk.Trips(),
 		})
 		t.mu.Unlock()
 	}

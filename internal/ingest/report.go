@@ -26,6 +26,11 @@ type TenantReport struct {
 	Sites      int     `json:"sites"`
 	LastActive int     `json:"last_active"`
 	Drift      float64 `json:"drift"`
+	Health     string  `json:"health"`
+	Poison     uint64  `json:"poison,omitempty"`
+	Dropped    uint64  `json:"dropped,omitempty"`
+	Throttled  uint64  `json:"throttled,omitempty"`
+	Trips      uint64  `json:"trips,omitempty"`
 }
 
 // Report is the BENCH_ingest.json schema.
@@ -58,6 +63,20 @@ type Report struct {
 
 	Overloads  uint64 `json:"overloads"`
 	ShedDeltas uint64 `json:"shed_deltas"`
+
+	// Fault-isolation surface: sanitation rejections, quarantine
+	// drops, admission refusals, breaker transitions, per-tenant
+	// promotion outcomes, the shed-by-reason breakdown and the
+	// health-state census at the end of the run.
+	Poison            uint64            `json:"poison"`
+	QuarantineDropped uint64            `json:"quarantine_dropped"`
+	Throttled         uint64            `json:"throttled"`
+	Trips             uint64            `json:"trips"`
+	Heals             uint64            `json:"heals"`
+	Promotions        uint64            `json:"promotions"`
+	PromoRejects      uint64            `json:"promo_rejects"`
+	ShedByReason      map[string]uint64 `json:"shed_by_reason"`
+	HealthCounts      map[string]int    `json:"health_counts"`
 
 	Evictions     uint64 `json:"evictions"`
 	Resurrections uint64 `json:"resurrections"`
@@ -104,6 +123,15 @@ func BuildReport(sim SimConfig, svc *Service, startRound int, wall time.Duration
 		QueueHighWater:    st.QueueHighWater,
 		Overloads:         st.Overloads,
 		ShedDeltas:        st.ShedDeltas,
+		Poison:            st.Poison,
+		QuarantineDropped: st.QuarantineDropped,
+		Throttled:         st.Throttled,
+		Trips:             st.Trips,
+		Heals:             st.Heals,
+		Promotions:        st.Promotions,
+		PromoRejects:      st.PromoRejects,
+		ShedByReason:      st.ShedByReason,
+		HealthCounts:      st.Health,
 		Evictions:         st.Evictions,
 		Resurrections:     st.Resurrections,
 		LiveTenants:       st.LiveTenants,
@@ -142,6 +170,8 @@ func BuildReport(sim SimConfig, svc *Service, startRound int, wall time.Duration
 		rep.TenantRows = append(rep.TenantRows, TenantReport{
 			ID: t.ID, Deltas: t.Deltas, Sites: t.Sites,
 			LastActive: t.LastActive, Drift: t.Drift,
+			Health: t.Health, Poison: t.Poison, Dropped: t.Dropped,
+			Throttled: t.Throttled, Trips: t.Trips,
 		})
 	}
 	return rep

@@ -80,6 +80,104 @@ func parseKV(data []byte) map[string]string {
 	return out
 }
 
+// writeIsolation appends a tenant's fault-isolation state (health,
+// breaker, admission tokens, isolation tallies, promotion backoff) as
+// kv lines. Caller holds t.mu or has producers quiesced. Taking the
+// breaker snapshot here is safe: checkpoints only happen at round
+// barriers, where the observation window is empty by construction.
+func writeIsolation(w *bytes.Buffer, t *tenant) {
+	fmt.Fprintf(w, "health %s\n", t.health)
+	fmt.Fprintf(w, "tokens %d\n", t.tokens)
+	fmt.Fprintf(w, "poison %d\n", t.poison)
+	fmt.Fprintf(w, "dropped %d\n", t.dropped)
+	fmt.Fprintf(w, "throttled %d\n", t.throttled)
+	snap := t.brk.Snap()
+	fmt.Fprintf(w, "brk-state %s\n", snap.State)
+	fmt.Fprintf(w, "brk-open-left %d\n", snap.OpenLeft)
+	fmt.Fprintf(w, "brk-strikes %d\n", snap.Strikes)
+	fmt.Fprintf(w, "brk-trips %d\n", snap.Trips)
+	fmt.Fprintf(w, "brk-heals %d\n", snap.Heals)
+	if t.promo != nil {
+		strikes, cooldown := t.promo.Backoff()
+		fmt.Fprintf(w, "promo-strikes %d\n", strikes)
+		fmt.Fprintf(w, "promo-cooldown %d\n", cooldown)
+	}
+	fmt.Fprintf(w, "promoted %d\n", t.promoted)
+	fmt.Fprintf(w, "promo-rejected %d\n", t.promoRejected)
+	fmt.Fprintf(w, "promo-failures %d\n", t.promoFailures)
+}
+
+// isolationState is the parsed form of writeIsolation's kv lines.
+type isolationState struct {
+	health                     string
+	tokens                     int
+	poison, dropped, throttled uint64
+	brk                        resilience.BreakerSnap
+
+	promoStrikes, promoCooldown            int
+	promoted, promoRejected, promoFailures int
+}
+
+// parseIsolation recovers isolation state from a tenant kv section.
+// A section with no "health" key predates the isolation layer (or lost
+// the lines to corruption) and yields nil — the tenant resumes with a
+// fresh, closed bulkhead.
+func parseIsolation(kv map[string]string) *isolationState {
+	if _, ok := kv["health"]; !ok {
+		return nil
+	}
+	iso := &isolationState{health: kv["health"]}
+	iso.tokens, _ = strconv.Atoi(kv["tokens"])
+	iso.poison, _ = strconv.ParseUint(kv["poison"], 10, 64)
+	iso.dropped, _ = strconv.ParseUint(kv["dropped"], 10, 64)
+	iso.throttled, _ = strconv.ParseUint(kv["throttled"], 10, 64)
+	iso.brk.State = kv["brk-state"]
+	iso.brk.OpenLeft, _ = strconv.Atoi(kv["brk-open-left"])
+	iso.brk.Strikes, _ = strconv.Atoi(kv["brk-strikes"])
+	iso.brk.Trips, _ = strconv.ParseUint(kv["brk-trips"], 10, 64)
+	iso.brk.Heals, _ = strconv.ParseUint(kv["brk-heals"], 10, 64)
+	iso.promoStrikes, _ = strconv.Atoi(kv["promo-strikes"])
+	iso.promoCooldown, _ = strconv.Atoi(kv["promo-cooldown"])
+	iso.promoted, _ = strconv.Atoi(kv["promoted"])
+	iso.promoRejected, _ = strconv.Atoi(kv["promo-rejected"])
+	iso.promoFailures, _ = strconv.Atoi(kv["promo-failures"])
+	return iso
+}
+
+// restoreIsolation applies parsed isolation state to a freshly built
+// tenant (which already has a closed breaker and a full token bucket).
+// Lenient: a breaker or health state that does not parse degrades to
+// the fresh bulkhead with a warning rather than failing the resume.
+func (s *Service) restoreIsolation(t *tenant, iso *isolationState) {
+	if iso == nil {
+		return
+	}
+	t.poison, t.dropped, t.throttled = iso.poison, iso.dropped, iso.throttled
+	t.promoted, t.promoRejected, t.promoFailures = iso.promoted, iso.promoRejected, iso.promoFailures
+	if s.cfg.TenantRate > 0 {
+		t.tokens = iso.tokens
+		if t.tokens < 0 {
+			t.tokens = 0
+		}
+		if t.tokens > s.cfg.TenantBurst {
+			t.tokens = s.cfg.TenantBurst
+		}
+	}
+	health, herr := parseHealth(iso.health)
+	brk, berr := resilience.RestoreBreaker(s.breakerConfig(t.id), iso.brk)
+	if herr != nil || berr != nil {
+		s.cfg.Warnf("ingest: warning: tenant %s isolation state unusable (%v, %v); resuming with a fresh bulkhead",
+			t.id, herr, berr)
+		return
+	}
+	t.health = health
+	t.brk = brk
+	if s.cfg.Promote != nil && (iso.promoStrikes > 0 || iso.promoCooldown > 0) {
+		t.promo = s.newPromoter(t)
+		t.promo.RestoreBackoff(iso.promoStrikes, iso.promoCooldown)
+	}
+}
+
 // saveTenantFile writes a tenant's eviction checkpoint atomically.
 // Called from EndRound with producers quiesced, so the tenant's fields
 // are stable.
@@ -89,6 +187,7 @@ func saveTenantFile(dir string, t *tenant) error {
 	fmt.Fprintf(&meta, "deltas %d\n", t.deltas)
 	fmt.Fprintf(&meta, "last-active %d\n", t.lastActive)
 	fmt.Fprintf(&meta, "agg-hash %s\n", agg.Hash())
+	writeIsolation(&meta, t)
 	secs := []ckpt.Section{
 		{Name: "meta", Data: nil},
 		profileSection("aggregate", agg),
@@ -109,6 +208,7 @@ type restoredTenant struct {
 	aggregate *prof.Profile
 	baseline  *prof.Profile
 	deltas    uint64
+	iso       *isolationState
 }
 
 // loadTenantFile reads a tenant's eviction checkpoint leniently. A
@@ -138,6 +238,7 @@ func loadTenantFile(dir, id string, warnf func(string, ...any)) (*restoredTenant
 	if v, ok := kv["deltas"]; ok {
 		res.deltas, _ = strconv.ParseUint(v, 10, 64)
 	}
+	res.iso = parseIsolation(kv)
 	if data, ok := byName["aggregate"]; ok {
 		p, err := parseProfile(data)
 		if err != nil {
@@ -177,6 +278,14 @@ func (s *Service) checkpoint(round int, snaps map[string]*prof.Profile) error {
 	fmt.Fprintf(&meta, "shed-deltas %d\n", s.met.prev.shedDeltas+s.met.shedDeltas.Load())
 	fmt.Fprintf(&meta, "evictions %d\n", s.met.prev.evictions+s.met.evictions.Load())
 	fmt.Fprintf(&meta, "resurrections %d\n", s.met.prev.resurrections+s.met.resurrections.Load())
+	fmt.Fprintf(&meta, "poison %d\n", s.met.prev.poisonRejects+s.met.poisonRejects.Load())
+	fmt.Fprintf(&meta, "quarantine-dropped %d\n", s.met.prev.quarantined+s.met.quarantined.Load())
+	fmt.Fprintf(&meta, "throttled %d\n", s.met.prev.throttled+s.met.throttled.Load())
+	fmt.Fprintf(&meta, "trips %d\n", s.met.prev.trips+s.met.trips.Load())
+	fmt.Fprintf(&meta, "heals %d\n", s.met.prev.heals+s.met.heals.Load())
+	fmt.Fprintf(&meta, "promotions %d\n", s.met.prev.promotions+s.met.promotions.Load())
+	fmt.Fprintf(&meta, "promo-rejects %d\n", s.met.prev.promoRejects+s.met.promoRejects.Load())
+	fmt.Fprintf(&meta, "promo-failures %d\n", s.met.prev.promoFailures+s.met.promoFailures.Load())
 
 	global := s.global.Snapshot()
 	fmt.Fprintf(&meta, "global-hash %s\n", global.Hash())
@@ -208,6 +317,7 @@ func (s *Service) checkpoint(round int, snaps map[string]*prof.Profile) error {
 		fmt.Fprintf(&tm, "last-active %d\n", t.lastActive)
 		fmt.Fprintf(&tm, "drift %s\n", strconv.FormatFloat(t.drift, 'g', -1, 64))
 		fmt.Fprintf(&tm, "agg-hash %s\n", snap.Hash())
+		writeIsolation(&tm, t)
 		if t.baseline != nil {
 			fmt.Fprintf(&tm, "base-hash %s\n", t.baseline.Hash())
 		}
@@ -270,6 +380,14 @@ func (s *Service) restore() error {
 	parseCounter("shed-deltas", &s.met.prev.shedDeltas)
 	parseCounter("evictions", &s.met.prev.evictions)
 	parseCounter("resurrections", &s.met.prev.resurrections)
+	parseCounter("poison", &s.met.prev.poisonRejects)
+	parseCounter("quarantine-dropped", &s.met.prev.quarantined)
+	parseCounter("throttled", &s.met.prev.throttled)
+	parseCounter("trips", &s.met.prev.trips)
+	parseCounter("heals", &s.met.prev.heals)
+	parseCounter("promotions", &s.met.prev.promotions)
+	parseCounter("promo-rejects", &s.met.prev.promoRejects)
+	parseCounter("promo-failures", &s.met.prev.promoFailures)
 
 	if data, ok := byName["global"]; ok {
 		p, err := parseProfile(data)
@@ -309,7 +427,11 @@ func (s *Service) restore() error {
 			s.cfg.Warnf("ingest: warning: tenant %s aggregate hash %s != recorded %s; dropping", id, agg.Hash(), want)
 			continue
 		}
-		t := &tenant{id: id, agg: s.newTenantAgg()}
+		t := &tenant{
+			id: id, agg: s.newTenantAgg(),
+			brk:    resilience.NewBreaker(s.breakerConfig(id)),
+			tokens: s.cfg.TenantBurst,
+		}
 		t.agg.Add(agg)
 		t.deltas, _ = strconv.ParseUint(tkv["deltas"], 10, 64)
 		t.lastActive, _ = strconv.Atoi(tkv["last-active"])
@@ -324,6 +446,7 @@ func (s *Service) restore() error {
 				t.baseline = base
 			}
 		}
+		s.restoreIsolation(t, parseIsolation(tkv))
 		s.tenants[id] = t
 	}
 	return nil

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/resilience"
 )
 
 // openSim builds a Sim plus a fingerprinted service config over dir.
@@ -212,6 +214,7 @@ func TestIngestEvictionFileRoundTrip(t *testing.T) {
 	tn.agg = svc.newTenantAgg()
 	tn.agg.Add(sim.Delta(0, 0, 0))
 	tn.baseline = sim.Delta(1, 0, 0)
+	tn.brk = resilience.NewBreaker(svc.breakerConfig(tn.id))
 	if err := saveTenantFile(dir, tn); err != nil {
 		t.Fatal(err)
 	}

@@ -75,6 +75,22 @@ const (
 	// bound. The producer may retry after backing off; the aggregate
 	// degrades to an under-count that the overload counters quantify.
 	KindOverload Kind = "overload"
+	// KindPoison is a malformed profile delta rejected by ingestion
+	// sanitation before it could reach any aggregate: zero or overflowing
+	// counts, an inconsistent value profile, empty function or target
+	// names, or a site outside the configured site universe. Poison never
+	// merges, so a quarantined-and-dropped poison stream leaves the
+	// global aggregate byte-identical to a run where it never arrived.
+	KindPoison Kind = "poison"
+	// KindQuarantined is work refused because its tenant's circuit
+	// breaker is open: the tenant's recent fault rate tripped the bulkhead
+	// and its submissions are counted-and-dropped until the breaker's
+	// half-open probe window heals it.
+	KindQuarantined Kind = "quarantined"
+	// KindClosed is a request against a service that has already been
+	// shut down: the work was refused with a structured error rather than
+	// panicking on a closed internal queue.
+	KindClosed Kind = "closed"
 )
 
 // FaultError is the structured error type used at the interp/workload/
