@@ -15,6 +15,9 @@ import (
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/cpu"
+	"repro/internal/interp"
+	"repro/internal/ir"
 )
 
 var (
@@ -129,3 +132,66 @@ func BenchmarkRobustness(b *testing.B) {
 		return lastPct(t.Rows[2][1]), "apache-profile-geomean-%"
 	})
 }
+
+// dispatchMachine builds the dispatch-microbenchmark machine — the same
+// loop of straight-line work, direct calls and a skewed indirect call
+// that internal/interp's engine benchmarks use — so the root pair below
+// tracks raw per-instruction dispatch cost for the two execution tiers
+// in BENCH_engine.json's trajectory.
+func dispatchMachine(b *testing.B, eng interp.Engine) (*interp.Machine, int) {
+	b.Helper()
+	m := ir.NewModule()
+	w := ir.NewFunction(m, "work", 0)
+	w.ALU(10).Ret()
+	ha := ir.NewFunction(m, "handler_a", 1)
+	ha.ALU(2).Ret()
+	hb := ir.NewFunction(m, "handler_b", 1)
+	hb.ALU(20).Ret()
+	e := ir.NewFunction(m, "entry", 0)
+	e.Jmp("loop")
+	e.NewBlock("loop")
+	e.ALU(12)
+	e.Call("work", 0)
+	site := e.IndirectCall(1)
+	e.BrLoop(100, "loop", "out")
+	e.NewBlock("out")
+	e.Ret()
+	if err := ir.Verify(m, ir.VerifyOptions{}); err != nil {
+		b.Fatalf("Verify: %v", err)
+	}
+	p, err := interp.Compile(m)
+	if err != nil {
+		b.Fatalf("Compile: %v", err)
+	}
+	mc := interp.NewMachine(p, 1)
+	mc.CPU = cpu.New(cpu.DefaultParams())
+	mc.Engine = eng
+	res := interp.NewResolver()
+	d, err := interp.NewDist(
+		[]int{p.FuncIndex("handler_a"), p.FuncIndex("handler_b")},
+		[]uint64{9, 1},
+	)
+	if err != nil {
+		b.Fatalf("NewDist: %v", err)
+	}
+	res.Set(site, d)
+	mc.Res = res
+	return mc, p.FuncIndex("entry")
+}
+
+func runDispatch(b *testing.B, eng interp.Engine) {
+	mc, idx := dispatchMachine(b, eng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := mc.RunIndex(idx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMachineRun times the packed-event interpreter's dispatch;
+// BenchmarkMachineRunCompiled times the threaded-code tier on the same
+// machine shape. The pair mirrors the machine_run_interp and
+// machine_run_compiled rows of `pibe bench-engine`.
+func BenchmarkMachineRun(b *testing.B)         { runDispatch(b, interp.EngineInterp) }
+func BenchmarkMachineRunCompiled(b *testing.B) { runDispatch(b, interp.EngineCompiled) }

@@ -16,7 +16,8 @@
 //	              [-drift-threshold 0.75] [-fleet-mix apache,nginx] [-fleet-decay 0.5]
 //	              [-canary 1] [-regression-budget 0.05] [-state DIR]
 //	              [-profile baseline.txt] [...build flags] [-measure]
-//	pibe bench-engine [-seed N] [-measure-workers N] [-bench-iters N] [-o BENCH_engine.json]
+//	pibe bench-engine [-seed N] [-engine interp|compiled] [-measure-workers N] [-bench-iters N]
+//	              [-o BENCH_engine.json]
 //	pibe sweep    [-seed N] [-sweep-grid 0,50,90,99,99.9,99.99,99.9999] [-sweep-combos retpoline,all]
 //	              [-sweep-knee 1.1] [-sweep-kernel-scale 1] [-sweep-timings]
 //	              [-state sweep.state] [-sweep-shards N -sweep-shard I]
@@ -96,7 +97,16 @@
 // for every N; -measure-workers=0 selects the legacy serial driver.
 // bench-engine times the execution engine (machine dispatch, profile
 // collection, request measurement serial vs parallel) and writes a
-// machine-readable BENCH_engine.json.
+// machine-readable BENCH_engine.json; raw dispatch is always timed on
+// both tiers (machine_run_interp / machine_run_compiled).
+//
+// Every command accepts -engine interp|compiled to select the execution
+// tier for profiling and measurement machines. The compiled engine runs
+// pre-compiled threaded code (closure chains) instead of per-instruction
+// dispatch; it is cycle-exact against the interpreter — profiles,
+// latencies, sweep surfaces and censuses are identical — so the flag
+// only changes wall-clock time. Machines the compiled tier cannot run
+// (live recorder, hook, injector, exact accounting) silently fall back.
 //
 // Fleet mode runs continuous profiling: -fleet concurrent collectors per
 // epoch stream profile deltas into a sharded aggregator with per-epoch
@@ -173,6 +183,8 @@ func main() {
 	lenient := fs.Bool("lenient", false, "salvage corrupt/truncated -profile inputs instead of failing")
 	measureWorkers := fs.Int("measure-workers", runtime.GOMAXPROCS(0),
 		"measurement worker pool size (0 = legacy serial driver)")
+	engineName := fs.String("engine", "interp",
+		"execution engine: interp (packed-event reference) or compiled (threaded code; cycle-exact, faster)")
 	benchIters := fs.Int("bench-iters", 3, "minimum iterations per bench-engine benchmark")
 	sweepGrid := fs.String("sweep-grid", "0,50,90,99,99.9,99.99,99.9999",
 		"comma-separated budget grid in percent, applied to both sweep axes")
@@ -222,12 +234,16 @@ func main() {
 		"write the final global aggregate profile here (the byte-identical resume artifact)")
 	fs.Parse(os.Args[2:])
 
+	engine, err := pibe.ParseEngine(*engineName)
+	check(err)
+
 	if cmd == "ingest" {
 		path := *out
 		if path == "" {
 			path = "BENCH_ingest.json"
 		}
 		check(runIngest(ingestOpts{
+			engine:        engine,
 			seed:          *seed,
 			tenants:       *ingestTenants,
 			kernels:       *ingestKernels,
@@ -265,6 +281,7 @@ func main() {
 		switch cmd {
 		case "sweep":
 			check(runSweep(sweepOpts{
+				engine:         engine,
 				seed:           *seed,
 				grid:           *sweepGrid,
 				combos:         *sweepCombos,
@@ -291,6 +308,7 @@ func main() {
 	sys, err := pibe.NewSyntheticKernel(pibe.KernelConfig{Seed: *seed})
 	check(err)
 	sys.SetMeasureWorkers(*measureWorkers)
+	sys.SetEngine(engine)
 
 	var inject *resilience.Injector
 	if *chaosRate > 0 {
@@ -481,7 +499,7 @@ func main() {
 		if path == "" {
 			path = "BENCH_engine.json"
 		}
-		check(benchEngine(path, *seed, *measureWorkers, *benchIters))
+		check(benchEngine(path, *seed, *measureWorkers, *benchIters, engine))
 
 	default:
 		usage()

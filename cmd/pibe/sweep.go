@@ -12,6 +12,7 @@ import (
 
 // sweepOpts carries the `pibe sweep` flag values.
 type sweepOpts struct {
+	engine         pibe.Engine
 	seed           int64
 	grid           string
 	combos         string
@@ -57,6 +58,9 @@ func runSweep(opts sweepOpts) error {
 		mw = 1
 	}
 	suite.Sys.SetMeasureWorkers(mw)
+	// Engine choice never changes a cell's numbers (the compiled tier
+	// is cycle-exact), so the sweep surface stays byte-identical.
+	suite.Sys.SetEngine(opts.engine)
 	fmt.Fprintf(os.Stderr, "pibe sweep: kernel generated and profiled in %v (%d cells)\n",
 		time.Since(start).Round(time.Millisecond), len(grid)*len(grid)*len(combos))
 

@@ -33,6 +33,7 @@ import (
 	"hash/fnv"
 	"sort"
 
+	"repro/internal/cpu"
 	"repro/internal/harden"
 	"repro/internal/interp"
 	"repro/internal/ir"
@@ -147,6 +148,95 @@ func Validate(k *kernel.Kernel, ref, cand *interp.Program, cfg Config) (*Report,
 						r, candObs.resolves, refObs.resolves, firstMismatch(refObs, candObs))
 				}
 				fmt.Fprintf(total, "%s %d %s %s\n", cell, r, refObs.outcome, refObs.digest)
+				rep.Runs++
+			}
+			rep.Entries++
+		}
+	}
+	rep.Digest = fmt.Sprintf("%016x", total.Sum64())
+	return rep, nil
+}
+
+// ValidateEngines differentially validates the threaded-code execution
+// tier against the packed-event interpreter on a single program: the
+// same image is executed over the workload corpus by both engines with
+// identical seeds, and every run must agree on trap outcome, on the
+// profile-visible resolution sequence, and — stronger than the
+// image-vs-image gate — on the cycle-exact CPU model state (Cycles and
+// every counter). This is the same canary machinery the fleet uses to
+// promote candidate images, applied to promoting the fast engine: a
+// compiled-tier miscompilation surfaces exactly like an optimizer
+// miscompilation would, as a KindDivergence fault naming the cell.
+func ValidateEngines(k *kernel.Kernel, prog *interp.Program, cfg Config) (*Report, error) {
+	if k == nil || prog == nil {
+		return nil, resilience.Faultf(resilience.PhasePromote, resilience.KindConfig, "diffcheck",
+			"nil kernel or program")
+	}
+	flavors := cfg.Flavors
+	if len(flavors) == 0 {
+		flavors = []workload.Flavor{workload.LMBench}
+	}
+	runs := cfg.Runs
+	if runs <= 0 {
+		runs = 3
+	}
+	rep := &Report{}
+	total := fnv.New64a()
+	seen := make(map[workload.Flavor]bool)
+	for fi, flavor := range flavors {
+		if seen[flavor] {
+			continue
+		}
+		seen[flavor] = true
+		res, err := workload.BuildResolver(k, prog, flavor)
+		if err != nil {
+			return nil, resilience.Fault(resilience.PhasePromote, resilience.KindConfig, flavor.String(), err)
+		}
+		mix := workload.Mix(flavor)
+		benches := make([]string, 0, len(mix))
+		for b := range mix {
+			benches = append(benches, b)
+		}
+		sort.Strings(benches)
+		for bi, bench := range benches {
+			entry, ok := k.Entries[bench]
+			if !ok {
+				return nil, resilience.Faultf(resilience.PhasePromote, resilience.KindConfig,
+					flavor.String()+"/"+bench, "mix references unknown benchmark")
+			}
+			cell := fmt.Sprintf("%s/%s", flavor, bench)
+			seed := cfg.Seed + int64(fi)*1_000_003 + int64(bi)*8191 + 7
+			refOb := observedMachine(prog, res, seed)
+			refOb.mc.Engine = interp.EngineInterp
+			refOb.mc.CPU = cpu.New(cpu.DefaultParams())
+			candOb := observedMachine(prog, res, seed)
+			candOb.mc.Engine = interp.EngineCompiled
+			candOb.mc.CPU = cpu.New(cpu.DefaultParams())
+			for r := 0; r < runs; r++ {
+				refObs := runObserved(refOb, entry)
+				candObs := runObserved(candOb, entry)
+				if refObs.outcome != candObs.outcome {
+					return nil, resilience.Faultf(resilience.PhasePromote, resilience.KindDivergence, cell,
+						"run %d: trap status diverged: interpreter %s, compiled %s",
+						r, refObs.outcome, candObs.outcome)
+				}
+				if refObs.digest != candObs.digest {
+					return nil, resilience.Faultf(resilience.PhasePromote, resilience.KindDivergence, cell,
+						"run %d: resolution trace diverged after %d resolutions (interpreter saw %d): "+
+							"first mismatch at %s",
+						r, candObs.resolves, refObs.resolves, firstMismatch(refObs, candObs))
+				}
+				if refOb.mc.CPU.Cycles != candOb.mc.CPU.Cycles {
+					return nil, resilience.Faultf(resilience.PhasePromote, resilience.KindDivergence, cell,
+						"run %d: cycle count diverged: interpreter %d, compiled %d",
+						r, refOb.mc.CPU.Cycles, candOb.mc.CPU.Cycles)
+				}
+				if refOb.mc.CPU.Stats != candOb.mc.CPU.Stats {
+					return nil, resilience.Faultf(resilience.PhasePromote, resilience.KindDivergence, cell,
+						"run %d: event counters diverged: interpreter %+v, compiled %+v",
+						r, refOb.mc.CPU.Stats, candOb.mc.CPU.Stats)
+				}
+				fmt.Fprintf(total, "%s %d %s %s %d\n", cell, r, refObs.outcome, refObs.digest, refOb.mc.CPU.Cycles)
 				rep.Runs++
 			}
 			rep.Entries++

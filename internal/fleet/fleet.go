@@ -103,6 +103,10 @@ type Config struct {
 	// crash that loses exactly the in-flight epoch. Returning an error
 	// aborts the run.
 	OnEpoch func(EpochReport) error
+	// Engine selects the execution tier for the collectors' machines.
+	// The compiled tier is cycle-exact, so aggregates and promotion
+	// decisions are identical either way; only wall-clock changes.
+	Engine interp.Engine
 }
 
 func (c Config) withDefaults() Config {
@@ -472,6 +476,7 @@ func (s *Service) collect(epoch, i int) (d delta) {
 		return delta{failed: true, kind: faultKind(err)}
 	}
 	r.Inject = s.cfg.Inject
+	r.Engine = s.cfg.Engine
 	p, err := r.Profile(s.cfg.OpsScale)
 	switch {
 	case p == nil:

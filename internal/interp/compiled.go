@@ -1,0 +1,1418 @@
+// Threaded-code compilation tier.
+//
+// The packed-event interpreter (interp.go) still pays a switch dispatch,
+// a bounds-checked event fetch and several cpu.Model method calls per
+// control-flow event. This file adds a second execution tier that
+// removes all three: each cblock is pre-compiled into a chain of Go
+// closures (classic threaded code — the standard pure-Go answer to
+// having no runtime codegen), so steady-state execution runs
+// closure-to-closure through a two-instruction driver loop
+// (`for op != nil { op = op(vm) }`) with every compile-time constant —
+// addresses, costs, branch thresholds, defense kinds, callee identities
+// — captured in the closure instead of fetched and decoded per event.
+//
+// Cycle accounting is folded into the chain: the VM borrows the
+// cpu.Model's predictor and cache state (cpu.EngineState) for the
+// duration of a run and applies the model's own update rules inline,
+// with Cycles/Stats accumulating in VM-local fields written back at
+// exit. Because every charge is a pure sum and the order-sensitive
+// state (BTB/PHT slots, RSB cursor, LRU stamps) is updated through the
+// same arrays with the same rules in the same sequence, the compiled
+// tier is cycle-exact against the interpreter — a property the
+// equivalence tests, FuzzCompiledEquivalence and the diffcheck
+// engine-vs-engine gate all enforce.
+//
+// Superinstruction fusion: the profile work in PR 4/5 identified the
+// hot event shapes on the syscall path — straight-line segments ending
+// in a return ("step,ret" leaf helpers), direct calls into those
+// helpers, resolve feeding an indirect call, and block-entry accounting
+// feeding a terminator. Each is fused here:
+//
+//   - call->leaf and icall->leaf: a call whose callee is a call-free
+//     straight-line body executes the whole callee (segment charges,
+//     icache touches, the return) inside the caller's closure, from a
+//     data-driven leaf descriptor — no frame push, no dispatch.
+//   - resolve+icall: one closure draws the target and dispatches it,
+//     skipping the register round-trip decode.
+//   - block-entry accounting (step/fuel check plus batched segment
+//     charge or per-event icache touch) is a compile-time prefix baked
+//     into the first event's closure, as is every superblock seam
+//     (cStep) for the event that follows it.
+//
+// The tier is opt-in (Machine.Engine) and conservative: machines with a
+// Recorder, ICallHook, Injector, replaced RNG or ExactAccounting fall
+// back to the interpreter silently — those paths observe per-event
+// execution and the compiled chain does not expose it. OnResolve is
+// supported (diffcheck depends on it).
+package interp
+
+import (
+	"errors"
+	"unsafe"
+
+	"repro/internal/cpu"
+	"repro/internal/ir"
+	"repro/internal/resilience"
+)
+
+// Engine selects the execution tier a Machine uses.
+type Engine uint8
+
+const (
+	// EngineInterp is the packed-event interpreter — the reference tier.
+	EngineInterp Engine = iota
+	// EngineCompiled is the threaded-code tier. Machines that carry
+	// state the compiled chain cannot observe (recorder, hook, injector,
+	// replaced RNG, ExactAccounting) fall back to the interpreter.
+	EngineCompiled
+)
+
+// ParseEngine parses an engine name as used by the -engine CLI flag.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "", "interp":
+		return EngineInterp, nil
+	case "compiled":
+		return EngineCompiled, nil
+	}
+	return EngineInterp, errors.New("interp: unknown engine " + s + " (want interp or compiled)")
+}
+
+func (e Engine) String() string {
+	if e == EngineCompiled {
+		return "compiled"
+	}
+	return "interp"
+}
+
+// errEngineUnavailable reports that the borrowed-state view could not be
+// established (exotic icache geometry); the caller falls back to the
+// interpreter for this run.
+var errEngineUnavailable = errors.New("interp: compiled engine unavailable for this cpu model")
+
+// cop is one compiled operation: execute, return the next operation.
+// nil ends the run (vm.err distinguishes completion from fault).
+type cop func(vm *cvm) cop
+
+// compiled is the threaded-code form of a Program, built once per
+// Program on first use and shared by every Machine running it (closures
+// capture only compile-time constants; all mutable state lives in the
+// per-machine cvm).
+type compiled struct {
+	funcs []cfn
+	addrs []int64 // function base addresses, indexed like funcs
+}
+
+// cfn is one compiled function.
+type cfn struct {
+	name     string
+	index    int32
+	numRegs  int
+	numTrips int
+	// entries holds the entry closure of each block; branch closures
+	// capture pointers into it so cyclic control flow resolves lazily.
+	entries []cop
+	entry0  cop
+	// leaf describes a call-free straight-line body ending in a return;
+	// call sites execute it inline instead of entering the function.
+	leaf *leafBody
+	// flatEntries/flatEntry0 are a second compilation of call-free
+	// functions whose return ends a nested driver loop instead of
+	// popping a frame; call sites run them on scratch registers with no
+	// frame push at all (the compiled analogue of the interpreter's
+	// frameless runFlat path). nil for functions that make calls.
+	flatEntries []cop
+	flatEntry0  cop
+}
+
+// leafSeg is one straight-line segment of a leaf body: a block entry or
+// superblock seam — one step/fuel sequence point plus its batched
+// charge and icache touch.
+type leafSeg struct {
+	cost, count int64
+	lineBase    int64
+	nLines      int
+}
+
+// leafBody is the data-driven description of a leaf function, executed
+// inline at fused call sites.
+type leafBody struct {
+	name   string
+	segs   []leafSeg
+	retDef ir.Defense
+}
+
+// cframe is a suspended caller on the compiled VM's frame stack.
+type cframe struct {
+	regs    []int32
+	trips   []int32
+	flag    bool
+	retAddr int64
+	cont    cop
+}
+
+// regFile is the pooled register/trip storage for one call depth —
+// one buffer so a frame install is a single capacity check and clear.
+type regFile struct {
+	buf []int32
+}
+
+// cvm is the per-machine state of the compiled tier. The hot fields are
+// plain scalars and slice headers so closures touch one pointer (vm)
+// plus fixed offsets; cpu parameters are hoisted out of the model at
+// run entry so no closure reads through Model.P.
+type cvm struct {
+	// borrowed model state (slices alias the model's arrays)
+	st cpu.EngineState
+
+	// hoisted model parameters
+	mispredict       int64
+	icMissPenalty    int64
+	directCallCost   int64
+	callArgCost      int64
+	returnCost       int64
+	indirectCallCost int64
+	condBranchCost   int64
+	retpolineCost    int64
+	lviForwardCost   int64
+	fencedRetpCost   int64
+	retRetpCost      int64
+	lviReturnCost    int64
+	fencedRetRetCost int64
+	cfiCheckCost     int64
+	stackProtCost    int64
+	safeStackCost    int64
+	rsbRefillCost    int64
+	alignMask        int64 // ^(ICacheLine-1)
+	icLine           int64
+
+	// execution state
+	steps     int64
+	maxSteps  int64
+	maxDepth  int
+	depth     int
+	src       *fastSource
+	res       *Resolver
+	onResolve func(orig ir.SiteID, target int32)
+	cp        *compiled
+	err       error
+
+	// current frame
+	regs    []int32
+	trips   []int32
+	flag    bool
+	retAddr int64
+
+	stack []cframe
+	pool  []regFile
+
+	// scratch register file for the frameless flat-call path. Flat
+	// functions are call-free, so at most one is live at a time.
+	flatRegs  []int32
+	flatTrips []int32
+
+	// model is the Model the view and hoisted parameters were taken
+	// from; runs against the same model re-borrow with EngineSync.
+	model *cpu.Model
+
+	// Pointer-hoisted icache arrays. The touch probe is the hottest
+	// operation in the engine, and going through the borrowed slice
+	// headers costs three bounds checks plus reloads the compiler
+	// cannot elide (stores through one borrowed slice may alias the
+	// others). The raw-pointer form is sound because every index is
+	// provably in bounds: set <= icSetMask = sets-1 < len(ICMRU), and
+	// mru = set*ways + way < sets*ways = len(ICTags) since MRU entries
+	// only ever hold way indices in [0, ways) — both the model and
+	// touchSlow write int32(w) with w < ways. runCompiled checks the
+	// geometry (ways >= 1, len(ICTags) == sets*ways) once before
+	// installing these.
+	icMRUP    unsafe.Pointer // &ICMRU[0]  ([]int32)
+	icTagsP   unsafe.Pointer // &ICTags[0] ([]int64)
+	icStampP  unsafe.Pointer // &ICStamp[0] ([]int64)
+	icSetMask uint64         // len(ICMRU)-1 == cpu icMask
+	icShiftN  uint64
+	icWaysN   uintptr
+
+	// rsbP is &RSB[0], same treatment: the cursor invariant
+	// RSBTop in [0, RSBDepth) with len(RSB) == RSBDepth (gated in
+	// runCompiled) keeps every access in bounds.
+	rsbP unsafe.Pointer
+}
+
+// --- inlined cpu.Model operations ----------------------------------
+//
+// Each mirrors the corresponding Model method exactly (cpu.go is the
+// source of truth); TestEngineStateMatchesModel in cpu and the
+// equivalence tests here pin the behaviour.
+
+func (vm *cvm) pushRSB(ret int64) {
+	top := vm.st.RSBTop + 1
+	if top == vm.st.RSBDepth {
+		top = 0
+	}
+	*(*int64)(unsafe.Add(vm.rsbP, uintptr(top)*8)) = ret
+	vm.st.RSBTop = top
+	if vm.st.RSBLen < vm.st.RSBDepth {
+		vm.st.RSBLen++
+	}
+}
+
+func (vm *cvm) popRSB() (int64, bool) {
+	if vm.st.RSBLen == 0 {
+		return 0, false
+	}
+	top := vm.st.RSBTop
+	v := *(*int64)(unsafe.Add(vm.rsbP, uintptr(top)*8))
+	top--
+	if top < 0 {
+		top = vm.st.RSBDepth - 1
+	}
+	vm.st.RSBTop = top
+	vm.st.RSBLen--
+	return v, true
+}
+
+func (vm *cvm) refillRSB() {
+	const benign = 0x7fffff00
+	for i := 0; i < vm.st.RSBDepth; i++ {
+		vm.pushRSB(benign)
+	}
+	vm.st.RSBLen = vm.st.RSBDepth
+	vm.st.Cycles += vm.rsbRefillCost
+}
+
+// touchProbe is the set-indexed MRU probe — the dominant icache path.
+// It is small enough to inline into every closure that touches a line;
+// misses fall to touchSlow. line must already be line-aligned. It uses
+// the pointer-hoisted arrays (see the cvm field comment for the
+// in-bounds argument); the masked set index is value-identical to the
+// model's `& icMask` since icSetMask == len(ICMRU)-1 == icMask.
+func (vm *cvm) touchProbe(line int64) bool {
+	set := uintptr(uint64(line>>vm.icShiftN) & vm.icSetMask)
+	mru := set*vm.icWaysN + uintptr(*(*int32)(unsafe.Add(vm.icMRUP, set*4)))
+	if *(*int64)(unsafe.Add(vm.icTagsP, mru*8)) == line {
+		vm.st.Stats.ICacheHits++
+		*(*int64)(unsafe.Add(vm.icStampP, mru*8)) = vm.st.ICTick
+		vm.st.ICTick++
+		return true
+	}
+	return false
+}
+
+// touchSlow is the tag scan and fill, mirroring Model.touchLineSlow for
+// power-of-two line sizes (EngineView guarantees icShift >= 0).
+func (vm *cvm) touchSlow(line int64) {
+	set := uintptr(uint64(line>>vm.icShiftN) & vm.icSetMask)
+	ways := vm.icWaysN
+	tags := unsafe.Add(vm.icTagsP, set*ways*8)
+	stamp := unsafe.Add(vm.icStampP, set*ways*8)
+	victim := uintptr(0)
+	victimStamp := *(*int64)(stamp)
+	for w := uintptr(0); w < ways; w++ {
+		if *(*int64)(unsafe.Add(tags, w*8)) == line {
+			vm.st.Stats.ICacheHits++
+			*(*int64)(unsafe.Add(stamp, w*8)) = vm.st.ICTick
+			vm.st.ICTick++
+			*(*int32)(unsafe.Add(vm.icMRUP, set*4)) = int32(w)
+			return
+		}
+		if s := *(*int64)(unsafe.Add(stamp, w*8)); s < victimStamp {
+			victim, victimStamp = w, s
+		}
+	}
+	vm.st.Stats.ICacheMisses++
+	vm.st.Cycles += vm.icMissPenalty
+	*(*int64)(unsafe.Add(tags, victim*8)) = line
+	*(*int64)(unsafe.Add(stamp, victim*8)) = vm.st.ICTick
+	vm.st.ICTick++
+	*(*int32)(unsafe.Add(vm.icMRUP, set*4)) = int32(victim)
+}
+
+// touchN touches n consecutive lines starting at base (re-aligned, as
+// Model.TouchLines does — the model's line size may differ from the
+// 64-byte layout granularity blocks were compiled with). The probe is
+// written out with the slice headers hoisted to locals so they stay in
+// registers across the loop (stores through the borrowed slices defeat
+// the compiler's alias analysis otherwise).
+func (vm *cvm) touchN(base int64, n int) {
+	line := base & vm.alignMask
+	mruP, tagsP, stampP := vm.icMRUP, vm.icTagsP, vm.icStampP
+	shift, setMask, ways := vm.icShiftN, vm.icSetMask, vm.icWaysN
+	for i := 0; i < n; i++ {
+		set := uintptr(uint64(line>>shift) & setMask)
+		mru := set*ways + uintptr(*(*int32)(unsafe.Add(mruP, set*4)))
+		if *(*int64)(unsafe.Add(tagsP, mru*8)) == line {
+			vm.st.Stats.ICacheHits++
+			*(*int64)(unsafe.Add(stampP, mru*8)) = vm.st.ICTick
+			vm.st.ICTick++
+		} else {
+			vm.touchSlow(line)
+		}
+		line += vm.icLine
+	}
+}
+
+// condBranch mirrors Model.CondBranch; used by the (rare) switch
+// compare-chain. Hot branch closures inline the same logic directly.
+func (vm *cvm) condBranch(addr int64, taken bool) {
+	slot := addr & vm.st.PHTMask
+	ctr := vm.st.PHT[slot]
+	if (ctr >= 2) == taken {
+		vm.st.Stats.PHTHits++
+		vm.st.Cycles += vm.condBranchCost
+	} else {
+		vm.st.Stats.PHTMisses++
+		vm.st.Cycles += vm.condBranchCost + vm.mispredict
+	}
+	if taken {
+		if ctr < 3 {
+			vm.st.PHT[slot] = ctr + 1
+		}
+	} else if ctr > 0 {
+		vm.st.PHT[slot] = ctr - 1
+	}
+}
+
+// icallDef charges a defended indirect call (everything in
+// Model.IndirectCall's switch except DefNone, which call closures
+// inline). The argument cost and RSB push stay at the call site.
+func (vm *cvm) icallDef(siteAddr, targetAddr int64, def ir.Defense) {
+	switch def {
+	case ir.DefRetpoline:
+		vm.st.Stats.ThunkedCalls++
+		vm.st.Cycles += vm.retpolineCost
+	case ir.DefLVI:
+		vm.st.Stats.ThunkedCalls++
+		slot := siteAddr & vm.st.BTBMask
+		if vm.st.BTB[slot] == targetAddr {
+			vm.st.Stats.BTBHits++
+			vm.st.Cycles += vm.indirectCallCost + vm.lviForwardCost
+		} else {
+			vm.st.Stats.BTBMisses++
+			vm.st.Cycles += vm.indirectCallCost + vm.lviForwardCost + vm.mispredict
+			vm.st.BTB[slot] = targetAddr
+		}
+	case ir.DefFencedRetpoline:
+		vm.st.Stats.ThunkedCalls++
+		vm.st.Cycles += vm.fencedRetpCost
+	case ir.DefLLVMCFI:
+		slot := siteAddr & vm.st.BTBMask
+		if vm.st.BTB[slot] == targetAddr {
+			vm.st.Stats.BTBHits++
+			vm.st.Cycles += vm.indirectCallCost + vm.cfiCheckCost
+		} else {
+			vm.st.Stats.BTBMisses++
+			vm.st.Cycles += vm.indirectCallCost + vm.cfiCheckCost + vm.mispredict
+			vm.st.BTB[slot] = targetAddr
+		}
+	default:
+		vm.st.Stats.ThunkedCalls++
+		vm.st.Cycles += vm.fencedRetpCost
+	}
+}
+
+// retSlow charges a defended return; Returns++ and the RSB pop already
+// happened at the site (the pop precedes the defense switch in
+// Model.Return).
+func (vm *cvm) retSlow(predicted int64, ok bool, retAddr int64, def ir.Defense) {
+	switch def {
+	case ir.DefRetRetpoline:
+		vm.st.Stats.ThunkedRets++
+		vm.st.Cycles += vm.retRetpCost
+	case ir.DefLVIRet:
+		vm.st.Stats.ThunkedRets++
+		if ok && predicted == retAddr {
+			vm.st.Stats.RSBHits++
+			vm.st.Cycles += vm.returnCost + vm.lviReturnCost
+		} else {
+			vm.st.Stats.RSBMisses++
+			vm.st.Cycles += vm.returnCost + vm.lviReturnCost + vm.mispredict
+		}
+	case ir.DefFencedRetRet:
+		vm.st.Stats.ThunkedRets++
+		vm.st.Cycles += vm.fencedRetRetCost
+	case ir.DefStackProtector, ir.DefSafeStack:
+		extra := vm.stackProtCost
+		if def == ir.DefSafeStack {
+			extra = vm.safeStackCost
+		}
+		if ok && predicted == retAddr {
+			vm.st.Stats.RSBHits++
+			vm.st.Cycles += vm.returnCost + extra
+		} else {
+			vm.st.Stats.RSBMisses++
+			vm.st.Cycles += vm.returnCost + extra + vm.mispredict
+		}
+	default:
+		vm.st.Stats.ThunkedRets++
+		vm.st.Cycles += vm.fencedRetRetCost
+	}
+}
+
+// ijump mirrors Model.IndirectJump (jump-table switches are rare enough
+// that the defense switch stays a method call).
+func (vm *cvm) ijump(siteAddr, targetAddr int64, def ir.Defense) {
+	switch def {
+	case ir.DefNone:
+		slot := siteAddr & vm.st.BTBMask
+		if vm.st.BTB[slot] == targetAddr {
+			vm.st.Stats.BTBHits++
+			vm.st.Cycles += vm.indirectCallCost
+		} else {
+			vm.st.Stats.BTBMisses++
+			vm.st.Cycles += vm.indirectCallCost + vm.mispredict
+			vm.st.BTB[slot] = targetAddr
+		}
+	case ir.DefRetpoline:
+		vm.st.Cycles += vm.retpolineCost
+	default:
+		vm.st.Cycles += vm.fencedRetpCost
+	}
+}
+
+// --- faults ---------------------------------------------------------
+
+func (vm *cvm) fuelFault(name string) cop {
+	vm.err = resilience.Faultf(resilience.PhaseExecute, resilience.KindFuelExhausted, name,
+		"interp: step budget exhausted in %s", name)
+	return nil
+}
+
+func (vm *cvm) depthFault(name string) cop {
+	vm.err = resilience.Faultf(resilience.PhaseExecute, resilience.KindDepthExhausted, name,
+		"interp: call depth exceeds %d at %s", vm.maxDepth, name)
+	return nil
+}
+
+// --- frame protocol -------------------------------------------------
+
+// enter suspends the current frame and installs a fresh one for cf,
+// mirroring pushFrame (depth check, cleared registers/trips). cont is
+// the closure to resume the caller at after cf returns.
+func (vm *cvm) enter(cf *cfn, retAddr int64, cont cop) cop {
+	d := vm.depth + 1
+	if d >= vm.maxDepth {
+		return vm.depthFault(cf.name)
+	}
+	if vm.depth >= len(vm.stack) {
+		vm.stack = append(vm.stack, make([]cframe, vm.depth+1-len(vm.stack))...)
+	}
+	fr := &vm.stack[vm.depth]
+	fr.regs, fr.trips, fr.flag, fr.retAddr, fr.cont = vm.regs, vm.trips, vm.flag, vm.retAddr, cont
+	vm.installFrame(cf, d, retAddr)
+	return cf.entry0
+}
+
+// installFrame points the VM's live register state at the pooled file
+// for depth d, cleared for cf.
+func (vm *cvm) installFrame(cf *cfn, d int, retAddr int64) {
+	for d >= len(vm.pool) {
+		vm.pool = append(vm.pool, regFile{})
+	}
+	p := &vm.pool[d]
+	need := cf.numRegs + cf.numTrips
+	if cap(p.buf) < need {
+		p.buf = make([]int32, need+16)
+	}
+	buf := p.buf[:need]
+	clear(buf)
+	vm.regs, vm.trips = buf[:cf.numRegs], buf[cf.numRegs:]
+	vm.flag = false
+	vm.retAddr = retAddr
+	vm.depth = d
+}
+
+// runLeaf executes a leaf body inline at a call site: the exact
+// observable sequence of runFlat for this shape — depth check, one
+// step/fuel sequence point plus batched charge and icache touch per
+// segment, then the return — with no frame and no dispatch. The caller
+// has already charged the call itself. next resumes the caller.
+func (vm *cvm) runLeaf(lb *leafBody, retAddr int64, next cop) cop {
+	if vm.depth+1 >= vm.maxDepth {
+		return vm.depthFault(lb.name)
+	}
+	if n := int64(len(lb.segs)); vm.steps+n <= vm.maxSteps {
+		// Whole body fits in the fuel budget: one steps update, no
+		// per-segment checks. End state is identical to the careful
+		// path (charges are pure sums, touches stay in order).
+		vm.steps += n
+		for i := range lb.segs {
+			s := &lb.segs[i]
+			vm.st.Cycles += s.cost
+			vm.st.Stats.Instructions += s.count
+			if s.nLines == 1 {
+				line := s.lineBase & vm.alignMask
+				if !vm.touchProbe(line) {
+					vm.touchSlow(line)
+				}
+			} else {
+				vm.touchN(s.lineBase, s.nLines)
+			}
+		}
+	} else {
+		for i := range lb.segs {
+			s := &lb.segs[i]
+			vm.steps++
+			if vm.steps > vm.maxSteps {
+				return vm.fuelFault(lb.name)
+			}
+			vm.st.Cycles += s.cost
+			vm.st.Stats.Instructions += s.count
+			if s.nLines == 1 {
+				line := s.lineBase & vm.alignMask
+				if !vm.touchProbe(line) {
+					vm.touchSlow(line)
+				}
+			} else {
+				vm.touchN(s.lineBase, s.nLines)
+			}
+		}
+	}
+	vm.st.Stats.Returns++
+	predicted, ok := vm.popRSB()
+	if lb.retDef == ir.DefNone {
+		if ok && predicted == retAddr {
+			vm.st.Stats.RSBHits++
+			vm.st.Cycles += vm.returnCost
+		} else {
+			vm.st.Stats.RSBMisses++
+			vm.st.Cycles += vm.returnCost + vm.mispredict
+		}
+	} else {
+		vm.retSlow(predicted, ok, retAddr, lb.retDef)
+	}
+	return next
+}
+
+// runFlatInline executes a call-free function at a call site with no
+// frame push: the current frame's register pointers are parked in
+// locals, the callee runs on the VM's scratch file through a nested
+// driver loop over its flat-compiled chain (whose return closure ends
+// the loop instead of popping a frame), and the caller's pointers are
+// put back. Mirrors the interpreter's runFlat, including the depth
+// check. next resumes the caller; nil propagates a fault.
+func (vm *cvm) runFlatInline(cf *cfn, retAddr int64, next cop) cop {
+	if vm.depth+1 >= vm.maxDepth {
+		return vm.depthFault(cf.name)
+	}
+	sRegs, sTrips, sFlag, sRet := vm.regs, vm.trips, vm.flag, vm.retAddr
+	if cap(vm.flatRegs) < cf.numRegs {
+		vm.flatRegs = make([]int32, cf.numRegs+16)
+	}
+	regs := vm.flatRegs[:cf.numRegs]
+	clear(regs)
+	if cap(vm.flatTrips) < cf.numTrips {
+		vm.flatTrips = make([]int32, cf.numTrips+16)
+	}
+	trips := vm.flatTrips[:cf.numTrips]
+	clear(trips)
+	vm.regs, vm.trips, vm.flag, vm.retAddr = regs, trips, false, retAddr
+	for op := cf.flatEntry0; op != nil; op = op(vm) {
+	}
+	vm.regs, vm.trips, vm.flag, vm.retAddr = sRegs, sTrips, sFlag, sRet
+	if vm.err != nil {
+		return nil
+	}
+	return next
+}
+
+// --- compilation ----------------------------------------------------
+
+// compiledProgram builds (once) and returns the threaded-code form.
+func (p *Program) compiledProgram() *compiled {
+	p.compileOnce.Do(func() {
+		p.compiledP = compileProgram(p)
+	})
+	return p.compiledP
+}
+
+func compileProgram(p *Program) *compiled {
+	cp := &compiled{
+		funcs: make([]cfn, len(p.funcs)),
+		addrs: make([]int64, len(p.funcs)),
+	}
+	for i := range p.funcs {
+		src := &p.funcs[i]
+		cp.addrs[i] = src.addr
+		f := cfn{
+			name:     src.name,
+			index:    int32(i),
+			numRegs:  src.numRegs,
+			numTrips: src.numTrips,
+			entries:  make([]cop, len(src.blocks)),
+			leaf:     leafOf(src),
+		}
+		if src.flat && f.leaf == nil && len(src.blocks) > 0 {
+			f.flatEntries = make([]cop, len(src.blocks))
+		}
+		cp.funcs[i] = f
+	}
+	for i := range p.funcs {
+		compileFn(cp, p, int32(i))
+	}
+	for i := range cp.funcs {
+		f := &cp.funcs[i]
+		if len(f.entries) > 0 {
+			f.entry0 = f.entries[0]
+		} else {
+			name := f.name
+			f.entry0 = func(vm *cvm) cop {
+				vm.err = trap(name, "interp: %s: block 0 fell through without terminator", name)
+				return nil
+			}
+		}
+		if f.flatEntries != nil {
+			f.flatEntry0 = f.flatEntries[0]
+		}
+	}
+	return cp
+}
+
+// leafOf recognises functions whose merged entry chain is pure
+// straight-line code ending in a return — the "step,ret" shape the
+// profiler identifies as the hottest callee — and builds the inline
+// descriptor. Flatness guarantees no segment may fault, so every
+// segment charge is batched, exactly as the interpreter batches them.
+func leafOf(f *cfunc) *leafBody {
+	if !f.flat || len(f.blocks) == 0 {
+		return nil
+	}
+	b := &f.blocks[0]
+	n := len(b.instrs)
+	if n == 0 || b.instrs[n-1].kind != cRet {
+		return nil
+	}
+	ret := &b.instrs[n-1]
+	if ret.charged && ret.preCount != 0 {
+		return nil // per-event segment; keep the generic path
+	}
+	for i := 0; i < n-1; i++ {
+		ci := &b.instrs[i]
+		if ci.kind != cStep || ci.useFlag || (ci.charged && ci.preCount != 0) {
+			return nil
+		}
+	}
+	if b.mayFault {
+		return nil
+	}
+	segs := make([]leafSeg, 0, n)
+	segs = append(segs, leafSeg{int64(b.segCost), int64(b.segCount), int64(b.lineBase), int(b.nLines)})
+	for i := 0; i < n-1; i++ {
+		ci := &b.instrs[i]
+		segs = append(segs, leafSeg{int64(ci.cost), int64(ci.els), int64(ci.addr), int(ci.then)})
+	}
+	return &leafBody{name: f.name, segs: segs, retDef: ret.def}
+}
+
+// segPre describes the accounting prefix baked before an event's
+// closure: a block entry or superblock seam — an optional charged run
+// from the preceding segment, one step/fuel sequence point, then either
+// the segment's batched charge+touch or (for may-fault segments whose
+// runs are charged per event) an icache touch alone.
+type segPre struct {
+	name       string
+	preCost    int64 // charged run before a merged jump (cStep only)
+	preCount   int64
+	batched    bool // segment cannot fault: charge cost/count at entry
+	cost       int64
+	count      int64
+	lineBase   int64
+	nLines     int
+}
+
+// fuse bakes a prefix in front of a body closure. The prefix and body
+// execute under one driver dispatch — the block-entry+terminator
+// superinstruction for single-event blocks.
+func fuse(pre *segPre, body cop) cop {
+	if pre == nil {
+		return body
+	}
+	p := *pre
+	if p.batched && p.nLines == 1 && p.preCount == 0 {
+		// The dominant prefix: single-line, cannot-fault segment.
+		name, cost, count, lb := p.name, p.cost, p.count, p.lineBase
+		return func(vm *cvm) cop {
+			vm.steps++
+			if vm.steps > vm.maxSteps {
+				return vm.fuelFault(name)
+			}
+			vm.st.Cycles += cost
+			vm.st.Stats.Instructions += count
+			line := lb & vm.alignMask
+			if !vm.touchProbe(line) {
+				vm.touchSlow(line)
+			}
+			return body(vm)
+		}
+	}
+	return func(vm *cvm) cop {
+		if p.preCount != 0 {
+			vm.st.Cycles += p.preCost
+			vm.st.Stats.Instructions += p.preCount
+		}
+		vm.steps++
+		if vm.steps > vm.maxSteps {
+			return vm.fuelFault(p.name)
+		}
+		if p.batched {
+			vm.st.Cycles += p.cost
+			vm.st.Stats.Instructions += p.count
+		}
+		if p.nLines == 1 {
+			line := p.lineBase & vm.alignMask
+			if !vm.touchProbe(line) {
+				vm.touchSlow(line)
+			}
+		} else {
+			vm.touchN(p.lineBase, p.nLines)
+		}
+		return body(vm)
+	}
+}
+
+func compileFn(cp *compiled, p *Program, fi int32) {
+	src := &p.funcs[fi]
+	f := &cp.funcs[fi]
+	for bi := range src.blocks {
+		f.entries[bi] = compileBlock(cp, src, f, bi, f.entries, false)
+	}
+	// Flat functions get a second chain whose return ends a nested
+	// driver loop; branch closures target the flat entries so control
+	// never escapes into the framed chain mid-run.
+	if f.flatEntries != nil {
+		for bi := range src.blocks {
+			f.flatEntries[bi] = compileBlock(cp, src, f, bi, f.flatEntries, true)
+		}
+	}
+}
+
+func compileBlock(cp *compiled, src *cfunc, f *cfn, bi int, entries []cop, flatRet bool) cop {
+	b := &src.blocks[bi]
+	name := src.name
+
+	// Pass 1: split the merged event list into (prefix, event) pairs.
+	// cStep events become the prefix of the event that follows them;
+	// the block's own entry accounting is the prefix of the first.
+	type item struct {
+		pre *segPre
+		ci  *cinstr
+	}
+	entryPre := &segPre{
+		name:     name,
+		batched:  !b.mayFault,
+		cost:     int64(b.segCost),
+		count:    int64(b.segCount),
+		lineBase: int64(b.lineBase),
+		nLines:   int(b.nLines),
+	}
+	var items []item
+	pending := entryPre
+	for ii := range b.instrs {
+		ci := &b.instrs[ii]
+		if ci.kind == cStep {
+			sp := &segPre{
+				name:     name,
+				batched:  !ci.useFlag,
+				cost:     int64(ci.cost),
+				count:    int64(ci.els),
+				lineBase: int64(ci.addr),
+				nLines:   int(ci.then),
+			}
+			if ci.charged {
+				sp.preCost = int64(ci.preCost)
+				sp.preCount = int64(ci.preCount)
+			}
+			if pending != nil {
+				// Two seams back-to-back cannot happen (a cStep is always
+				// followed by the target's events before the next seam),
+				// but keep the earlier prefix as a standalone op if it does.
+				items = append(items, item{pre: pending})
+			}
+			pending = sp
+			continue
+		}
+		items = append(items, item{pre: pending, ci: ci})
+		pending = nil
+	}
+	if pending != nil {
+		items = append(items, item{pre: pending})
+	}
+
+	// Fall-off closure: reached only when the block has no terminator.
+	tailBI := bi
+	chargeTail := b.mayFault && b.tailCount != 0
+	tc, tn := int64(b.tailCost), int64(b.tailCount)
+	next := cop(func(vm *cvm) cop {
+		if chargeTail {
+			vm.st.Cycles += tc
+			vm.st.Stats.Instructions += tn
+		}
+		vm.err = trap(name, "interp: %s: block %d fell through without terminator", name, tailBI)
+		return nil
+	})
+
+	// Pass 2: build closures back-to-front so each captures its
+	// successor directly. Resolve+icall pairs fuse into one closure.
+	for k := len(items) - 1; k >= 0; k-- {
+		it := items[k]
+		if it.ci == nil {
+			next = fuse(it.pre, next)
+			continue
+		}
+		if it.ci.kind == cICall && k > 0 && items[k-1].ci != nil &&
+			items[k-1].ci.kind == cResolve && it.pre == nil && items[k-1].ci.reg == it.ci.reg {
+			// Fused into the preceding resolve (compiled next iteration);
+			// `next` stays pointing at the chain after this icall, which
+			// is exactly the fused pair's continuation.
+			continue
+		}
+		if it.ci.kind == cResolve && k+1 < len(items) &&
+			items[k+1].ci != nil && items[k+1].ci.kind == cICall &&
+			items[k+1].pre == nil && items[k+1].ci.reg == it.ci.reg {
+			next = genResolveICall(cp, f, it.pre, it.ci, items[k+1].ci, name, next)
+			continue
+		}
+		next = genEvent(cp, src, f, it.pre, it.ci, name, next, entries, flatRet)
+	}
+	return next
+}
+
+// genResolveICall emits the fused resolve+icall superinstruction.
+func genResolveICall(cp *compiled, f *cfn, pre *segPre, res *cinstr, ic *cinstr, name string, next cop) cop {
+	// resolve constants
+	orig, site, reg := res.orig, res.site, int(res.reg)
+	resCost := int64(res.cost)
+	resPreCost, resPreCount := chargeOf(res)
+	// icall constants (the run between resolve and icall, if any)
+	icPreCost, icPreCount := chargeOf(ic)
+	icAddr := int64(ic.addr)
+	icRet := int64(ic.els)
+	icArgs := int64(ic.args)
+	icSite := ic.site
+	icDef := ic.def
+	defNone := icDef == ir.DefNone
+	return fuse(pre, func(vm *cvm) cop {
+		if resPreCount != 0 {
+			vm.st.Cycles += resPreCost
+			vm.st.Stats.Instructions += resPreCount
+		}
+		var d *Dist
+		if vm.res != nil {
+			d = vm.res.Get(orig)
+		}
+		if d == nil {
+			vm.err = trap(name, "interp: %s: no target distribution for site %d (orig %d)", name, site, orig)
+			return nil
+		}
+		tgt := d.pickFast(vm.src)
+		vm.regs[reg] = tgt + 1
+		if vm.onResolve != nil {
+			vm.onResolve(orig, tgt)
+		}
+		vm.st.Cycles += resCost
+		vm.st.Stats.Instructions++
+		if icPreCount != 0 {
+			vm.st.Cycles += icPreCost
+			vm.st.Stats.Instructions += icPreCount
+		}
+		if tgt < 0 {
+			vm.err = trap(name, "interp: %s: icall through unresolved register r%d (site %d)", name, reg, icSite)
+			return nil
+		}
+		vm.st.Stats.IndirectCalls++
+		vm.st.Cycles += icArgs * vm.callArgCost
+		ta := cp.addrs[tgt]
+		if defNone {
+			slot := icAddr & vm.st.BTBMask
+			if vm.st.BTB[slot] == ta {
+				vm.st.Stats.BTBHits++
+				vm.st.Cycles += vm.indirectCallCost
+			} else {
+				vm.st.Stats.BTBMisses++
+				vm.st.Cycles += vm.indirectCallCost + vm.mispredict
+				vm.st.BTB[slot] = ta
+			}
+		} else {
+			vm.icallDef(icAddr, ta, icDef)
+		}
+		vm.pushRSB(icRet)
+		callee := &cp.funcs[tgt]
+		if callee.leaf != nil {
+			return vm.runLeaf(callee.leaf, icRet, next)
+		}
+		if callee.flatEntry0 != nil {
+			return vm.runFlatInline(callee, icRet, next)
+		}
+		return vm.enter(callee, icRet, next)
+	})
+}
+
+// chargeOf returns an event's per-event run charge (zero unless the
+// segment is in per-event accounting mode).
+func chargeOf(ci *cinstr) (int64, int64) {
+	if ci.charged && ci.preCount != 0 {
+		return int64(ci.preCost), int64(ci.preCount)
+	}
+	return 0, 0
+}
+
+func genEvent(cp *compiled, src *cfunc, f *cfn, pre *segPre, ci *cinstr, name string, next cop, entries []cop, flatRet bool) cop {
+	pc, pn := chargeOf(ci)
+	switch ci.kind {
+	case cResolve:
+		orig, site, reg := ci.orig, ci.site, int(ci.reg)
+		cost := int64(ci.cost)
+		return fuse(pre, func(vm *cvm) cop {
+			if pn != 0 {
+				vm.st.Cycles += pc
+				vm.st.Stats.Instructions += pn
+			}
+			var d *Dist
+			if vm.res != nil {
+				d = vm.res.Get(orig)
+			}
+			if d == nil {
+				vm.err = trap(name, "interp: %s: no target distribution for site %d (orig %d)", name, site, orig)
+				return nil
+			}
+			tgt := d.pickFast(vm.src)
+			vm.regs[reg] = tgt + 1
+			if vm.onResolve != nil {
+				vm.onResolve(orig, tgt)
+			}
+			vm.st.Cycles += cost
+			vm.st.Stats.Instructions++
+			return next
+		})
+
+	case cCmpFn:
+		reg, want := int(ci.reg), ci.callee+1
+		return fuse(pre, func(vm *cvm) cop {
+			if pn != 0 {
+				vm.st.Cycles += pc
+				vm.st.Stats.Instructions += pn
+			}
+			vm.flag = vm.regs[reg] == want
+			return next
+		})
+
+	case cBr:
+		thenP := &entries[ci.then]
+		elsP := &entries[ci.els]
+		addr := int64(ci.addr)
+		switch {
+		case ci.trip > 0:
+			tripIdx, tripMax := int(ci.tripIdx), ci.trip
+			return fuse(pre, func(vm *cvm) cop {
+				if pn != 0 {
+					vm.st.Cycles += pc
+					vm.st.Stats.Instructions += pn
+				}
+				var taken bool
+				cnt := vm.trips[tripIdx]
+				if cnt < tripMax-1 {
+					vm.trips[tripIdx] = cnt + 1
+					taken = true
+				} else {
+					vm.trips[tripIdx] = 0
+				}
+				slot := addr & vm.st.PHTMask
+				ctr := vm.st.PHT[slot]
+				if (ctr >= 2) == taken {
+					vm.st.Stats.PHTHits++
+					vm.st.Cycles += vm.condBranchCost
+				} else {
+					vm.st.Stats.PHTMisses++
+					vm.st.Cycles += vm.condBranchCost + vm.mispredict
+				}
+				if taken {
+					if ctr < 3 {
+						vm.st.PHT[slot] = ctr + 1
+					}
+					return *thenP
+				}
+				if ctr > 0 {
+					vm.st.PHT[slot] = ctr - 1
+				}
+				return *elsP
+			})
+		case ci.useFlag:
+			return fuse(pre, func(vm *cvm) cop {
+				if pn != 0 {
+					vm.st.Cycles += pc
+					vm.st.Stats.Instructions += pn
+				}
+				taken := vm.flag
+				slot := addr & vm.st.PHTMask
+				ctr := vm.st.PHT[slot]
+				if (ctr >= 2) == taken {
+					vm.st.Stats.PHTHits++
+					vm.st.Cycles += vm.condBranchCost
+				} else {
+					vm.st.Stats.PHTMisses++
+					vm.st.Cycles += vm.condBranchCost + vm.mispredict
+				}
+				if taken {
+					if ctr < 3 {
+						vm.st.PHT[slot] = ctr + 1
+					}
+					return *thenP
+				}
+				if ctr > 0 {
+					vm.st.PHT[slot] = ctr - 1
+				}
+				return *elsP
+			})
+		default:
+			thresh := uint32(ci.cost)
+			return fuse(pre, func(vm *cvm) cop {
+				if pn != 0 {
+					vm.st.Cycles += pc
+					vm.st.Stats.Instructions += pn
+				}
+				u := vm.src.Uint64()
+				taken := uint32(u>>40) < thresh
+				slot := addr & vm.st.PHTMask
+				ctr := vm.st.PHT[slot]
+				if (ctr >= 2) == taken {
+					vm.st.Stats.PHTHits++
+					vm.st.Cycles += vm.condBranchCost
+				} else {
+					vm.st.Stats.PHTMisses++
+					vm.st.Cycles += vm.condBranchCost + vm.mispredict
+				}
+				if taken {
+					if ctr < 3 {
+						vm.st.PHT[slot] = ctr + 1
+					}
+					return *thenP
+				}
+				if ctr > 0 {
+					vm.st.PHT[slot] = ctr - 1
+				}
+				return *elsP
+			})
+		}
+
+	case cJmp:
+		// Unmerged jump (cycle or chain budget); pure transfer.
+		thenP := &entries[ci.then]
+		return fuse(pre, func(vm *cvm) cop {
+			if pn != 0 {
+				vm.st.Cycles += pc
+				vm.st.Stats.Instructions += pn
+			}
+			return *thenP
+		})
+
+	case cSwitch:
+		targets := src.switchTargets[ci.callee]
+		nT := uint64(len(targets))
+		addr := int64(ci.addr)
+		table, def := ci.table, ci.def
+		return fuse(pre, func(vm *cvm) cop {
+			if pn != 0 {
+				vm.st.Cycles += pc
+				vm.st.Stats.Instructions += pn
+			}
+			k := int(uint64nSrc(vm.src, nT))
+			if table {
+				vm.ijump(addr, int64(k), def)
+			} else {
+				for j := 0; j <= k && j < len(targets)-1; j++ {
+					vm.condBranch(addr+int64(j), j == k)
+				}
+			}
+			return entries[targets[k]]
+		})
+
+	case cCall:
+		retC := int64(ci.els)
+		args := int64(ci.args)
+		callee := &cp.funcs[ci.callee]
+		if lb := callee.leaf; lb != nil {
+			// call->leaf superinstruction: charge the call, run the body
+			// inline, resume at next — one dispatch for the whole call.
+			return fuse(pre, func(vm *cvm) cop {
+				if pn != 0 {
+					vm.st.Cycles += pc
+					vm.st.Stats.Instructions += pn
+				}
+				vm.st.Stats.DirectCalls++
+				vm.st.Cycles += vm.directCallCost + args*vm.callArgCost
+				vm.pushRSB(retC)
+				return vm.runLeaf(lb, retC, next)
+			})
+		}
+		if callee.flatEntries != nil {
+			// call->flat: frameless nested run on scratch registers.
+			return fuse(pre, func(vm *cvm) cop {
+				if pn != 0 {
+					vm.st.Cycles += pc
+					vm.st.Stats.Instructions += pn
+				}
+				vm.st.Stats.DirectCalls++
+				vm.st.Cycles += vm.directCallCost + args*vm.callArgCost
+				vm.pushRSB(retC)
+				return vm.runFlatInline(callee, retC, next)
+			})
+		}
+		return fuse(pre, func(vm *cvm) cop {
+			if pn != 0 {
+				vm.st.Cycles += pc
+				vm.st.Stats.Instructions += pn
+			}
+			vm.st.Stats.DirectCalls++
+			vm.st.Cycles += vm.directCallCost + args*vm.callArgCost
+			vm.pushRSB(retC)
+			return vm.enter(callee, retC, next)
+		})
+
+	case cICall:
+		reg := int(ci.reg)
+		site := ci.site
+		addr := int64(ci.addr)
+		retC := int64(ci.els)
+		args := int64(ci.args)
+		def := ci.def
+		defNone := def == ir.DefNone
+		return fuse(pre, func(vm *cvm) cop {
+			if pn != 0 {
+				vm.st.Cycles += pc
+				vm.st.Stats.Instructions += pn
+			}
+			tgt := vm.regs[reg] - 1
+			if tgt < 0 {
+				vm.err = trap(name, "interp: %s: icall through unresolved register r%d (site %d)", name, reg, site)
+				return nil
+			}
+			vm.st.Stats.IndirectCalls++
+			vm.st.Cycles += args * vm.callArgCost
+			ta := cp.addrs[tgt]
+			if defNone {
+				slot := addr & vm.st.BTBMask
+				if vm.st.BTB[slot] == ta {
+					vm.st.Stats.BTBHits++
+					vm.st.Cycles += vm.indirectCallCost
+				} else {
+					vm.st.Stats.BTBMisses++
+					vm.st.Cycles += vm.indirectCallCost + vm.mispredict
+					vm.st.BTB[slot] = ta
+				}
+			} else {
+				vm.icallDef(addr, ta, def)
+			}
+			vm.pushRSB(retC)
+			callee := &cp.funcs[tgt]
+			if callee.leaf != nil {
+				return vm.runLeaf(callee.leaf, retC, next)
+			}
+			if callee.flatEntry0 != nil {
+				return vm.runFlatInline(callee, retC, next)
+			}
+			return vm.enter(callee, retC, next)
+		})
+
+	case cRet:
+		def := ci.def
+		if flatRet {
+			// Return inside a frameless flat run: same accounting, then
+			// end the nested driver loop (vm.err stays nil).
+			if def == ir.DefNone {
+				return fuse(pre, func(vm *cvm) cop {
+					if pn != 0 {
+						vm.st.Cycles += pc
+						vm.st.Stats.Instructions += pn
+					}
+					vm.st.Stats.Returns++
+					predicted, ok := vm.popRSB()
+					if ok && predicted == vm.retAddr {
+						vm.st.Stats.RSBHits++
+						vm.st.Cycles += vm.returnCost
+					} else {
+						vm.st.Stats.RSBMisses++
+						vm.st.Cycles += vm.returnCost + vm.mispredict
+					}
+					return nil
+				})
+			}
+			return fuse(pre, func(vm *cvm) cop {
+				if pn != 0 {
+					vm.st.Cycles += pc
+					vm.st.Stats.Instructions += pn
+				}
+				vm.st.Stats.Returns++
+				predicted, ok := vm.popRSB()
+				vm.retSlow(predicted, ok, vm.retAddr, def)
+				return nil
+			})
+		}
+		if def == ir.DefNone {
+			return fuse(pre, func(vm *cvm) cop {
+				if pn != 0 {
+					vm.st.Cycles += pc
+					vm.st.Stats.Instructions += pn
+				}
+				vm.st.Stats.Returns++
+				predicted, ok := vm.popRSB()
+				if ok && predicted == vm.retAddr {
+					vm.st.Stats.RSBHits++
+					vm.st.Cycles += vm.returnCost
+				} else {
+					vm.st.Stats.RSBMisses++
+					vm.st.Cycles += vm.returnCost + vm.mispredict
+				}
+				d := vm.depth
+				if d == 0 {
+					return nil
+				}
+				d--
+				fr := &vm.stack[d]
+				vm.regs, vm.trips, vm.flag, vm.retAddr = fr.regs, fr.trips, fr.flag, fr.retAddr
+				vm.depth = d
+				return fr.cont
+			})
+		}
+		return fuse(pre, func(vm *cvm) cop {
+			if pn != 0 {
+				vm.st.Cycles += pc
+				vm.st.Stats.Instructions += pn
+			}
+			vm.st.Stats.Returns++
+			predicted, ok := vm.popRSB()
+			vm.retSlow(predicted, ok, vm.retAddr, def)
+			d := vm.depth
+			if d == 0 {
+				return nil
+			}
+			d--
+			fr := &vm.stack[d]
+			vm.regs, vm.trips, vm.flag, vm.retAddr = fr.regs, fr.trips, fr.flag, fr.retAddr
+			vm.depth = d
+			return fr.cont
+		})
+	}
+	// cStep never reaches here (pass 1 folds it into prefixes).
+	return fuse(pre, func(vm *cvm) cop {
+		vm.err = trap(name, "interp: %s: unknown compiled event", name)
+		return nil
+	})
+}
+
+// --- machine integration --------------------------------------------
+
+// compiledEligible reports whether this machine's configuration can run
+// on the compiled tier. Recorder, hook and injector observe per-event
+// execution the closure chain does not expose; a replaced RNG breaks
+// the concrete-source draw path; ExactAccounting exists to exercise the
+// interpreter's per-event charging. OnResolve is supported.
+func (mc *Machine) compiledEligible() bool {
+	return mc.Rec == nil && mc.Hook == nil && mc.Inject == nil &&
+		!mc.ExactAccounting && mc.RNG == mc.ownRNG
+}
+
+// runCompiled executes one entry on the threaded-code tier. It returns
+// errEngineUnavailable (without touching any state) when the model
+// geometry cannot be borrowed; the caller falls back to the interpreter.
+func (mc *Machine) runCompiled(fi int32, entryRetAddr int64) error {
+	model := mc.CPU
+	if model == nil {
+		// Control flow never reads model state, so a machine without a
+		// CPU (functional validation, diffcheck) runs against a private
+		// throwaway model rather than a nil-check in every closure.
+		if mc.scratchCPU == nil {
+			mc.scratchCPU = cpu.New(cpu.DefaultParams())
+		}
+		model = mc.scratchCPU
+	}
+	vm := mc.vm
+	if vm == nil {
+		vm = &cvm{}
+		mc.vm = vm
+	}
+	if vm.model != model {
+		// First run against this model: take the full borrowed view and
+		// hoist the cost parameters. Parameters and geometry are fixed at
+		// Model construction, so later runs only re-sync the scalars the
+		// model may have evolved between runs.
+		if !model.EngineView(&vm.st) {
+			return errEngineUnavailable
+		}
+		// Geometry gate for the raw-pointer icache probe (see the cvm
+		// field comment): a degenerate cache would break the in-bounds
+		// argument, so treat it as not inlinable.
+		if vm.st.ICWays < 1 || len(vm.st.ICMRU) == 0 ||
+			len(vm.st.ICTags) != len(vm.st.ICMRU)*vm.st.ICWays ||
+			len(vm.st.ICStamp) != len(vm.st.ICTags) ||
+			len(vm.st.RSB) != vm.st.RSBDepth || vm.st.RSBDepth < 1 {
+			return errEngineUnavailable
+		}
+		vm.rsbP = unsafe.Pointer(&vm.st.RSB[0])
+		vm.icMRUP = unsafe.Pointer(&vm.st.ICMRU[0])
+		vm.icTagsP = unsafe.Pointer(&vm.st.ICTags[0])
+		vm.icStampP = unsafe.Pointer(&vm.st.ICStamp[0])
+		vm.icSetMask = uint64(len(vm.st.ICMRU) - 1)
+		vm.icShiftN = uint64(vm.st.ICShift)
+		vm.icWaysN = uintptr(vm.st.ICWays)
+		par := &model.P
+		vm.mispredict = par.MispredictPenalty
+		vm.icMissPenalty = par.ICacheMissPenalty
+		vm.directCallCost = par.DirectCallCost
+		vm.callArgCost = par.CallArgCost
+		vm.returnCost = par.ReturnCost
+		vm.indirectCallCost = par.IndirectCallCost
+		vm.condBranchCost = par.CondBranchCost
+		vm.retpolineCost = par.RetpolineCost
+		vm.lviForwardCost = par.LVIForwardCost
+		vm.fencedRetpCost = par.FencedRetpolineCost
+		vm.retRetpCost = par.RetRetpolineCost
+		vm.lviReturnCost = par.LVIReturnCost
+		vm.fencedRetRetCost = par.FencedRetRetCost
+		vm.cfiCheckCost = par.CFICheckCost
+		vm.stackProtCost = par.StackProtectorCost
+		vm.safeStackCost = par.SafeStackCost
+		vm.rsbRefillCost = par.RSBRefillCost
+		vm.alignMask = ^(par.ICacheLine - 1)
+		vm.icLine = par.ICacheLine
+		vm.model = model
+	} else {
+		model.EngineSync(&vm.st)
+	}
+	cp := mc.Prog.compiledProgram()
+	vm.cp = cp
+	vm.src = mc.src
+	vm.res = mc.Res
+	vm.onResolve = mc.OnResolve
+	vm.maxSteps = mc.MaxSteps
+	vm.maxDepth = mc.MaxDepth
+	vm.steps = 0
+	vm.err = nil
+
+	// Entry sequence, in the interpreter's order: RSB refill and the
+	// synthetic entry call are charged only when the machine has a real
+	// CPU (a throwaway model absorbs them otherwise, unobservably), then
+	// the depth-0 frame check.
+	if mc.RefillRSB {
+		vm.refillRSB()
+	}
+	vm.st.Stats.DirectCalls++
+	vm.st.Cycles += vm.directCallCost
+	vm.pushRSB(entryRetAddr)
+
+	cf := &cp.funcs[fi]
+	var op cop
+	if vm.maxDepth <= 0 {
+		op = vm.depthFault(cf.name)
+	} else {
+		vm.installFrame(cf, 0, entryRetAddr)
+		op = cf.entry0
+	}
+	for op != nil {
+		op = op(vm)
+	}
+	mc.steps = vm.steps
+	model.EngineRestore(&vm.st)
+	err := vm.err
+	vm.err = nil
+	return err
+}

@@ -88,10 +88,13 @@ func TestDeepRecursionMemoryBound(t *testing.T) {
 	}
 }
 
-// BenchmarkMachineRun times raw dispatch on a loop mixing straight-line
-// work, direct calls and a skewed indirect call — the instruction mix the
-// kernel entries are built from.
-func BenchmarkMachineRun(b *testing.B) {
+// newDispatchBenchMachine builds the shared dispatch-microbenchmark
+// machine: a loop mixing straight-line work, direct calls and a skewed
+// indirect call — the instruction mix the kernel entries are built
+// from. BenchmarkMachineRun and BenchmarkMachineRunCompiled both run
+// it, differing only in the Engine selector.
+func newDispatchBenchMachine(b *testing.B) *Machine {
+	b.Helper()
 	m := ir.NewModule()
 	w := ir.NewFunction(m, "work", 0)
 	w.ALU(10).Ret()
@@ -127,9 +130,17 @@ func BenchmarkMachineRun(b *testing.B) {
 	}
 	res.Set(site, d)
 	mc.Res = res
+	return mc
+}
+
+// BenchmarkMachineRun times raw interpreter dispatch; see
+// BenchmarkMachineRunCompiled for the threaded-code half of the pair.
+func BenchmarkMachineRun(b *testing.B) {
+	mc := newDispatchBenchMachine(b)
+	idx := mc.Prog.FuncIndex("entry")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := mc.Run("entry"); err != nil {
+		if err := mc.RunIndex(idx); err != nil {
 			b.Fatal(err)
 		}
 	}

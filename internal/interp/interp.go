@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"repro/internal/cpu"
 	"repro/internal/ir"
@@ -162,6 +163,11 @@ type Program struct {
 	mod    *ir.Module
 	funcs  []cfunc
 	byName map[string]int32
+
+	// Threaded-code form (compiled.go), built lazily on first use and
+	// shared by every Machine running this program.
+	compileOnce sync.Once
+	compiledP   *compiled
 }
 
 // LayoutBase is where Compile places the image.
@@ -485,6 +491,13 @@ type Machine struct {
 	// prove it (same seed, batched vs exact, identical Cycles/Stats).
 	ExactAccounting bool
 
+	// Engine selects the execution tier. EngineCompiled runs the
+	// threaded-code chain (compiled.go) when the machine's configuration
+	// permits — no recorder, hook, injector, replaced RNG or
+	// ExactAccounting — and falls back to the interpreter silently
+	// otherwise, so callers can set it unconditionally.
+	Engine Engine
+
 	steps int64
 	stack []frame
 	// src is the concrete view of RNG's source and ownRNG the *rand.Rand
@@ -499,6 +512,11 @@ type Machine struct {
 	// both are cleared per invocation, matching a fresh frame.
 	leafRegs  []int32
 	leafTrips []int32
+	// vm is the compiled tier's per-machine state; scratchCPU stands in
+	// for a nil CPU there (closures charge unconditionally rather than
+	// nil-check per event).
+	vm         *cvm
+	scratchCPU *cpu.Model
 }
 
 // fastSource is a splitmix64 rand.Source64. Compared with the standard
@@ -552,10 +570,27 @@ func (mc *Machine) Run(entry string) error {
 	if idx < 0 {
 		return trap(entry, "interp: no function %q", entry)
 	}
+	return mc.RunIndex(idx)
+}
+
+// RunIndex executes the function at the given dense index (FuncIndex)
+// to completion. Callers that run the same entry repeatedly (benchmark
+// loops, measurement reps) use it to hoist the name lookup.
+func (mc *Machine) RunIndex(idx int) error {
+	if idx < 0 || idx >= len(mc.Prog.funcs) {
+		return trap("entry", "interp: no function at index %d", idx)
+	}
 	mc.steps = 0
 	// The entry is "called" from a synthetic address so its final return
 	// has a matching RSB entry after warm-up.
 	const entryRetAddr = 0x7fff0000
+	if mc.Engine == EngineCompiled && mc.compiledEligible() {
+		err := mc.runCompiled(int32(idx), entryRetAddr)
+		if err != errEngineUnavailable {
+			return err
+		}
+		// Exotic model geometry: fall through to the interpreter.
+	}
 	if mc.CPU != nil {
 		if mc.RefillRSB {
 			mc.CPU.RefillRSB()

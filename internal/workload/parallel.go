@@ -110,6 +110,7 @@ func (r *Runner) cellMachine(seed int64) *interp.Machine {
 	mc.CPU = cpu.New(r.CPU.P)
 	mc.Res = r.Res
 	mc.RefillRSB = r.RefillRSB
+	mc.Engine = r.Engine
 	if r.NewHook != nil {
 		mc.Hook = r.NewHook()
 	}

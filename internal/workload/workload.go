@@ -196,6 +196,13 @@ type Runner struct {
 	// but NewHook is nil, the sharded driver cannot replicate the hook
 	// and the runner falls back to the legacy serial driver.
 	NewHook func() interp.ICallHook
+
+	// Engine selects the execution tier for every machine this runner
+	// builds. The compiled tier is cycle-exact (and falls back to the
+	// interpreter when a machine's configuration rules it out — e.g.
+	// profiling machines carry a recorder), so results are identical
+	// for either setting; only wall-clock changes.
+	Engine interp.Engine
 }
 
 // NewRunner builds a Runner with a fresh CPU model and the flavor's
@@ -271,6 +278,7 @@ func (r *Runner) measureOnce(bench string) (Measurement, error) {
 	mc.Res = r.Res
 	mc.Hook = r.Hook
 	mc.RefillRSB = r.RefillRSB
+	mc.Engine = r.Engine
 
 	// Warm predictors and caches.
 	warm := ops / 4
@@ -336,6 +344,9 @@ func (r *Runner) Profile(opsScale int) (*prof.Profile, error) {
 	mc.Res = r.Res
 	mc.Inject = r.Inject
 	mc.Rec = interp.NewRecorder(r.Prog)
+	// Engine selection is honored but moot here: a recorder-carrying
+	// machine always falls back to the interpreter.
+	mc.Engine = r.Engine
 	mix := Mix(r.Flavor)
 	benches := make([]string, 0, len(mix))
 	for b := range mix {
@@ -414,6 +425,7 @@ func (r *Runner) measureRequestOnce(reps int) (float64, error) {
 	mc.Res = r.Res
 	mc.Hook = r.Hook
 	mc.RefillRSB = r.RefillRSB
+	mc.Engine = r.Engine
 	runOnce := func() error {
 		for _, b := range script {
 			if err := mc.Run(r.Kernel.Entries[b]); err != nil {

@@ -235,7 +235,32 @@ type System struct {
 	// measureWorkers, when positive, routes image measurement through
 	// the sharded parallel driver with that many workers.
 	measureWorkers int
+	// engine selects the execution tier for every machine this system's
+	// profiling and measurement runs build.
+	engine interp.Engine
 }
+
+// Engine selects the execution tier for a System's profiling and
+// measurement runs. See SetEngine.
+type Engine = interp.Engine
+
+// Execution tiers: the packed-event interpreter (the default) and the
+// threaded-code compiled engine. The compiled tier is cycle-exact, so
+// every profile, measurement, sweep surface and census is identical
+// under either; only wall-clock changes. Machines whose configuration
+// the compiled tier does not support (live recorder, hook, injector or
+// exact-accounting mode) fall back to the interpreter silently.
+const (
+	EngineInterp   = interp.EngineInterp
+	EngineCompiled = interp.EngineCompiled
+)
+
+// SetEngine selects the execution tier for this system's profiling and
+// measurement runs and those of images it builds.
+func (s *System) SetEngine(e Engine) { s.engine = e }
+
+// ParseEngine parses an engine name ("interp" or "compiled").
+func ParseEngine(s string) (Engine, error) { return interp.ParseEngine(s) }
 
 // SetMeasureWorkers selects the measurement driver for this system's
 // images. Zero (the default) keeps the legacy serial driver; n >= 1
@@ -297,6 +322,7 @@ func (s *System) Profile(w Workload, opsScale int) (p *Profile, err error) {
 		return nil, err
 	}
 	r.Inject = s.inject
+	r.Engine = s.engine
 	pp, err := r.Profile(opsScale)
 	if pp == nil {
 		return nil, err
@@ -453,6 +479,7 @@ func (img *Image) runner(w Workload, seed int64) (*workload.Runner, error) {
 	r.RefillRSB = img.cfg.Defenses.RSBRefill
 	r.Inject = img.sys.inject
 	r.Workers = img.sys.measureWorkers
+	r.Engine = img.sys.engine
 	return r, nil
 }
 
@@ -795,6 +822,7 @@ func (f *Fleet) Run() (res *FleetResult, err error) {
 		RegressionBudget: f.cfg.RegressionBudget,
 		StateDir:         f.cfg.StateDir,
 		Inject:           f.sys.inject,
+		Engine:           f.sys.engine,
 		OnEpoch: func(r fleet.EpochReport) error {
 			fe := FleetEpoch{
 				Epoch: r.Epoch, Merged: r.Merged, Aborted: r.Aborted, Failed: r.Failed,
