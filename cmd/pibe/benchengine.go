@@ -56,7 +56,7 @@ func benchLoop(name string, minIters int, fn func() error) (engineBench, error) 
 	for {
 		for i := 0; i < batch; i++ {
 			if err := fn(); err != nil {
-				return engineBench{}, fmt.Errorf("bench-engine: %s: %v", name, err)
+				return engineBench{}, fmt.Errorf("bench-engine: %s: %w", name, err)
 			}
 		}
 		iters += batch

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/resilience"
+)
+
+// TestBenchLoopWrapKeepsTypedFault: a benchmark body that fails with a
+// typed resilience fault must surface it through benchLoop's named wrap
+// (%w), so the CLI can report the phase and kind instead of flat text.
+func TestBenchLoopWrapKeepsTypedFault(t *testing.T) {
+	boom := resilience.Faultf(resilience.PhaseExecute, resilience.KindTrap, "syscall_read", "injected")
+	_, err := benchLoop("warm-lmbench", 1, func() error { return boom })
+	if err == nil {
+		t.Fatal("failing body produced no error")
+	}
+	if !strings.HasPrefix(err.Error(), "bench-engine: warm-lmbench:") {
+		t.Errorf("wrap lost the benchmark name: %q", err)
+	}
+	fe, ok := resilience.AsFault(err)
+	if !ok {
+		t.Fatalf("error chain %v lost the typed fault", err)
+	}
+	if fe.Kind != resilience.KindTrap || fe.Site != "syscall_read" {
+		t.Errorf("fault = kind %v site %q, want the original trap at syscall_read", fe.Kind, fe.Site)
+	}
+	if !errors.Is(err, boom) {
+		t.Error("errors.Is cannot find the original fault in the chain")
+	}
+
+	// A clean body runs to completion and reports at least minIters.
+	res, err := benchLoop("noop", 3, func() error { return nil })
+	if err != nil {
+		t.Fatalf("clean body: %v", err)
+	}
+	if res.Iters < 3 {
+		t.Errorf("iters = %d, want >= 3", res.Iters)
+	}
+}

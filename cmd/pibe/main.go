@@ -6,7 +6,7 @@
 // Usage:
 //
 //	pibe profile  [-seed N] [-workload lmbench|apache] [-o profile.txt]
-//	pibe build    [-seed N] [-profile profile.txt] [-defenses all|retpolines|ret-retpolines|lvi|none]
+//	pibe build    [-seed N] [-profile profile.txt] [-defenses all|retpolines|ret-retpolines|lvi|fineibt|pac-cfi|verifence|none]
 //	              [-icp 0.99999] [-inline 0.999999] [-lax 0.99] [-llvm-inliner] [-jumpswitches]
 //	              [-measure] [-security]
 //	pibe measure  [-seed N] [-profile profile.txt] ... (build + LMBench latencies)
@@ -158,7 +158,7 @@ func main() {
 	workloadName := fs.String("workload", "lmbench", "profiling workload: lmbench or apache")
 	out := fs.String("o", "", "output file (default stdout)")
 	profilePath := fs.String("profile", "", "profile file from 'pibe profile'")
-	defenses := fs.String("defenses", "all", "defenses: all, retpolines, ret-retpolines, lvi, none")
+	defenses := fs.String("defenses", "all", "defenses: all, retpolines, ret-retpolines, lvi, fineibt, pac-cfi, verifence, none")
 	icpBudget := fs.Float64("icp", 0.99999, "indirect call promotion budget (0 disables)")
 	inlineBudget := fs.Float64("inline", 0.999999, "inlining budget (0 disables)")
 	lax := fs.Float64("lax", 0.99, "lax-heuristics budget (0 disables)")
@@ -188,7 +188,7 @@ func main() {
 	benchIters := fs.Int("bench-iters", 3, "minimum iterations per bench-engine benchmark")
 	sweepGrid := fs.String("sweep-grid", "0,50,90,99,99.9,99.99,99.9999",
 		"comma-separated budget grid in percent, applied to both sweep axes")
-	sweepCombos := fs.String("sweep-combos", "retpoline,ret-retpoline,lvi-cfi,all",
+	sweepCombos := fs.String("sweep-combos", "retpoline,ret-retpoline,lvi-cfi,fineibt,pac-cfi,verifence,all",
 		"comma-separated defense combos to sweep")
 	sweepKnee := fs.Float64("sweep-knee", 1.1,
 		"knee tolerance: least aggressive cell within this factor of the best slowdown")
@@ -554,6 +554,12 @@ func parseDefenses(s string) pibe.Defenses {
 		return pibe.Defenses{RetRetpolines: true}
 	case "lvi":
 		return pibe.Defenses{LVICFI: true}
+	case "fineibt":
+		return pibe.Defenses{FineIBT: true}
+	case "pac-cfi":
+		return pibe.Defenses{PACCFI: true}
+	case "verifence":
+		return pibe.Defenses{VeriFence: true}
 	case "none":
 		return pibe.Defenses{}
 	default:

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	pibe "repro"
+	"repro/internal/resilience"
 )
 
 func TestTableRender(t *testing.T) {
@@ -243,5 +244,35 @@ func TestForEachSerialContract(t *testing.T) {
 		if len(ran) != 5 {
 			t.Errorf("workers=%d: ran %d of 5 indices after a failure: %v", workers, len(ran), ran)
 		}
+	}
+}
+
+// TestTablesWrapKeepsTypedFault: when a table generator fails, the
+// Tables() loop wraps the error with the table name using %w — the typed
+// resilience fault underneath must stay reachable so macro callers can
+// distinguish an injected transient blackout from a logic error.
+func TestTablesWrapKeepsTypedFault(t *testing.T) {
+	s := newTestSuite(t)
+	inj := s.Sys.InjectFaults(77, pibe.FaultRates{Measure: 1}, 0)
+	defer s.Sys.InjectFaults(0, pibe.FaultRates{}, 0)
+	_, err := s.AllTables()
+	if err == nil {
+		t.Fatal("measurement blackout did not fail table generation")
+	}
+	if inj.Total() == 0 {
+		t.Fatal("no faults fired; the scenario tested nothing")
+	}
+	if !strings.HasPrefix(err.Error(), "table ") {
+		t.Errorf("wrap lost the table context: %q", err)
+	}
+	fe, ok := resilience.AsFault(err)
+	if !ok {
+		t.Fatalf("error chain %v lost the typed fault", err)
+	}
+	if fe.Kind != resilience.KindTransient {
+		t.Errorf("fault kind = %v, want transient (injected measure fault)", fe.Kind)
+	}
+	if !errors.Is(err, fe) {
+		t.Error("errors.Is cannot find the fault in the chain")
 	}
 }

@@ -107,7 +107,7 @@ func (s *Suite) AllTables() ([]*Table, error) {
 	for _, g := range gens {
 		t, err := g.fn()
 		if err != nil {
-			return nil, fmt.Errorf("table %s: %v", g.name, err)
+			return nil, fmt.Errorf("table %s: %w", g.name, err)
 		}
 		out = append(out, t)
 	}

@@ -66,6 +66,15 @@ type Params struct {
 	StackProtectorCost int64 // canary store+check per return, ~4
 	SafeStackCost      int64 // separate return stack bookkeeping, ~1
 
+	// Post-2021 hardware-assisted defense costs. Like the cheap rows
+	// above they add to a normally predicted dispatch instead of
+	// replacing it — that different cost shape (near-constant, tiny) is
+	// what moves the budget/benefit knee relative to retpolines.
+	FineIBTCheckCost int64 // landing-pad SID compare at the callee, ~4
+	PACSignCost      int64 // pointer-auth sign on the call side, ~6
+	PACAuthCost      int64 // return-address authenticate, ~8
+	VeriFenceCost    int64 // lfence at a verifier-unproved site, ~10
+
 	// RSBRefillCost is the cost of stuffing the RSB with benign entries
 	// on a privilege transition — the ad-hoc kernel mitigation §6.4
 	// compares return retpolines against.
@@ -101,6 +110,10 @@ func DefaultParams() Params {
 		CFICheckCost:        3,
 		StackProtectorCost:  4,
 		SafeStackCost:       1,
+		FineIBTCheckCost:    4,
+		PACSignCost:         6,
+		PACAuthCost:         8,
+		VeriFenceCost:       10,
 		RSBRefillCost:       34,
 		FreqGHz:             3.7,
 	}
@@ -392,6 +405,46 @@ func (m *Model) IndirectCall(siteAddr, targetAddr, retAddr int64, args int32, de
 			m.Cycles += m.P.IndirectCallCost + m.P.CFICheckCost + m.P.MispredictPenalty
 			m.btb[slot] = targetAddr
 		}
+	case ir.DefFineIBT:
+		// Coarse IBT landing pad plus the per-site SID compare executed
+		// at the callee; the dispatch itself stays BTB-predicted.
+		m.Stats.ThunkedCalls++
+		slot := siteAddr & m.btbMask
+		if m.btb[slot] == targetAddr {
+			m.Stats.BTBHits++
+			m.Cycles += m.P.IndirectCallCost + m.P.FineIBTCheckCost
+		} else {
+			m.Stats.BTBMisses++
+			m.Cycles += m.P.IndirectCallCost + m.P.FineIBTCheckCost + m.P.MispredictPenalty
+			m.btb[slot] = targetAddr
+		}
+	case ir.DefPAC:
+		// Camouflage-style PAC-CFI signs the pointer on the call side;
+		// prediction is untouched.
+		m.Stats.ThunkedCalls++
+		slot := siteAddr & m.btbMask
+		if m.btb[slot] == targetAddr {
+			m.Stats.BTBHits++
+			m.Cycles += m.P.IndirectCallCost + m.P.PACSignCost
+		} else {
+			m.Stats.BTBMisses++
+			m.Cycles += m.P.IndirectCallCost + m.P.PACSignCost + m.P.MispredictPenalty
+			m.btb[slot] = targetAddr
+		}
+	case ir.DefVeriFence:
+		// An lfence before the dispatch of a site the verifier could not
+		// prove; the dispatch itself stays BTB-predicted after the fence
+		// retires.
+		m.Stats.ThunkedCalls++
+		slot := siteAddr & m.btbMask
+		if m.btb[slot] == targetAddr {
+			m.Stats.BTBHits++
+			m.Cycles += m.P.IndirectCallCost + m.P.VeriFenceCost
+		} else {
+			m.Stats.BTBMisses++
+			m.Cycles += m.P.IndirectCallCost + m.P.VeriFenceCost + m.P.MispredictPenalty
+			m.btb[slot] = targetAddr
+		}
 	default:
 		// A backward-edge defense on a forward edge is a hardening-pass
 		// bug; charge the worst case rather than silently undercount.
@@ -441,6 +494,17 @@ func (m *Model) Return(retAddr int64, def ir.Defense) {
 		} else {
 			m.Stats.RSBMisses++
 			m.Cycles += m.P.ReturnCost + extra + m.P.MispredictPenalty
+		}
+	case ir.DefPACRet:
+		// PAC-CFI authenticates the return address before the return
+		// retires; RSB prediction is untouched.
+		m.Stats.ThunkedRets++
+		if ok && predicted == retAddr {
+			m.Stats.RSBHits++
+			m.Cycles += m.P.ReturnCost + m.P.PACAuthCost
+		} else {
+			m.Stats.RSBMisses++
+			m.Cycles += m.P.ReturnCost + m.P.PACAuthCost + m.P.MispredictPenalty
 		}
 	default:
 		m.Stats.ThunkedRets++
@@ -499,6 +563,19 @@ func (m *Model) IndirectJump(siteAddr, targetAddr int64, def ir.Defense) {
 		}
 	case ir.DefRetpoline:
 		m.Cycles += m.P.RetpolineCost
+	case ir.DefVeriFence:
+		// A fenced-but-kept jump table: the verifier never proves a
+		// data-driven index, so VeriFence fences the dispatch instead of
+		// lowering it.
+		slot := siteAddr & m.btbMask
+		if m.btb[slot] == targetAddr {
+			m.Stats.BTBHits++
+			m.Cycles += m.P.IndirectCallCost + m.P.VeriFenceCost
+		} else {
+			m.Stats.BTBMisses++
+			m.Cycles += m.P.IndirectCallCost + m.P.VeriFenceCost + m.P.MispredictPenalty
+			m.btb[slot] = targetAddr
+		}
 	default:
 		m.Cycles += m.P.FencedRetpolineCost
 	}
@@ -575,6 +652,14 @@ func (m *Model) DefenseCost(def ir.Defense) (cost int64, ok bool) {
 		return m.P.LVIReturnCost, true
 	case ir.DefFencedRetRet:
 		return m.P.FencedRetRetCost, true
+	case ir.DefFineIBT:
+		return m.P.FineIBTCheckCost, true
+	case ir.DefPAC:
+		return m.P.PACSignCost, true
+	case ir.DefPACRet:
+		return m.P.PACAuthCost, true
+	case ir.DefVeriFence:
+		return m.P.VeriFenceCost, true
 	}
 	return 0, false
 }

@@ -322,3 +322,87 @@ func TestRefillRSBReplacesPoison(t *testing.T) {
 		t.Error("call/return after refill did not predict")
 	}
 }
+
+func TestHardwareAssistedForwardCosts(t *testing.T) {
+	// FineIBT, PAC and VeriFence keep the dispatch BTB-predicted and add
+	// a flat per-class check on top — unlike retpolines, which forgo
+	// prediction entirely.
+	cases := []struct {
+		def   ir.Defense
+		extra int64
+	}{
+		{ir.DefFineIBT, DefaultParams().FineIBTCheckCost},
+		{ir.DefPAC, DefaultParams().PACSignCost},
+		{ir.DefVeriFence, DefaultParams().VeriFenceCost},
+	}
+	for _, c := range cases {
+		m := newModel()
+		m.IndirectCall(0x1000, 0x2000, 0x1005, 0, c.def) // trains BTB
+		if m.Stats.BTBMisses != 1 {
+			t.Errorf("%v: cold call misses = %d, want 1 (still predicted)", c.def, m.Stats.BTBMisses)
+		}
+		before := m.Cycles
+		m.IndirectCall(0x1000, 0x2000, 0x1005, 0, c.def)
+		want := m.P.IndirectCallCost + c.extra
+		if got := m.Cycles - before; got != want {
+			t.Errorf("%v predicted icall = %d, want %d", c.def, got, want)
+		}
+		if m.Stats.ThunkedCalls != 2 {
+			t.Errorf("%v: ThunkedCalls = %d, want 2", c.def, m.Stats.ThunkedCalls)
+		}
+	}
+}
+
+func TestPACReturnAuthCost(t *testing.T) {
+	m := newModel()
+	m.DirectCall(0x100, 0)
+	before := m.Cycles
+	m.Return(0x100, ir.DefPACRet)
+	want := m.P.ReturnCost + m.P.PACAuthCost
+	if got := m.Cycles - before; got != want {
+		t.Errorf("pac-ret predicted return = %d, want %d", got, want)
+	}
+	if m.Stats.RSBHits != 1 {
+		t.Error("pac-ret must keep the RSB prediction")
+	}
+}
+
+func TestVeriFenceIndirectJumpCost(t *testing.T) {
+	m := newModel()
+	m.IndirectJump(0x3000, 0x4000, ir.DefVeriFence) // cold: miss + fence
+	missCost := m.Cycles
+	before := m.Cycles
+	m.IndirectJump(0x3000, 0x4000, ir.DefVeriFence)
+	want := m.P.IndirectCallCost + m.P.VeriFenceCost
+	if got := m.Cycles - before; got != want {
+		t.Errorf("fenced predicted ijump = %d, want %d", got, want)
+	}
+	if missCost <= want {
+		t.Errorf("cold fenced ijump %d not dearer than warm %d", missCost, want)
+	}
+}
+
+func TestNewBackendCostOrdering(t *testing.T) {
+	// The new backends' whole point is a predicted dispatch plus a cheap
+	// check: each per-call cost must undercut the retpoline thunk.
+	p := DefaultParams()
+	for name, c := range map[string]int64{
+		"fineibt": p.FineIBTCheckCost, "pac-sign": p.PACSignCost, "verifence": p.VeriFenceCost,
+	} {
+		if c >= p.RetpolineCost {
+			t.Errorf("%s check cost %d not cheaper than retpoline %d", name, c, p.RetpolineCost)
+		}
+	}
+	if p.PACAuthCost >= p.RetRetpolineCost {
+		t.Errorf("pac auth %d not cheaper than return retpoline %d", p.PACAuthCost, p.RetRetpolineCost)
+	}
+}
+
+func TestDefenseCostTableNewBackends(t *testing.T) {
+	m := newModel()
+	for _, def := range []ir.Defense{ir.DefFineIBT, ir.DefPAC, ir.DefPACRet, ir.DefVeriFence} {
+		if _, ok := m.DefenseCost(def); !ok {
+			t.Errorf("DefenseCost(%v) not defined", def)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package diffcheck
 import (
 	"testing"
 
+	"repro/internal/harden"
 	"repro/internal/interp"
 	"repro/internal/kernel"
 	"repro/internal/workload"
@@ -51,5 +52,46 @@ func TestValidateEngines(t *testing.T) {
 	}
 	if _, err := ValidateEngines(k, nil, Config{}); err == nil {
 		t.Fatal("nil program accepted")
+	}
+}
+
+// TestValidateEnginesNewBackends re-runs the engine-vs-engine gate on a
+// kernel hardened under each post-2021 backend: the compiled tier must
+// stay cycle-exact when every surviving indirect branch carries a
+// FineIBT check, a PAC sign/auth pair, or a VeriFence lfence.
+func TestValidateEnginesNewBackends(t *testing.T) {
+	for _, cfg := range []harden.Config{
+		{FineIBT: true},
+		{PACCFI: true},
+		{VeriFence: true},
+	} {
+		t.Run(cfg.String(), func(t *testing.T) {
+			k, err := kernel.Generate(kernel.Config{Seed: 3})
+			if err != nil {
+				t.Fatalf("Generate: %v", err)
+			}
+			if _, err := harden.Apply(k.Mod, cfg); err != nil {
+				t.Fatalf("Apply: %v", err)
+			}
+			if err := harden.CheckInvariants(k.Mod, cfg, false); err != nil {
+				t.Fatalf("CheckInvariants: %v", err)
+			}
+			prog, err := interp.Compile(k.Mod)
+			if err != nil {
+				t.Fatalf("Compile: %v", err)
+			}
+			rep, err := ValidateEngines(k, prog, Config{
+				Flavors: []workload.Flavor{workload.LMBench, workload.Apache},
+				Seed:    59,
+				Runs:    2,
+				Harden:  cfg,
+			})
+			if err != nil {
+				t.Fatalf("ValidateEngines(%s): %v", cfg, err)
+			}
+			if rep.Entries == 0 || rep.Runs == 0 {
+				t.Fatalf("empty validation: %+v", rep)
+			}
+		})
 	}
 }

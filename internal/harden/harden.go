@@ -39,6 +39,23 @@ type Config struct {
 	StackProtector bool // stack canaries on returns
 	SafeStack      bool // separate return stack
 
+	// Post-2021 hardware-assisted backends. They yield to the transient
+	// thunks above when both claim an edge (a retpolined site needs no
+	// landing-pad check), and otherwise add a cheap check to a normally
+	// predicted dispatch.
+	//
+	// FineIBT places a coarse IBT landing pad with a per-site SID
+	// compare at every indirect-call target (forward edge only).
+	FineIBT bool
+	// PACCFI signs function pointers on the call side and authenticates
+	// return addresses (Camouflage-style ARM pointer authentication) —
+	// both edges, with the forward cost on the *call*, not the branch.
+	PACCFI bool
+	// VeriFence fences only the indirect branches the IR verifier
+	// cannot prove safe (ir.ProvableSites); provable sites deliberately
+	// stay bare, and jump tables are fenced in place instead of lowered.
+	VeriFence bool
+
 	// RSBRefill enables the kernel's ad-hoc RSB-stuffing mitigation on
 	// privilege transitions instead of hardening each return (§6.4).
 	// It rewrites no instructions; the execution engine charges the
@@ -50,7 +67,8 @@ type Config struct {
 // enabled.
 func (c Config) Any() bool {
 	return c.Retpolines || c.RetRetpolines || c.LVICFI ||
-		c.LLVMCFI || c.StackProtector || c.SafeStack
+		c.LLVMCFI || c.StackProtector || c.SafeStack ||
+		c.FineIBT || c.PACCFI || c.VeriFence
 }
 
 // String names the configuration the way the paper's tables do.
@@ -68,6 +86,14 @@ func (c Config) String() string {
 		return "ret-retpolines"
 	case c.LVICFI:
 		return "lvi-cfi"
+	case c.FineIBT && c.PACCFI:
+		return "fineibt+pac-cfi"
+	case c.FineIBT:
+		return "fineibt"
+	case c.PACCFI:
+		return "pac-cfi"
+	case c.VeriFence:
+		return "verifence"
 	case c.LLVMCFI:
 		return "llvm-cfi"
 	case c.StackProtector:
@@ -91,8 +117,17 @@ func (c Config) ForwardDefense() ir.Defense {
 		return ir.DefRetpoline
 	case c.LVICFI:
 		return ir.DefLVI
+	case c.FineIBT:
+		return ir.DefFineIBT
+	case c.PACCFI:
+		return ir.DefPAC
 	case c.LLVMCFI:
 		return ir.DefLLVMCFI
+	case c.VeriFence:
+		// Per-site: unprovable sites get the fence; ir.ProvableSites
+		// decides which provable sites stay bare (Apply/CheckInvariants
+		// recompute the same set).
+		return ir.DefVeriFence
 	default:
 		return ir.DefNone
 	}
@@ -107,6 +142,8 @@ func (c Config) BackwardDefense() ir.Defense {
 		return ir.DefRetRetpoline
 	case c.LVICFI:
 		return ir.DefLVIRet
+	case c.PACCFI:
+		return ir.DefPACRet
 	case c.StackProtector:
 		return ir.DefStackProtector
 	case c.SafeStack:
@@ -125,6 +162,10 @@ type Census struct {
 	// VulnICalls is the number of indirect calls left unprotected
 	// (inline-assembly sites the compiler cannot rewrite).
 	VulnICalls int
+	// ProvenICalls counts indirect calls the VeriFence verifier proved
+	// safe and deliberately left bare — protected by proof, not by a
+	// thunk, so they are neither defended nor vulnerable.
+	ProvenICalls int
 	// VulnIJumps is the number of indirect jumps still emitted (jump
 	// tables that could not be lowered plus assembly jumps).
 	VulnIJumps int
@@ -136,6 +177,9 @@ type Census struct {
 	BootReturns     int
 	// LoweredJumpTables counts switches converted to compare chains.
 	LoweredJumpTables int
+	// FencedJumpTables counts jump tables kept as tables behind a
+	// VeriFence lfence instead of being lowered.
+	FencedJumpTables int
 }
 
 // Apply instruments the module in place and returns the census. The
@@ -147,6 +191,10 @@ func Apply(mod *ir.Module, cfg Config) (*Census, error) {
 		return nil, fmt.Errorf("harden: nil module")
 	}
 	fwd, bwd := cfg.ForwardDefense(), cfg.BackwardDefense()
+	var prov map[ir.SiteID]bool
+	if fwd == ir.DefVeriFence {
+		prov = ir.ProvableSites(mod, 0)
+	}
 	c := &Census{}
 	for _, f := range mod.Funcs {
 		boot := f.Attrs.Has(ir.AttrBoot)
@@ -155,6 +203,12 @@ func Apply(mod *ir.Module, cfg Config) (*Census, error) {
 			case ir.OpICall:
 				if in.Asm {
 					c.VulnICalls++
+					return
+				}
+				if fwd == ir.DefVeriFence && prov[in.Site] {
+					// The verifier proved this site; no fence needed.
+					in.Defense = ir.DefNone
+					c.ProvenICalls++
 					return
 				}
 				in.Defense = fwd
@@ -193,6 +247,12 @@ func Apply(mod *ir.Module, cfg Config) (*Census, error) {
 					c.LoweredJumpTables++
 					// A compare chain is larger than a table dispatch.
 					in.Size = int32(ir.DefaultInstrSize * (1 + len(in.Targets)))
+				} else if fwd == ir.DefVeriFence {
+					// A data-driven index is never provable; fence the
+					// dispatch in place instead of lowering the table.
+					in.Defense = ir.DefVeriFence
+					in.Size = int32(ir.DefaultInstrSize) + fenceBytes
+					c.FencedJumpTables++
 				} else {
 					c.VulnIJumps++
 				}
@@ -201,6 +261,11 @@ func Apply(mod *ir.Module, cfg Config) (*Census, error) {
 	}
 	return c, nil
 }
+
+// fenceBytes is the encoded size of a single lfence (3 bytes on x86-64);
+// a VeriFence-fenced jump table keeps its dispatch and grows by exactly
+// the fence.
+const fenceBytes = 3
 
 // thunkSize returns the encoded size of a hardened branch sequence.
 // Values approximate the listings in the paper: a retpoline thunk call
@@ -228,6 +293,16 @@ func thunkSize(d ir.Defense) int32 {
 		return 10
 	case ir.DefSafeStack:
 		return 8
+	case ir.DefFineIBT:
+		// endbr64 at the target is charged to the callee; the site pays
+		// for the SID move feeding the landing-pad compare.
+		return 7
+	case ir.DefPAC:
+		return 6 // pacia-style sign folded into the call sequence
+	case ir.DefPACRet:
+		return 6 // autia before the return
+	case ir.DefVeriFence:
+		return int32(ir.DefaultInstrSize) + fenceBytes
 	default:
 		return ir.DefaultInstrSize
 	}
@@ -252,9 +327,19 @@ func CheckInvariants(mod *ir.Module, cfg Config, jumpSwitches bool) error {
 	if mod == nil {
 		return resilience.Faultf(resilience.PhaseBuild, resilience.KindConfig, "harden", "nil module")
 	}
-	fwd, bwd := cfg.ForwardDefense(), cfg.BackwardDefense()
+	fwdCfg := cfg.ForwardDefense()
+	fwd, bwd := fwdCfg, cfg.BackwardDefense()
 	if jumpSwitches {
 		fwd = ir.DefNone
+	}
+	// VeriFence's demand is per-site: ProvableSites is a pure function of
+	// the module, so recomputing it here reproduces exactly the set Apply
+	// consulted (unless an optimization pass broke a site's provability
+	// after hardening — which is precisely the invariant violation this
+	// check exists to catch).
+	var prov map[ir.SiteID]bool
+	if fwd == ir.DefVeriFence {
+		prov = ir.ProvableSites(mod, 0)
 	}
 	var violation *resilience.FaultError
 	for _, f := range mod.Funcs {
@@ -269,9 +354,13 @@ func CheckInvariants(mod *ir.Module, cfg Config, jumpSwitches bool) error {
 			site := fmt.Sprintf("%s/%s[%d]", f.Name, b.Name, i)
 			switch in.Op {
 			case ir.OpICall:
-				if !in.Asm && in.Defense != fwd {
+				want := fwd
+				if fwd == ir.DefVeriFence && prov[in.Site] {
+					want = ir.DefNone
+				}
+				if !in.Asm && in.Defense != want {
 					violation = resilience.Faultf(resilience.PhaseBuild, resilience.KindUnhardenedSite, site,
-						"indirect call carries %v, config demands %v", in.Defense, fwd)
+						"indirect call carries %v, config demands %v", in.Defense, want)
 				}
 			case ir.OpRet:
 				if !in.Asm && !boot && in.Defense != bwd {
@@ -282,6 +371,14 @@ func CheckInvariants(mod *ir.Module, cfg Config, jumpSwitches bool) error {
 				if in.JumpTable && !in.Asm && (cfg.Retpolines || cfg.LVICFI) {
 					violation = resilience.Faultf(resilience.PhaseBuild, resilience.KindUnhardenedSite, site,
 						"jump table not lowered under %s", cfg)
+				}
+				// Jump-table fencing is demanded even under jumpSwitches:
+				// the baseline leaves *calls* bare for runtime promotion,
+				// never table dispatch.
+				if in.JumpTable && !in.Asm && fwdCfg == ir.DefVeriFence &&
+					!(cfg.Retpolines || cfg.LVICFI) && in.Defense != ir.DefVeriFence {
+					violation = resilience.Faultf(resilience.PhaseBuild, resilience.KindUnhardenedSite, site,
+						"jump table not fenced under %s", cfg)
 				}
 			}
 		})
@@ -295,15 +392,22 @@ func CheckInvariants(mod *ir.Module, cfg Config, jumpSwitches bool) error {
 // CollectCensus recomputes the census of an already-hardened module
 // without modifying it, given the configuration it was hardened with.
 func CollectCensus(mod *ir.Module, cfg Config) *Census {
+	var prov map[ir.SiteID]bool
+	if cfg.ForwardDefense() == ir.DefVeriFence {
+		prov = ir.ProvableSites(mod, 0)
+	}
 	c := &Census{}
 	for _, f := range mod.Funcs {
 		boot := f.Attrs.Has(ir.AttrBoot)
 		f.ForEachInstr(func(b *ir.Block, i int, in *ir.Instr) {
 			switch in.Op {
 			case ir.OpICall:
-				if in.Defense != ir.DefNone {
+				switch {
+				case in.Defense != ir.DefNone:
 					c.DefendedICalls++
-				} else {
+				case !in.Asm && prov[in.Site]:
+					c.ProvenICalls++
+				default:
 					c.VulnICalls++
 				}
 			case ir.OpRet:
@@ -316,9 +420,12 @@ func CollectCensus(mod *ir.Module, cfg Config) *Census {
 					c.VulnReturns++
 				}
 			case ir.OpSwitch:
-				if in.JumpTable {
+				switch {
+				case in.JumpTable && in.Defense == ir.DefVeriFence:
+					c.FencedJumpTables++
+				case in.JumpTable:
 					c.VulnIJumps++
-				} else if cfg.Retpolines || cfg.LVICFI {
+				case cfg.Retpolines || cfg.LVICFI:
 					c.LoweredJumpTables++
 				}
 			}

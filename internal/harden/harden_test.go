@@ -308,3 +308,258 @@ func TestCheckInvariantsJumpSwitchesRelaxation(t *testing.T) {
 		t.Fatal("strict check accepted bare icalls")
 	}
 }
+
+func TestNewBackendDefenseMapping(t *testing.T) {
+	cases := []struct {
+		cfg      Config
+		fwd, bwd ir.Defense
+		name     string
+	}{
+		{Config{FineIBT: true}, ir.DefFineIBT, ir.DefNone, "fineibt"},
+		{Config{PACCFI: true}, ir.DefPAC, ir.DefPACRet, "pac-cfi"},
+		{Config{VeriFence: true}, ir.DefVeriFence, ir.DefNone, "verifence"},
+		{Config{FineIBT: true, PACCFI: true}, ir.DefFineIBT, ir.DefPACRet, "fineibt+pac-cfi"},
+		// Transient thunks claim the edge first: a retpolined site needs
+		// no landing-pad check, an LVI-fenced return needs no auth.
+		{Config{Retpolines: true, FineIBT: true}, ir.DefRetpoline, ir.DefNone, "retpolines"},
+		{Config{LVICFI: true, PACCFI: true}, ir.DefLVI, ir.DefLVIRet, "lvi-cfi"},
+	}
+	for _, c := range cases {
+		if got := c.cfg.ForwardDefense(); got != c.fwd {
+			t.Errorf("%s: forward = %v, want %v", c.name, got, c.fwd)
+		}
+		if got := c.cfg.BackwardDefense(); got != c.bwd {
+			t.Errorf("%s: backward = %v, want %v", c.name, got, c.bwd)
+		}
+		if got := c.cfg.String(); got != c.name {
+			t.Errorf("String() = %q, want %q", got, c.name)
+		}
+		if !c.cfg.Any() {
+			t.Errorf("%s: Any() = false", c.name)
+		}
+	}
+}
+
+// TestApplyNewBackendsRoundTrip hardens the shared fixture under each new
+// backend and checks the Apply census, the CheckInvariants round-trip, and
+// CollectCensus agreement — then tampers with one site and expects the
+// invariant check to flag it.
+func TestApplyNewBackendsRoundTrip(t *testing.T) {
+	for _, cfg := range []Config{
+		{FineIBT: true},
+		{PACCFI: true},
+		{VeriFence: true},
+		{FineIBT: true, PACCFI: true},
+	} {
+		t.Run(cfg.String(), func(t *testing.T) {
+			m := buildModule(t)
+			c, err := Apply(m, cfg)
+			if err != nil {
+				t.Fatalf("Apply: %v", err)
+			}
+			if got := c.DefendedICalls + c.ProvenICalls; got != 1 {
+				t.Errorf("defended+proven icalls = %d, want 1", got)
+			}
+			if c.VulnICalls != 1 {
+				t.Errorf("VulnICalls = %d, want 1 (the asm hypercall)", c.VulnICalls)
+			}
+			wantRets := 0
+			if cfg.PACCFI {
+				wantRets = 3
+			}
+			if c.DefendedReturns != wantRets {
+				t.Errorf("DefendedReturns = %d, want %d", c.DefendedReturns, wantRets)
+			}
+			// None of the new backends lowers jump tables; only VeriFence
+			// touches them (fenced in place).
+			if c.LoweredJumpTables != 0 {
+				t.Errorf("LoweredJumpTables = %d, want 0", c.LoweredJumpTables)
+			}
+			if cfg.ForwardDefense() == ir.DefVeriFence {
+				if c.FencedJumpTables != 1 || c.VulnIJumps != 0 {
+					t.Errorf("fencedJT=%d vulnIJ=%d, want 1/0", c.FencedJumpTables, c.VulnIJumps)
+				}
+			} else if c.VulnIJumps != 1 {
+				t.Errorf("VulnIJumps = %d, want 1 (table kept, unfenced)", c.VulnIJumps)
+			}
+			if err := ir.Verify(m, ir.VerifyOptions{}); err != nil {
+				t.Fatalf("Verify after harden: %v", err)
+			}
+			if err := CheckInvariants(m, cfg, false); err != nil {
+				t.Fatalf("hardened module fails its own invariants: %v", err)
+			}
+			c2 := CollectCensus(m, cfg)
+			if *c2 != *c {
+				t.Errorf("CollectCensus disagrees:\n got %+v\nwant %+v", c2, c)
+			}
+
+			// Tamper: flip the defense on the first rewriteable icall.
+			tampered := false
+			for _, f := range m.Funcs {
+				f.ForEachInstr(func(b *ir.Block, i int, in *ir.Instr) {
+					if tampered || in.Op != ir.OpICall || in.Asm {
+						return
+					}
+					if in.Defense == ir.DefNone {
+						in.Defense = cfg.ForwardDefense() // fence a proven site
+					} else {
+						in.Defense = ir.DefNone // strip a demanded thunk
+					}
+					tampered = true
+				})
+			}
+			if !tampered {
+				t.Fatal("no rewriteable indirect call in fixture")
+			}
+			if !resilience.IsKind(CheckInvariants(m, cfg, false), resilience.KindUnhardenedSite) {
+				t.Error("tampered icall not flagged")
+			}
+		})
+	}
+}
+
+// TestThunkSizeGrowth: every new backend must grow the image, and the
+// growth must land where the backend's cost model says it does.
+func TestThunkSizeGrowth(t *testing.T) {
+	base := buildModule(t).ByteSize()
+	for _, cfg := range []Config{{FineIBT: true}, {PACCFI: true}, {VeriFence: true}} {
+		m := buildModule(t)
+		if _, err := Apply(m, cfg); err != nil {
+			t.Fatalf("%s: %v", cfg, err)
+		}
+		if m.ByteSize() <= base {
+			t.Errorf("%s: image size %d -> %d, hardening must grow the image", cfg, base, m.ByteSize())
+		}
+	}
+	// PAC grows both edges, FineIBT only the forward one: on a fixture
+	// with more returns than icalls the PAC image is strictly larger.
+	mf, mp := buildModule(t), buildModule(t)
+	if _, err := Apply(mf, Config{FineIBT: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Apply(mp, Config{PACCFI: true}); err != nil {
+		t.Fatal(err)
+	}
+	if mp.ByteSize() <= mf.ByteSize() {
+		t.Errorf("pac-cfi image %d not larger than fineibt image %d", mp.ByteSize(), mf.ByteSize())
+	}
+}
+
+// buildVeriFenceFixture constructs one function per provability class:
+//
+//   - prov: resolve immediately followed by the icall — provable;
+//   - split: resolve in the entry block, icall in a successor — the shape
+//     ICP promotion leaves behind, unprovable;
+//   - clob: a store between resolve and icall — unprovable;
+//   - big: adjacent resolve/icall inside a function padded past the
+//     verifier budget — unprovable.
+func buildVeriFenceFixture(t *testing.T) (*ir.Module, map[string]ir.SiteID) {
+	t.Helper()
+	m := ir.NewModule()
+	ir.NewFunction(m, "callee", 0).ALU(1).Ret()
+	sites := make(map[string]ir.SiteID)
+
+	p := ir.NewFunction(m, "prov", 0)
+	site, reg := p.Resolve()
+	sites["prov"] = site
+	p.ICall(site, reg, 0).Ret()
+
+	s := ir.NewFunction(m, "split", 0)
+	site, reg = s.Resolve()
+	sites["split"] = site
+	s.Jmp("fb")
+	s.NewBlock("fb").ICall(site, reg, 0).Ret()
+
+	c := ir.NewFunction(m, "clob", 0)
+	site, reg = c.Resolve()
+	sites["clob"] = site
+	c.Store().ICall(site, reg, 0).Ret()
+
+	b := ir.NewFunction(m, "big", 0)
+	site, reg = b.Resolve()
+	sites["big"] = site
+	b.ICall(site, reg, 0)
+	for i := 0; i < ir.DefaultVerifierBudget; i++ {
+		b.ALU(1)
+	}
+	b.Ret()
+
+	if err := ir.Verify(m, ir.VerifyOptions{}); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	return m, sites
+}
+
+// TestVeriFenceProperty: provable sites are never fenced, unprovable
+// sites always are — per site, across every unprovability cause.
+func TestVeriFenceProperty(t *testing.T) {
+	m, sites := buildVeriFenceFixture(t)
+	prov := ir.ProvableSites(m, 0)
+	if !prov[sites["prov"]] {
+		t.Error("adjacent resolve/icall not provable")
+	}
+	for _, name := range []string{"split", "clob", "big"} {
+		if prov[sites[name]] {
+			t.Errorf("site %q provable, want unprovable", name)
+		}
+	}
+
+	cfg := Config{VeriFence: true}
+	c, err := Apply(m, cfg)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if c.ProvenICalls != 1 || c.DefendedICalls != 3 {
+		t.Errorf("proven=%d defended=%d, want 1/3", c.ProvenICalls, c.DefendedICalls)
+	}
+	byName := make(map[string]ir.Defense)
+	for _, f := range m.Funcs {
+		f.ForEachInstr(func(b *ir.Block, i int, in *ir.Instr) {
+			if in.Op == ir.OpICall {
+				byName[f.Name] = in.Defense
+			}
+		})
+	}
+	if byName["prov"] != ir.DefNone {
+		t.Errorf("provable site fenced: %v", byName["prov"])
+	}
+	for _, name := range []string{"split", "clob", "big"} {
+		if byName[name] != ir.DefVeriFence {
+			t.Errorf("unprovable site %q carries %v, want verifence", name, byName[name])
+		}
+	}
+	if err := CheckInvariants(m, cfg, false); err != nil {
+		t.Fatalf("CheckInvariants: %v", err)
+	}
+	if c2 := CollectCensus(m, cfg); *c2 != *c {
+		t.Errorf("CollectCensus disagrees:\n got %+v\nwant %+v", c2, c)
+	}
+}
+
+// TestVeriFenceJumpTableFenced: jump tables are fenced in place — kept
+// as tables, grown by the fence — never lowered; and the invariant check
+// flags a table whose fence was dropped.
+func TestVeriFenceJumpTableFenced(t *testing.T) {
+	cfg := Config{VeriFence: true}
+	m := buildModule(t)
+	if _, err := Apply(m, cfg); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range m.Funcs {
+		f.ForEachInstr(func(b *ir.Block, i int, in *ir.Instr) {
+			if in.Op != ir.OpSwitch || in.Asm {
+				return
+			}
+			if !in.JumpTable {
+				t.Error("verifence lowered a jump table")
+			}
+			if in.Defense != ir.DefVeriFence {
+				t.Errorf("jump table carries %v, want verifence", in.Defense)
+			}
+			in.Defense = ir.DefNone // drop the fence
+		})
+	}
+	if !resilience.IsKind(CheckInvariants(m, cfg, false), resilience.KindUnhardenedSite) {
+		t.Error("unfenced jump table not flagged")
+	}
+}

@@ -182,6 +182,10 @@ type cvm struct {
 	cfiCheckCost     int64
 	stackProtCost    int64
 	safeStackCost    int64
+	fineIBTCost      int64
+	pacSignCost      int64
+	pacAuthCost      int64
+	veriFenceCost    int64
 	rsbRefillCost    int64
 	alignMask        int64 // ^(ICacheLine-1)
 	icLine           int64
@@ -405,6 +409,26 @@ func (vm *cvm) icallDef(siteAddr, targetAddr int64, def ir.Defense) {
 			vm.st.Cycles += vm.indirectCallCost + vm.cfiCheckCost + vm.mispredict
 			vm.st.BTB[slot] = targetAddr
 		}
+	case ir.DefFineIBT, ir.DefPAC, ir.DefVeriFence:
+		// Hardware-assisted checks over a BTB-predicted dispatch; only
+		// the flat check cost differs (Model.IndirectCall's three cases).
+		extra := vm.fineIBTCost
+		switch def {
+		case ir.DefPAC:
+			extra = vm.pacSignCost
+		case ir.DefVeriFence:
+			extra = vm.veriFenceCost
+		}
+		vm.st.Stats.ThunkedCalls++
+		slot := siteAddr & vm.st.BTBMask
+		if vm.st.BTB[slot] == targetAddr {
+			vm.st.Stats.BTBHits++
+			vm.st.Cycles += vm.indirectCallCost + extra
+		} else {
+			vm.st.Stats.BTBMisses++
+			vm.st.Cycles += vm.indirectCallCost + extra + vm.mispredict
+			vm.st.BTB[slot] = targetAddr
+		}
 	default:
 		vm.st.Stats.ThunkedCalls++
 		vm.st.Cycles += vm.fencedRetpCost
@@ -443,6 +467,15 @@ func (vm *cvm) retSlow(predicted int64, ok bool, retAddr int64, def ir.Defense) 
 			vm.st.Stats.RSBMisses++
 			vm.st.Cycles += vm.returnCost + extra + vm.mispredict
 		}
+	case ir.DefPACRet:
+		vm.st.Stats.ThunkedRets++
+		if ok && predicted == retAddr {
+			vm.st.Stats.RSBHits++
+			vm.st.Cycles += vm.returnCost + vm.pacAuthCost
+		} else {
+			vm.st.Stats.RSBMisses++
+			vm.st.Cycles += vm.returnCost + vm.pacAuthCost + vm.mispredict
+		}
 	default:
 		vm.st.Stats.ThunkedRets++
 		vm.st.Cycles += vm.fencedRetRetCost
@@ -465,6 +498,16 @@ func (vm *cvm) ijump(siteAddr, targetAddr int64, def ir.Defense) {
 		}
 	case ir.DefRetpoline:
 		vm.st.Cycles += vm.retpolineCost
+	case ir.DefVeriFence:
+		slot := siteAddr & vm.st.BTBMask
+		if vm.st.BTB[slot] == targetAddr {
+			vm.st.Stats.BTBHits++
+			vm.st.Cycles += vm.indirectCallCost + vm.veriFenceCost
+		} else {
+			vm.st.Stats.BTBMisses++
+			vm.st.Cycles += vm.indirectCallCost + vm.veriFenceCost + vm.mispredict
+			vm.st.BTB[slot] = targetAddr
+		}
 	default:
 		vm.st.Cycles += vm.fencedRetpCost
 	}
@@ -1371,6 +1414,10 @@ func (mc *Machine) runCompiled(fi int32, entryRetAddr int64) error {
 		vm.cfiCheckCost = par.CFICheckCost
 		vm.stackProtCost = par.StackProtectorCost
 		vm.safeStackCost = par.SafeStackCost
+		vm.fineIBTCost = par.FineIBTCheckCost
+		vm.pacSignCost = par.PACSignCost
+		vm.pacAuthCost = par.PACAuthCost
+		vm.veriFenceCost = par.VeriFenceCost
 		vm.rsbRefillCost = par.RSBRefillCost
 		vm.alignMask = ^(par.ICacheLine - 1)
 		vm.icLine = par.ICacheLine

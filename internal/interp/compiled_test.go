@@ -323,8 +323,8 @@ func genModule(seed uint64) (*ir.Module, []ir.SiteID) {
 	}
 	// Random defenses and switch lowering, as the hardening pass would
 	// assign them.
-	fwd := []ir.Defense{ir.DefNone, ir.DefNone, ir.DefRetpoline, ir.DefLVI, ir.DefFencedRetpoline, ir.DefLLVMCFI}
-	bwd := []ir.Defense{ir.DefNone, ir.DefNone, ir.DefRetRetpoline, ir.DefLVIRet, ir.DefFencedRetRet, ir.DefStackProtector, ir.DefSafeStack}
+	fwd := []ir.Defense{ir.DefNone, ir.DefNone, ir.DefRetpoline, ir.DefLVI, ir.DefFencedRetpoline, ir.DefLLVMCFI, ir.DefFineIBT, ir.DefPAC, ir.DefVeriFence}
+	bwd := []ir.Defense{ir.DefNone, ir.DefNone, ir.DefRetRetpoline, ir.DefLVIRet, ir.DefFencedRetRet, ir.DefStackProtector, ir.DefSafeStack, ir.DefPACRet}
 	for _, f := range mod.Funcs {
 		f.ForEachInstr(func(_ *ir.Block, _ int, in *ir.Instr) {
 			switch in.Op {
@@ -337,7 +337,11 @@ func genModule(seed uint64) (*ir.Module, []ir.SiteID) {
 					in.JumpTable = false
 				}
 				if in.JumpTable && r.n(3) == 0 {
-					in.Defense = ir.DefRetpoline
+					if r.n(2) == 0 {
+						in.Defense = ir.DefVeriFence
+					} else {
+						in.Defense = ir.DefRetpoline
+					}
 				}
 			}
 		})

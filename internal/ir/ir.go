@@ -99,6 +99,16 @@ const (
 	DefLLVMCFI        // LLVM-CFI forward-edge target-set check
 	DefStackProtector // stack canary verified before return
 	DefSafeStack      // return address on a separate safe stack
+
+	// Post-2021 hardware-assisted defenses with cost shapes the paper's
+	// Table 1 could not include: FineIBT's landing-pad SID compare lands
+	// at the callee, PAC-CFI's sign/auth pair lands on the call and
+	// return sides, and VeriFence fences only the sites a verifier-style
+	// analysis (ProvableSites) cannot prove safe.
+	DefFineIBT   // coarse IBT landing pad + per-site SID compare (forward edge)
+	DefPAC       // PAC-CFI pointer signing on the call side (forward edge)
+	DefPACRet    // PAC-CFI return-address authentication (backward edge)
+	DefVeriFence // lfence at a verifier-unproved indirect branch
 )
 
 var defNames = [...]string{
@@ -112,6 +122,10 @@ var defNames = [...]string{
 	DefLLVMCFI:         "llvm-cfi",
 	DefStackProtector:  "stackprotector",
 	DefSafeStack:       "safestack",
+	DefFineIBT:         "fineibt",
+	DefPAC:             "pac-cfi",
+	DefPACRet:          "pac-ret",
+	DefVeriFence:       "verifence",
 }
 
 func (d Defense) String() string {

@@ -1,0 +1,93 @@
+package ir
+
+// This file implements the provable-site analysis that backs the
+// VeriFence-style hardening pass: instead of fencing every indirect
+// branch, a verifier proves as many sites safe as it can afford to, and
+// only the remainder pay for an lfence. The analysis reuses the same
+// structural vocabulary as Verify — it walks blocks, follows register
+// dataflow, and gives up exactly where a real verifier gives up.
+//
+// A forward-edge site is provable when the verifier can close the
+// dataflow window between the function-pointer load and the branch that
+// consumes it:
+//
+//   - the OpResolve defining the icall's register is in the same block,
+//     before the icall (intra-block dataflow only — cross-block value
+//     tracking is where verifier state explosion starts, and it is
+//     exactly what ICP's promotion chains introduce: the fallback icall
+//     of a promoted site lives in a synthesized block away from its
+//     resolve, so promoted fallbacks are unprovable);
+//   - no memory operation or call separates the resolve from the icall
+//     (a load/store could alias the pointer slot, and a call clobbers
+//     everything the verifier reasoned about);
+//   - the site does not originate from inline assembly; and
+//   - the containing function fits in the verifier's state-exploration
+//     budget. Like the eBPF verifier's instruction-exploration cap,
+//     functions past the budget are rejected wholesale — which is why
+//     aggressive inlining, by growing hot callers, erodes VeriFence's
+//     discount even as it removes branches.
+//
+// Jump-table dispatch is never provable: its index is data-driven by
+// construction.
+
+// DefaultVerifierBudget is the verifier's per-function state-exploration
+// budget in static instructions. Functions larger than this exhaust the
+// verifier and every indirect call inside them is unprovable. The value
+// is calibrated against the synthetic kernel so that both classes are
+// well-populated: hand-sized helpers and syscall bodies verify, while
+// inline-bloated handlers and the largest cold functions do not.
+const DefaultVerifierBudget = 160
+
+// ProvableSites returns the set of OpICall sites (keyed by Site, not
+// Orig — the analysis runs on the final module, after cloning) that a
+// VeriFence-style verifier proves safe under the given per-function
+// instruction budget. budget <= 0 selects DefaultVerifierBudget. The
+// result is a pure function of the module, so a hardening pass and a
+// later invariant check recompute identical sets.
+func ProvableSites(m *Module, budget int) map[SiteID]bool {
+	if budget <= 0 {
+		budget = DefaultVerifierBudget
+	}
+	prov := make(map[SiteID]bool)
+	for _, f := range m.Funcs {
+		var instrs int
+		for _, b := range f.Blocks {
+			instrs += len(b.Instrs)
+		}
+		if instrs > budget {
+			continue // verifier budget exhausted: nothing in f is provable
+		}
+		nregs := f.NumRegs
+		if nregs == 0 {
+			continue
+		}
+		clean := make([]bool, nregs)
+		for _, b := range f.Blocks {
+			for i := range clean {
+				clean[i] = false
+			}
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				switch in.Op {
+				case OpResolve:
+					if int(in.Reg) < nregs {
+						clean[in.Reg] = true
+					}
+				case OpICall:
+					if !in.Asm && int(in.Reg) < nregs && clean[in.Reg] {
+						prov[in.Site] = true
+					}
+					// The call itself clobbers every open window.
+					for j := range clean {
+						clean[j] = false
+					}
+				case OpCall, OpLoad, OpStore:
+					for j := range clean {
+						clean[j] = false
+					}
+				}
+			}
+		}
+	}
+	return prov
+}

@@ -1,0 +1,141 @@
+package ir
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// proveFixture builds one function per provability class and returns the
+// site for each by name.
+func proveFixture(t *testing.T) (*Module, map[string]SiteID) {
+	t.Helper()
+	m := NewModule()
+	NewFunction(m, "callee", 0).ALU(1).Ret()
+	sites := make(map[string]SiteID)
+
+	add := func(name string, build func(b *Builder) (SiteID, int32)) {
+		b := NewFunction(m, name, 0)
+		site, reg := build(b)
+		sites[name] = site
+		_ = reg
+	}
+
+	add("adjacent", func(b *Builder) (SiteID, int32) {
+		site, reg := b.Resolve()
+		b.ICall(site, reg, 0).Ret()
+		return site, reg
+	})
+	add("aluBetween", func(b *Builder) (SiteID, int32) {
+		site, reg := b.Resolve()
+		b.ALU(3).ICall(site, reg, 0).Ret()
+		return site, reg
+	})
+	add("loadBetween", func(b *Builder) (SiteID, int32) {
+		site, reg := b.Resolve()
+		b.Load(4).ICall(site, reg, 0).Ret()
+		return site, reg
+	})
+	add("storeBetween", func(b *Builder) (SiteID, int32) {
+		site, reg := b.Resolve()
+		b.Store().ICall(site, reg, 0).Ret()
+		return site, reg
+	})
+	add("callBetween", func(b *Builder) (SiteID, int32) {
+		site, reg := b.Resolve()
+		b.Call("callee", 0)
+		b.ICall(site, reg, 0).Ret()
+		return site, reg
+	})
+	add("crossBlock", func(b *Builder) (SiteID, int32) {
+		site, reg := b.Resolve()
+		b.Jmp("fb")
+		b.NewBlock("fb").ICall(site, reg, 0).Ret()
+		return site, reg
+	})
+	add("asm", func(b *Builder) (SiteID, int32) {
+		site, reg := b.Resolve()
+		b.ICall(site, reg, 0)
+		b.Func().Entry().Instrs[1].Asm = true
+		b.Ret()
+		return site, reg
+	})
+	add("overBudget", func(b *Builder) (SiteID, int32) {
+		site, reg := b.Resolve()
+		b.ICall(site, reg, 0)
+		for i := 0; i < DefaultVerifierBudget; i++ {
+			b.ALU(1)
+		}
+		b.Ret()
+		return site, reg
+	})
+
+	if err := Verify(m, VerifyOptions{}); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	return m, sites
+}
+
+func TestProvableSites(t *testing.T) {
+	m, sites := proveFixture(t)
+	prov := ProvableSites(m, 0)
+	want := map[string]bool{
+		"adjacent":   true,
+		"aluBetween": true, // ALU work does not clobber the window
+		// Every clobber class closes the window:
+		"loadBetween":  false,
+		"storeBetween": false,
+		"callBetween":  false,
+		"crossBlock":   false, // intra-block dataflow only (the ICP-fallback shape)
+		"asm":          false,
+		"overBudget":   false, // verifier budget exhausted
+	}
+	for name, w := range want {
+		if prov[sites[name]] != w {
+			t.Errorf("site %q provable = %v, want %v", name, prov[sites[name]], w)
+		}
+	}
+}
+
+func TestProvableSitesBudget(t *testing.T) {
+	m, sites := proveFixture(t)
+	// A huge explicit budget admits the over-budget function too.
+	prov := ProvableSites(m, 1<<20)
+	if !prov[sites["overBudget"]] {
+		t.Error("explicit large budget still rejects the big function")
+	}
+	// A tiny budget rejects everything (every fixture has >1 instr).
+	if got := ProvableSites(m, 1); len(got) != 0 {
+		t.Errorf("budget 1 proved %d sites, want 0", len(got))
+	}
+	// Determinism: a pure function of the module.
+	a, b := ProvableSites(m, 0), ProvableSites(m, 0)
+	if len(a) != len(b) {
+		t.Fatalf("ProvableSites not deterministic: %d vs %d", len(a), len(b))
+	}
+	for s := range a {
+		if !b[s] {
+			t.Errorf("site %d in first run only", s)
+		}
+	}
+}
+
+func TestVerifyErrorTyped(t *testing.T) {
+	m := NewModule()
+	f := NewFunction(m, "f", 0)
+	f.Jmp("nowhere") // branch to a block that does not exist
+	err := Verify(m, VerifyOptions{})
+	if err == nil {
+		t.Fatal("malformed module verified")
+	}
+	var ve *VerifyError
+	if !errors.As(err, &ve) {
+		t.Fatalf("Verify error %T is not *VerifyError", err)
+	}
+	if len(ve.Violations) == 0 {
+		t.Fatal("VerifyError carries no violations")
+	}
+	if !strings.Contains(err.Error(), "nowhere") {
+		t.Errorf("error %q does not name the bad target", err)
+	}
+}

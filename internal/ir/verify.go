@@ -1,10 +1,21 @@
 package ir
 
 import (
-	"errors"
 	"fmt"
 	"strings"
 )
+
+// VerifyError is the typed error Verify returns: the list of structural
+// violations found, one string per violation. Callers that wrap it must
+// use %w so errors.As can distinguish a malformed module from an
+// environmental failure.
+type VerifyError struct {
+	Violations []string
+}
+
+func (e *VerifyError) Error() string {
+	return "ir: verify: " + strings.Join(e.Violations, "; ")
+}
 
 // VerifyOptions configures Verify.
 type VerifyOptions struct {
@@ -45,7 +56,7 @@ func Verify(m *Module, opts VerifyOptions) error {
 	if len(errs) == 0 {
 		return nil
 	}
-	return errors.New("ir: verify: " + strings.Join(errs, "; "))
+	return &VerifyError{Violations: errs}
 }
 
 func verifyFunc(m *Module, f *Function, opts VerifyOptions, callSites, resolveSites map[SiteID]string, report func(string, ...any)) {

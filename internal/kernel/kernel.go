@@ -172,10 +172,20 @@ func Generate(cfg Config) (*Kernel, error) {
 	sort.Slice(g.kernel.Sites, func(i, j int) bool {
 		return g.kernel.Sites[i].ID < g.kernel.Sites[j].ID
 	})
-	if err := ir.Verify(g.mod, ir.VerifyOptions{}); err != nil {
-		return nil, fmt.Errorf("kernel: generated module does not verify: %v", err)
+	if err := verifyGenerated(g.mod); err != nil {
+		return nil, err
 	}
 	return g.kernel, nil
+}
+
+// verifyGenerated runs the IR verifier over a freshly generated module
+// and wraps any violation so callers can unwrap the typed
+// *ir.VerifyError from the chain.
+func verifyGenerated(m *ir.Module) error {
+	if err := ir.Verify(m, ir.VerifyOptions{}); err != nil {
+		return fmt.Errorf("kernel: generated module does not verify: %w", err)
+	}
+	return nil
 }
 
 // emitWork appends ~cycles worth of mixed ALU/load/store work (average

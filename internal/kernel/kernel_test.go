@@ -1,6 +1,7 @@
 package kernel
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"testing"
@@ -236,5 +237,36 @@ func TestHelperLayersScaling(t *testing.T) {
 	// The scaled kernel still compiles and verifies end to end.
 	if _, err := interp.Compile(deep.Mod.Clone()); err != nil {
 		t.Fatalf("deep kernel does not compile: %v", err)
+	}
+}
+
+// TestVerifyGeneratedWrapsTypedError: the generator's verify failure must
+// keep the typed *ir.VerifyError in the chain (it is wrapped with %w), so
+// callers can distinguish a malformed module from an environmental error.
+func TestVerifyGeneratedWrapsTypedError(t *testing.T) {
+	m := ir.NewModule()
+	f := ir.NewFunction(m, "broken", 0)
+	f.Jmp("nowhere")
+	err := verifyGenerated(m)
+	if err == nil {
+		t.Fatal("corrupt module passed verification")
+	}
+	var ve *ir.VerifyError
+	if !errors.As(err, &ve) {
+		t.Fatalf("error %v does not unwrap to *ir.VerifyError", err)
+	}
+	if len(ve.Violations) == 0 {
+		t.Fatal("VerifyError carries no violations")
+	}
+	if !strings.HasPrefix(err.Error(), "kernel: generated module does not verify:") {
+		t.Errorf("wrap lost the kernel context: %q", err)
+	}
+	// A clean module produces no error.
+	k, genErr := Generate(Config{Seed: 1})
+	if genErr != nil {
+		t.Fatal(genErr)
+	}
+	if err := verifyGenerated(k.Mod); err != nil {
+		t.Errorf("generated kernel fails verifyGenerated: %v", err)
 	}
 }

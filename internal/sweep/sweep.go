@@ -72,27 +72,44 @@ type Combo struct {
 	Defenses pibe.Defenses
 }
 
-// DefaultCombos are the four transient-defense combinations the paper
-// evaluates: each Spectre-class defense alone, then all of them.
+// DefaultCombos are the defense combinations crossed with the budget
+// grid: the paper's four transient-defense rows (each Spectre-class
+// defense alone, then all of them) plus the three post-2021 backends,
+// whose cost shapes move the knee (see EXPERIMENTS.md).
 func DefaultCombos() []Combo {
 	return []Combo{
 		{"retpoline", pibe.Defenses{Retpolines: true}},
 		{"ret-retpoline", pibe.Defenses{RetRetpolines: true}},
 		{"lvi-cfi", pibe.Defenses{LVICFI: true}},
+		{"fineibt", pibe.Defenses{FineIBT: true}},
+		{"pac-cfi", pibe.Defenses{PACCFI: true}},
+		{"verifence", pibe.Defenses{VeriFence: true}},
 		{"all", pibe.AllDefenses},
 	}
 }
 
 // CombosByName resolves a comma-separated combo list ("retpoline,all")
-// against DefaultCombos.
+// against DefaultCombos. Duplicate names are rejected: a repeated combo
+// would silently double its cells in the result surface and break the
+// byte-identical determinism contract.
 func CombosByName(s string) ([]Combo, error) {
 	all := DefaultCombos()
+	known := make([]string, len(all))
+	for i, c := range all {
+		known[i] = c.Name
+	}
+	seen := make(map[string]bool)
 	var out []Combo
 	for _, name := range strings.Split(s, ",") {
 		name = strings.TrimSpace(name)
 		if name == "" {
 			continue
 		}
+		if seen[name] {
+			return nil, resilience.Faultf(resilience.PhaseMeasure, resilience.KindConfig, "sweep-combos",
+				"duplicate defense combo %q", name)
+		}
+		seen[name] = true
 		found := false
 		for _, c := range all {
 			if c.Name == name {
@@ -102,7 +119,7 @@ func CombosByName(s string) ([]Combo, error) {
 			}
 		}
 		if !found {
-			return nil, fmt.Errorf("sweep: unknown defense combo %q (have retpoline, ret-retpoline, lvi-cfi, all)", name)
+			return nil, fmt.Errorf("sweep: unknown defense combo %q (have %s)", name, strings.Join(known, ", "))
 		}
 	}
 	if len(out) == 0 {
@@ -123,7 +140,7 @@ func ParseGrid(s string) ([]float64, error) {
 		}
 		v, err := strconv.ParseFloat(tok, 64)
 		if err != nil {
-			return nil, fmt.Errorf("sweep: bad grid value %q: %v", tok, err)
+			return nil, fmt.Errorf("sweep: bad grid value %q: %w", tok, err)
 		}
 		if math.IsNaN(v) || v < 0 || v >= 100 {
 			return nil, fmt.Errorf("sweep: grid value %v%% outside [0, 100)", v)

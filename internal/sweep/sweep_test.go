@@ -2,13 +2,16 @@ package sweep
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"runtime"
+	"strconv"
 	"strings"
 	"testing"
 
 	pibe "repro"
 	"repro/internal/bench"
+	"repro/internal/resilience"
 )
 
 func TestParseGrid(t *testing.T) {
@@ -32,6 +35,13 @@ func TestParseGrid(t *testing.T) {
 			t.Errorf("ParseGrid(%q) accepted, want error", bad)
 		}
 	}
+	// The parse failure is wrapped with %w: the strconv error stays
+	// reachable so callers can tell a malformed flag from a range error.
+	_, err = ParseGrid("99.9,abc")
+	var ne *strconv.NumError
+	if !errors.As(err, &ne) {
+		t.Errorf("ParseGrid error %v does not unwrap to *strconv.NumError", err)
+	}
 }
 
 func TestCombosByName(t *testing.T) {
@@ -45,11 +55,40 @@ func TestCombosByName(t *testing.T) {
 	if !got[1].Defenses.Retpolines || !got[1].Defenses.LVICFI {
 		t.Errorf("combo 'all' defenses = %+v, want all enabled", got[1].Defenses)
 	}
-	if all, err := CombosByName(""); err != nil || len(all) != 4 {
-		t.Errorf("CombosByName(empty) = %d combos, %v; want the 4 defaults", len(all), err)
+	if all, err := CombosByName(""); err != nil || len(all) != 7 {
+		t.Errorf("CombosByName(empty) = %d combos, %v; want the 7 defaults", len(all), err)
+	}
+	for _, name := range []string{"fineibt", "pac-cfi", "verifence"} {
+		got, err := CombosByName(name)
+		if err != nil || len(got) != 1 || got[0].Name != name {
+			t.Errorf("CombosByName(%q) = %+v, %v", name, got, err)
+		}
+	}
+	if c, _ := CombosByName("verifence"); !c[0].Defenses.VeriFence || c[0].Defenses.Retpolines {
+		t.Errorf("combo 'verifence' defenses = %+v, want only VeriFence", c[0].Defenses)
 	}
 	if _, err := CombosByName("retpoline,bogus"); err == nil {
 		t.Error("CombosByName accepted unknown combo")
+	}
+}
+
+// TestCombosByNameDuplicate: a repeated combo would silently double its
+// cells in the sweep surface, so it is rejected with a typed config
+// fault naming the offender.
+func TestCombosByNameDuplicate(t *testing.T) {
+	_, err := CombosByName("retpoline,all,retpoline")
+	if err == nil {
+		t.Fatal("CombosByName accepted a duplicate combo")
+	}
+	fault, ok := resilience.AsFault(err)
+	if !ok {
+		t.Fatalf("duplicate error %v is not a resilience.FaultError", err)
+	}
+	if fault.Kind != resilience.KindConfig || fault.Site != "sweep-combos" {
+		t.Errorf("fault = kind %v site %q, want KindConfig at sweep-combos", fault.Kind, fault.Site)
+	}
+	if !strings.Contains(err.Error(), "retpoline") {
+		t.Errorf("error %q does not name the duplicated combo", err)
 	}
 }
 

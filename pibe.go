@@ -70,6 +70,16 @@ type Defenses struct {
 	LLVMCFI        bool
 	StackProtector bool
 	SafeStack      bool
+	// FineIBT places an IBT landing pad plus per-site SID check at every
+	// indirect-call target; dispatch stays BTB-predicted (forward edge).
+	FineIBT bool
+	// PACCFI signs function pointers on the call side and authenticates
+	// return addresses with ARM-style pointer authentication (both edges).
+	PACCFI bool
+	// VeriFence fences only the indirect branches the IR verifier cannot
+	// prove safe; provable sites stay bare and jump tables are fenced in
+	// place rather than lowered.
+	VeriFence bool
 	// RSBRefill stuffs the RSB on every syscall entry instead of
 	// hardening returns — the ad-hoc mitigation §6.4 argues return
 	// retpolines should replace.
@@ -85,6 +95,7 @@ func (d Defenses) config() harden.Config {
 	return harden.Config{
 		Retpolines: d.Retpolines, RetRetpolines: d.RetRetpolines, LVICFI: d.LVICFI,
 		LLVMCFI: d.LLVMCFI, StackProtector: d.StackProtector, SafeStack: d.SafeStack,
+		FineIBT: d.FineIBT, PACCFI: d.PACCFI, VeriFence: d.VeriFence,
 		RSBRefill: d.RSBRefill,
 	}
 }
